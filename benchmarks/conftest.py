@@ -1,0 +1,51 @@
+"""Benchmark fixtures: trained presets (built once per session) and report
+sinks.
+
+Every benchmark writes the rows/series it regenerates both to stdout and to
+``benchmarks/results/<name>.txt`` so the reproduction record survives pytest
+output capture.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.presets import (
+    resnet18_imagenet,
+    resnet20_cifar,
+    resnet34_imagenet,
+    vgg11_cifar,
+)
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def report_sink():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return write
+
+
+@pytest.fixture(scope="session")
+def preset_resnet20():
+    return resnet20_cifar()
+
+
+@pytest.fixture(scope="session")
+def preset_vgg11():
+    return vgg11_cifar()
+
+
+@pytest.fixture(scope="session")
+def preset_resnet18():
+    return resnet18_imagenet()
+
+
+@pytest.fixture(scope="session")
+def preset_resnet34():
+    return resnet34_imagenet()

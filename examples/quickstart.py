@@ -1,0 +1,78 @@
+"""Quickstart: train, quantize, attack, defend — in about a minute.
+
+Walks the full DNN-Defender story on a small model:
+
+1. train a ResNet-20 on the synthetic CIFAR-10 stand-in;
+2. quantize it to 8-bit and run the Bit-Flip Attack — accuracy collapses
+   after a handful of targeted flips;
+3. profile the vulnerable bits (the defender runs the attacker's own
+   search), secure them, and re-run the defense-aware attack — accuracy
+   holds.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.analysis import expand_bits_to_rows
+from repro.attacks import (
+    BfaConfig,
+    BitFlipAttack,
+    LogicalDefenseExecutor,
+    profile_vulnerable_bits,
+    white_box_adaptive_attack,
+)
+from repro.nn import QuantizedModel
+from repro.presets import resnet20_cifar
+
+
+def main() -> None:
+    print("=== 1. Train (synthetic CIFAR-10 stand-in) ===")
+    preset = resnet20_cifar()
+    print(f"clean accuracy: {preset.clean_accuracy:.2%}")
+
+    rng = np.random.default_rng(0)
+    attack_x, attack_y = preset.dataset.attack_batch(96, rng)
+    config = BfaConfig(max_iterations=15, stop_accuracy=0.15,
+                       exact_eval_top=4)
+
+    print("\n=== 2. Bit-Flip Attack on the undefended model ===")
+    victim = QuantizedModel(preset.fresh_model())
+    attack = BitFlipAttack(
+        victim, attack_x, attack_y, config=config,
+        eval_x=preset.dataset.x_test, eval_y=preset.dataset.y_test,
+    )
+    result = attack.run()
+    print(f"flips: {result.num_flips}  "
+          f"accuracy: {result.initial_accuracy:.2%} -> "
+          f"{result.final_accuracy:.2%}")
+
+    print("\n=== 3. DNN-Defender: profile, secure, re-attack ===")
+    defended = QuantizedModel(preset.fresh_model())
+    profile = profile_vulnerable_bits(
+        defended, attack_x, attack_y, rounds=6,
+        config=BfaConfig(max_iterations=10, exact_eval_top=4),
+    )
+    # DNN-Defender protects DRAM rows: each profiled bit secures the whole
+    # row's worth of weights around it.
+    secured = expand_bits_to_rows(defended, profile.all_bits)
+    print(f"profiling rounds: {profile.num_rounds}  "
+          f"secured bits: {len(secured)} "
+          f"({len(secured) / defended.total_bits:.1%} of model bits)")
+    executor = LogicalDefenseExecutor(defended, secured)
+    adaptive = white_box_adaptive_attack(
+        defended, attack_x, attack_y, executor, secured,
+        config=BfaConfig(max_iterations=15, exact_eval_top=4),
+        eval_x=preset.dataset.x_test, eval_y=preset.dataset.y_test,
+    )
+    print(f"adaptive attack flips: {adaptive.num_flips}  "
+          f"accuracy: {adaptive.initial_accuracy:.2%} -> "
+          f"{adaptive.final_accuracy:.2%}")
+    print("\nAt an equal flip budget the undefended BFA collapses the "
+          "model while the defense-aware attacker, locked out of every "
+          "profiled row, inflicts a fraction of the damage (Fig. 9's "
+          "mechanism; see benchmarks for the full sweeps).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""DNN-Defender reproduction: victim-focused in-DRAM RowHammer defense.
+
+Reproduction of Zhou, Ahmed, Rakin & Angizi, "DNN-Defender: A Victim-Focused
+In-DRAM Defense Mechanism for Taming Adversarial Weight Attack on DNNs"
+(DAC 2024, arXiv:2305.08034).
+
+Sub-packages:
+    ``repro.dram``     -- command-level DRAM + RowHammer simulator
+    ``repro.nn``       -- from-scratch numpy DNN framework + 8-bit quantization
+    ``repro.mapping``  -- weight-to-DRAM placement ("mapping file")
+    ``repro.attacks``  -- BFA, random flips, adaptive attacks, hammer driver
+    ``repro.core``     -- DNN-Defender: swaps, pipelining, priority protection
+    ``repro.defenses`` -- RRS/SRS/SHADOW/trackers + software defenses
+    ``repro.analysis`` -- Table 2 / Fig. 8 analytics + experiment harnesses
+"""
+
+from repro import analysis, attacks, core, defenses, dram, mapping, nn, utils
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "attacks",
+    "core",
+    "defenses",
+    "dram",
+    "mapping",
+    "nn",
+    "utils",
+    "__version__",
+]

@@ -1,0 +1,67 @@
+"""Analytical models and experiment harnesses for the paper's evaluation."""
+
+from repro.analysis.defense_eval import (
+    AccuracyCurve,
+    DefenseComparisonRow,
+    SecuredBitsCurve,
+    evaluate_defense_row,
+    expand_bits_to_rows,
+    secured_bits_sweep,
+    targeted_vs_random,
+)
+from repro.analysis.energy import PowerBreakdown, defense_power_mw, power_comparison
+from repro.analysis.latency import (
+    LatencyPoint,
+    latency_per_tref_ms,
+    latency_sweep,
+    t_op_ns,
+)
+from repro.analysis.overhead import (
+    TABLE2_SPECS,
+    OverheadSpec,
+    derived_capacity_mb,
+    table2_rows,
+)
+from repro.analysis.report import (
+    format_accuracy_curves,
+    format_latency_sweep,
+    format_secured_bits_curves,
+    format_security_sweep,
+)
+from repro.analysis.security import (
+    SecurityPoint,
+    max_defended_bfas,
+    security_sweep,
+    swaps_per_tref,
+    time_to_break_days,
+)
+
+__all__ = [
+    "AccuracyCurve",
+    "DefenseComparisonRow",
+    "SecuredBitsCurve",
+    "evaluate_defense_row",
+    "expand_bits_to_rows",
+    "secured_bits_sweep",
+    "targeted_vs_random",
+    "PowerBreakdown",
+    "defense_power_mw",
+    "power_comparison",
+    "LatencyPoint",
+    "latency_per_tref_ms",
+    "latency_sweep",
+    "t_op_ns",
+    "TABLE2_SPECS",
+    "OverheadSpec",
+    "derived_capacity_mb",
+    "table2_rows",
+    "format_accuracy_curves",
+    "format_latency_sweep",
+    "format_secured_bits_curves",
+    "format_security_sweep",
+    "SecurityPoint",
+    "max_defended_bfas",
+    "security_sweep",
+    "swaps_per_tref",
+    "time_to_break_days",
+]

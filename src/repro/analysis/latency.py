@@ -1,0 +1,88 @@
+"""Latency-per-``T_ref`` model (Fig. 8b).
+
+Per refresh interval, a swap defense protecting ``N_s`` rows per bank
+spends ``N x T_op`` where ``N = (T_ref / T_n) x N_s`` (Section 5.1 algebra)
+and ``T_op`` is its per-row maintenance cost — ``3 x T_AAP`` for
+DNN-Defender's pipelined swap, ``4 x T_AAP`` for SHADOW's shuffle (two
+victim moves plus tracker interaction).  ``N_s`` saturates at the per-window
+budget ``window / T_op``, which caps the latency at ``T_ref / 2`` — the
+"limit" both curves approach in Fig. 8b, with DNN-Defender below SHADOW at
+every BFA count because its ``T_op`` is smaller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.geometry import PAPER_GEOMETRY, DramGeometry
+from repro.dram.timing import TimingParams
+
+__all__ = ["LatencyPoint", "latency_per_tref_ms", "latency_sweep", "t_op_ns"]
+
+
+def t_op_ns(defense: str, timing: TimingParams) -> float:
+    """Per-row maintenance cost of a defense."""
+    if defense == "dnn-defender":
+        return timing.t_swap_ns                      # 3 x T_AAP, pipelined
+    if defense == "dnn-defender-unpipelined":
+        return timing.t_swap_unpipelined_ns          # 4 x T_AAP (ablation)
+    if defense == "shadow":
+        return 4.0 * timing.t_aap_ns
+    raise ValueError(f"unknown defense {defense!r}")
+
+
+def latency_per_tref_ms(
+    defense: str,
+    n_bfas: int,
+    timing: TimingParams,
+    geometry: DramGeometry = PAPER_GEOMETRY,
+) -> float:
+    """Defense busy time inside one refresh interval, in milliseconds."""
+    if n_bfas < 0:
+        raise ValueError(f"n_bfas must be non-negative, got {n_bfas}")
+    if n_bfas == 0:
+        return 0.0
+    op_ns = t_op_ns(defense, timing)
+    window = timing.hammer_window_ns
+    per_bank = n_bfas / geometry.banks
+    n_s = min(per_bank, window / op_ns)   # per-window budget saturation
+    t_n = window + op_ns * n_s
+    swaps = (timing.t_ref_ns / t_n) * n_s
+    return swaps * op_ns / 1e6
+
+
+@dataclass(frozen=True)
+class LatencyPoint:
+    """One (defense, T_RH, n_bfas) point of the Fig. 8b sweep."""
+
+    defense: str
+    t_rh: int
+    n_bfas: int
+    latency_ms: float
+
+
+def latency_sweep(
+    defenses: tuple[str, ...] = ("dnn-defender", "shadow"),
+    thresholds: tuple[int, ...] = (1000, 2000, 4000, 8000),
+    bfa_counts: tuple[int, ...] = (7_000, 14_000, 28_000, 55_000),
+    timing: TimingParams | None = None,
+    geometry: DramGeometry = PAPER_GEOMETRY,
+) -> list[LatencyPoint]:
+    """The full Fig. 8b grid."""
+    base = timing or TimingParams()
+    points = []
+    for t_rh in thresholds:
+        t = base.with_trh(t_rh)
+        for n_bfas in bfa_counts:
+            for defense in defenses:
+                points.append(
+                    LatencyPoint(
+                        defense=defense,
+                        t_rh=t_rh,
+                        n_bfas=n_bfas,
+                        latency_ms=latency_per_tref_ms(
+                            defense, n_bfas, t, geometry
+                        ),
+                    )
+                )
+    return points

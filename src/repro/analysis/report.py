@@ -1,0 +1,72 @@
+"""Report formatting for the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.defense_eval import AccuracyCurve, SecuredBitsCurve
+from repro.analysis.latency import LatencyPoint
+from repro.analysis.security import SecurityPoint
+from repro.utils.tabulate import format_table
+
+__all__ = [
+    "format_security_sweep",
+    "format_latency_sweep",
+    "format_accuracy_curves",
+    "format_secured_bits_curves",
+]
+
+
+def format_security_sweep(points: Sequence[SecurityPoint]) -> str:
+    """Fig. 8a as a table: time-to-break and defended-BFA capacity."""
+    rows = [
+        [p.defense, p.t_rh, f"{p.time_to_break_days:.0f}",
+         p.max_defended_bfas]
+        for p in points
+    ]
+    return format_table(
+        ["defense", "T_RH", "time-to-break (days)", "max defended BFAs"],
+        rows,
+        title="Fig. 8a — time-to-break vs RowHammer threshold",
+    )
+
+
+def format_latency_sweep(points: Sequence[LatencyPoint]) -> str:
+    """Fig. 8b as a table: latency per refresh interval."""
+    rows = [
+        [p.defense, p.t_rh, p.n_bfas, f"{p.latency_ms:.2f}"]
+        for p in points
+    ]
+    return format_table(
+        ["defense", "T_RH", "# BFAs", "latency per T_ref (ms)"],
+        rows,
+        title="Fig. 8b — defense latency per refresh interval",
+    )
+
+
+def format_accuracy_curves(curves: Sequence[AccuracyCurve]) -> str:
+    """Fig. 1b-style curves as aligned columns."""
+    blocks = []
+    for curve in curves:
+        rows = [
+            [n, f"{a * 100:.2f}"] for n, a in zip(curve.flips, curve.accuracies)
+        ]
+        blocks.append(
+            format_table(["# flips", "accuracy (%)"], rows, title=curve.label)
+        )
+    return "\n\n".join(blocks)
+
+
+def format_secured_bits_curves(curves: Sequence[SecuredBitsCurve]) -> str:
+    """Fig. 9-style sweep as a table."""
+    rows = []
+    for curve in curves:
+        for n, a in zip(curve.extra_flips, curve.accuracies):
+            rows.append(
+                [curve.secured_bits, curve.profile_rounds, n, f"{a * 100:.2f}"]
+            )
+    return format_table(
+        ["secured bits", "rounds", "SB + extra flips", "accuracy (%)"],
+        rows,
+        title="Fig. 9 — adaptive white-box BFA vs secured-bit budget",
+    )

@@ -1,0 +1,106 @@
+"""Attack variants of Section 5.2: semi-white-box and adaptive white-box.
+
+* **Semi-white-box** — the attacker does not know a defense is deployed.  It
+  generates its bit-flip sequence *offline* on a model copy (where every
+  flip "works"), then replays that fixed sequence against the real
+  deployment.  Under DNN-Defender the replayed flips on secured bits never
+  materialise, so the attack achieves no accuracy drop.
+
+* **Adaptive white-box** — the attacker knows the defense and the secured
+  bit set.  It skips secured bits during the search and keeps attacking the
+  best *unprotected* bits; defended attempts are also fed back into the
+  skip set.  Fig. 9 sweeps the secured-bit budget against this attacker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.attacks.bfa import AttackResult, BfaConfig, BitFlipAttack
+from repro.attacks.executor import FlipExecutor, SoftwareFlipExecutor
+from repro.nn.quant import BitLocation, QuantizedModel
+from repro.nn.train import evaluate
+
+__all__ = [
+    "SemiWhiteBoxResult",
+    "semi_white_box_attack",
+    "white_box_adaptive_attack",
+]
+
+
+@dataclass
+class SemiWhiteBoxResult:
+    """Replay outcome of a defense-unaware attack."""
+
+    planned_sequence: list[BitLocation] = field(default_factory=list)
+    landed: list[BitLocation] = field(default_factory=list)
+    blocked: list[BitLocation] = field(default_factory=list)
+    initial_accuracy: float = 0.0
+    final_accuracy: float = 0.0
+
+    @property
+    def accuracy_drop(self) -> float:
+        return self.initial_accuracy - self.final_accuracy
+
+
+def semi_white_box_attack(
+    qmodel: QuantizedModel,
+    attack_x: np.ndarray,
+    attack_y: np.ndarray,
+    executor: FlipExecutor,
+    config: BfaConfig | None = None,
+    eval_x: np.ndarray | None = None,
+    eval_y: np.ndarray | None = None,
+) -> SemiWhiteBoxResult:
+    """Plan a BFA offline, then replay it through the real deployment."""
+    eval_x = attack_x if eval_x is None else eval_x
+    eval_y = attack_y if eval_y is None else eval_y
+    snapshot = qmodel.snapshot()
+    # Offline planning phase on the attacker's copy: no defense involved.
+    planner = BitFlipAttack(
+        qmodel, attack_x, attack_y, config=config,
+        executor=SoftwareFlipExecutor(qmodel),
+        eval_x=eval_x, eval_y=eval_y,
+    )
+    plan = planner.run()
+    qmodel.restore(snapshot)
+    result = SemiWhiteBoxResult(
+        planned_sequence=list(plan.flips),
+        initial_accuracy=evaluate(qmodel.model, eval_x, eval_y),
+    )
+    # Replay against the deployment; the attacker cannot tell which flips
+    # landed, it just fires the precomputed sequence.
+    for location in result.planned_sequence:
+        if executor.execute(location):
+            result.landed.append(location)
+        else:
+            result.blocked.append(location)
+    result.final_accuracy = evaluate(qmodel.model, eval_x, eval_y)
+    return result
+
+
+def white_box_adaptive_attack(
+    qmodel: QuantizedModel,
+    attack_x: np.ndarray,
+    attack_y: np.ndarray,
+    executor: FlipExecutor,
+    secured_bits: set[BitLocation],
+    config: BfaConfig | None = None,
+    eval_x: np.ndarray | None = None,
+    eval_y: np.ndarray | None = None,
+) -> AttackResult:
+    """Defense-aware BFA: skip every secured bit, adapt on failures.
+
+    The returned result's ``attempts`` include any defended attempts (bits
+    the attacker tried anyway, e.g. when the secured set it obtained is
+    stale); its ``flips`` are the landed ones — the "SB + # of additional
+    bit-flips" axis of Fig. 9 counts these.
+    """
+    attack = BitFlipAttack(
+        qmodel, attack_x, attack_y, config=config,
+        skip=set(secured_bits), executor=executor,
+        eval_x=eval_x, eval_y=eval_y,
+    )
+    return attack.run()

@@ -1,0 +1,169 @@
+"""RowHammer attack driver: realises BFA flips as ACT streams.
+
+This is the reproduction's stand-in for the DeepHammer-style end-to-end
+exploit: given a weight-bit target, the driver consults the mapping file for
+the logical row, follows the controller's indirection to the *current
+physical* row (the white-box attacker observes defense swaps and re-targets
+— Section 4: "the malicious process knows the new location"), picks the
+adjacent aggressor row, and hammers it to the RowHammer threshold.
+
+Defense mechanisms run concurrently through a ``tick()`` protocol: the
+driver splits each hammer window into chunks and lets the defense execute
+its due swap operations between chunks, exactly the interleaving the
+paper's timing analysis assumes (swaps must complete within
+``T_RH x T_ACT``).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.dram.address import RowAddress
+from repro.dram.controller import MemoryController
+from repro.mapping.layout import WeightLayout
+from repro.nn.quant import BitLocation
+
+__all__ = ["TickingDefense", "RowHammerAttacker", "HammerExecutor"]
+
+
+class TickingDefense(Protocol):
+    """Defense that performs its due maintenance when ticked."""
+
+    def tick(self) -> None:
+        ...
+
+
+class _NullDefense:
+    def tick(self) -> None:
+        return None
+
+
+class RowHammerAttacker:
+    """Issues hammer sessions against weight bits through the controller."""
+
+    def __init__(
+        self,
+        controller: MemoryController,
+        layout: WeightLayout,
+        defense: TickingDefense | None = None,
+        chunks_per_window: int = 4,
+        track_swaps: bool = True,
+        sided: str = "single",
+    ):
+        if chunks_per_window < 1:
+            raise ValueError("chunks_per_window must be >= 1")
+        if sided not in ("single", "double"):
+            raise ValueError(f"sided must be 'single' or 'double', got {sided!r}")
+        self.controller = controller
+        self.layout = layout
+        self.defense = defense or _NullDefense()
+        self.chunks_per_window = chunks_per_window
+        # White-box attackers observe defense swaps and re-target the moved
+        # victim (Section 4); a non-tracking attacker keeps hammering the
+        # address it resolved at session start — RRS/SRS rely on that.
+        self.track_swaps = track_swaps
+        # Single-sided hammering (Fig. 3) uses one adjacent aggressor;
+        # double-sided (DeepHammer-style) sandwiches the victim between
+        # both neighbours, reaching the threshold with the same total
+        # activation count split across two rows.
+        self.sided = sided
+        self.sessions = 0
+        self.activations_issued = 0
+
+    def _aggressor_for(self, victim_physical: RowAddress) -> RowAddress:
+        """Adjacent row used as the single-sided aggressor."""
+        neighbors = self.controller.device.mapper.neighbors(victim_physical)
+        if not neighbors:
+            raise ValueError(f"victim {victim_physical} has no neighbours")
+        # Prefer the higher neighbour, matching Fig. 3's a+1 choice.
+        return neighbors[-1]
+
+    def _aggressors_for(self, victim_physical: RowAddress) -> list[RowAddress]:
+        """Aggressor rows for the configured hammering mode."""
+        if self.sided == "single":
+            return [self._aggressor_for(victim_physical)]
+        neighbors = self.controller.device.mapper.neighbors(victim_physical)
+        if not neighbors:
+            raise ValueError(f"victim {victim_physical} has no neighbours")
+        return neighbors
+
+    def attempt_flip(self, location: BitLocation, max_windows: int = 3) -> bool:
+        """Hammer one weight bit for up to ``max_windows`` full windows.
+
+        A row the defense refreshes *deterministically* (a secured target
+        row) never flips no matter how many windows the attacker spends; an
+        unprotected row may survive one window by luck (e.g. it happened to
+        be the step-4 non-target of a nearby swap) but falls within a few.
+        Returns True when the flip materialised in DRAM; the model copy is
+        re-synchronised either way, so the caller observes ground truth.
+        """
+        if max_windows < 1:
+            raise ValueError("max_windows must be >= 1")
+        logical_row, bit_in_row = self.layout.locate_bit(location)
+        before = self.layout.qmodel.bit_value(location)
+        t_rh = self.controller.timing.t_rh
+        base = t_rh // self.chunks_per_window
+        counts = [base] * self.chunks_per_window
+        counts[-1] += t_rh - base * self.chunks_per_window
+        declared: RowAddress | None = None
+        flipped = False
+        # Non-tracking attackers resolve the victim and the aggressor
+        # *address* once; their activations then follow whatever physical
+        # row the address maps to after defense remapping.
+        initial_physical = self.controller.indirection.physical(logical_row)
+        aggressor_logical = self.controller.indirection.logical(
+            self._aggressor_for(initial_physical)
+        )
+        for _ in range(max_windows):
+            for count in counts:
+                # Let the defense run whatever is due before this burst.
+                self.defense.tick()
+                if self.track_swaps:
+                    # Re-resolve: the defense may have moved the victim.
+                    physical = self.controller.indirection.physical(logical_row)
+                    aggressors = self._aggressors_for(physical)
+                else:
+                    physical = initial_physical
+                    aggressors = [
+                        self.controller.indirection.physical(aggressor_logical)
+                    ]
+                if declared is not None and declared != physical:
+                    self.controller.clear_attack_targets(declared)
+                if declared != physical:
+                    self.controller.declare_attack_targets(
+                        physical, [bit_in_row]
+                    )
+                    declared = physical
+                share = count // len(aggressors)
+                shares = [share] * len(aggressors)
+                shares[0] += count - share * len(aggressors)
+                for aggressor, n_acts in zip(aggressors, shares):
+                    self.controller.activate(
+                        aggressor, actor="attacker", count=n_acts, hammer=True
+                    )
+                    self.activations_issued += n_acts
+            self.sessions += 1
+            self.layout.sync_model_from_dram()
+            flipped = self.layout.qmodel.bit_value(location) != before
+            if flipped:
+                break
+        if declared is not None:
+            self.controller.clear_attack_targets(declared)
+        return flipped
+
+
+class HammerExecutor:
+    """Adapts :class:`RowHammerAttacker` to the attack executor protocol."""
+
+    def __init__(self, attacker: RowHammerAttacker):
+        self.attacker = attacker
+        self.flips_performed = 0
+        self.blocked = 0
+
+    def execute(self, location: BitLocation) -> bool:
+        succeeded = self.attacker.attempt_flip(location)
+        if succeeded:
+            self.flips_performed += 1
+        else:
+            self.blocked += 1
+        return succeeded

@@ -1,0 +1,42 @@
+"""Threat-model capability flags (Table 1 of the paper).
+
+The standard white-box BFA threat model grants the attacker the model
+architecture/parameters, a small batch of test data, and the DRAM addresses
+of the parameters — but not the training pipeline or direct memory
+write permission.  The two attack variants evaluated in Section 5.2 differ
+in one extra capability: awareness of the deployed defense.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ThreatModel", "SEMI_WHITE_BOX", "WHITE_BOX"]
+
+
+@dataclass(frozen=True)
+class ThreatModel:
+    """Capabilities granted to the attacker."""
+
+    knows_architecture: bool = True       # Table 1: yes
+    knows_parameters: bool = True         # Table 1: yes
+    has_test_batch: bool = True           # Table 1: yes (e.g. 128 samples)
+    knows_dram_addresses: bool = True     # Table 1: yes (mapping file)
+    knows_training_data: bool = False     # Table 1: no
+    has_memory_write: bool = False        # Table 1: no (flips only via RH)
+    knows_defense: bool = False           # semi-white-box vs white-box
+
+    def __post_init__(self) -> None:
+        if self.has_memory_write:
+            raise ValueError(
+                "Table 1 denies direct memory write permission; flips must "
+                "go through RowHammer"
+            )
+
+    @property
+    def name(self) -> str:
+        return "white-box" if self.knows_defense else "semi-white-box"
+
+
+SEMI_WHITE_BOX = ThreatModel(knows_defense=False)
+WHITE_BOX = ThreatModel(knows_defense=True)

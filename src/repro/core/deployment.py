@@ -1,0 +1,113 @@
+"""One-call wiring of the full defended system.
+
+Builds the stack the paper's Fig. 7 framework evaluates: quantize a trained
+model, place it in simulated DRAM, profile its vulnerable bits, and stand up
+a DNN-Defender instance over the resulting protection plan.  Examples,
+benchmarks and integration tests all start here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.attacks.bfa import BfaConfig
+from repro.attacks.executor import LogicalDefenseExecutor
+from repro.attacks.hammer import HammerExecutor, RowHammerAttacker
+from repro.core.config import DefenderConfig
+from repro.core.defender import DNNDefender
+from repro.core.priority import PriorityProtection, build_priority_plan
+from repro.dram.controller import MemoryController
+from repro.dram.device import DramDevice
+from repro.dram.geometry import DramGeometry
+from repro.dram.timing import TimingParams
+from repro.mapping.layout import WeightLayout
+from repro.nn.data import Dataset
+from repro.nn.module import Module
+from repro.nn.quant import BitLocation, QuantizedModel
+from repro.nn.train import evaluate
+
+__all__ = ["DefendedDeployment"]
+
+
+@dataclass
+class DefendedDeployment:
+    """A quantized model living in defended DRAM."""
+
+    dataset: Dataset
+    qmodel: QuantizedModel
+    controller: MemoryController
+    layout: WeightLayout
+    protection: PriorityProtection
+    defender: DNNDefender
+
+    @classmethod
+    def build(
+        cls,
+        model: Module,
+        dataset: Dataset,
+        geometry: DramGeometry,
+        timing: TimingParams,
+        profile_rounds: int = 2,
+        profile_config: BfaConfig | None = None,
+        defender_config: DefenderConfig | None = None,
+        attack_batch_size: int = 128,
+        reserved_rows: int = 2,
+        extra_secured_bits: set[BitLocation] | None = None,
+        seed: int = 0,
+    ) -> "DefendedDeployment":
+        """Quantize, place, profile, and defend ``model``."""
+        rng = np.random.default_rng(seed)
+        qmodel = QuantizedModel(model)
+        controller = MemoryController(DramDevice(geometry), timing)
+        layout = WeightLayout(
+            qmodel, controller, reserved_rows=reserved_rows, seed=seed
+        )
+        attack_x, attack_y = dataset.attack_batch(attack_batch_size, rng)
+        protection = build_priority_plan(
+            layout,
+            attack_x,
+            attack_y,
+            rounds=profile_rounds,
+            config=profile_config,
+            extra_bits=extra_secured_bits,
+        )
+        defender = DNNDefender(
+            controller,
+            protection.plan,
+            config=defender_config,
+            reserved_rows=reserved_rows,
+        )
+        return cls(
+            dataset=dataset,
+            qmodel=qmodel,
+            controller=controller,
+            layout=layout,
+            protection=protection,
+            defender=defender,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Attack-side adapters
+    # ------------------------------------------------------------------ #
+
+    def hammer_executor(self, chunks_per_window: int = 4) -> HammerExecutor:
+        """Full-DRAM attack path: flips go through hammered activations with
+        the defender ticking in between."""
+        attacker = RowHammerAttacker(
+            self.controller,
+            self.layout,
+            defense=self.defender,
+            chunks_per_window=chunks_per_window,
+        )
+        return HammerExecutor(attacker)
+
+    def logical_executor(self) -> LogicalDefenseExecutor:
+        """Fast analytical path with the same secured-bit semantics."""
+        return LogicalDefenseExecutor(self.qmodel, self.defender.secured_bits)
+
+    def accuracy(self) -> float:
+        return evaluate(
+            self.qmodel.model, self.dataset.x_test, self.dataset.y_test
+        )

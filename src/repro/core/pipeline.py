@@ -1,0 +1,113 @@
+"""Swap-timeline algebra: the Fig. 6 pipelining model.
+
+A chain of ``n`` four-step swaps costs ``(3n + 1)`` AAP slots plus one RNG
+slot when pipelined (step 1 of swap *k+1* is the same operation as step 4 of
+swap *k*), versus ``4n`` AAP slots unpipelined.  These closed forms drive
+both the functional defender's budget checks and the analytical latency
+model (Fig. 8b); :func:`build_timeline` additionally produces the explicit
+per-step schedule that the Fig. 6 benchmark prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.timing import TimingParams
+
+__all__ = [
+    "chain_aap_count",
+    "chain_latency_ns",
+    "max_swaps_per_window",
+    "TimelineEntry",
+    "build_timeline",
+]
+
+STEP_NAMES = {
+    1: "copy random -> reserved",
+    2: "copy target -> random slot",
+    3: "copy reserved -> target slot",
+    4: "copy non-target -> reserved",
+}
+
+
+def chain_aap_count(n_swaps: int, pipelined: bool = True) -> int:
+    """AAP operations needed for a chain of ``n_swaps`` swaps."""
+    if n_swaps < 0:
+        raise ValueError(f"n_swaps must be >= 0, got {n_swaps}")
+    if n_swaps == 0:
+        return 0
+    if pipelined:
+        return 3 * n_swaps + 1
+    return 4 * n_swaps
+
+
+def chain_latency_ns(
+    n_swaps: int, timing: TimingParams, pipelined: bool = True
+) -> float:
+    """Wall-clock cost of a swap chain (AAPs + one RNG slot)."""
+    if n_swaps == 0:
+        return 0.0
+    aaps = chain_aap_count(n_swaps, pipelined=pipelined)
+    return aaps * timing.t_aap_ns + timing.t_rc_ns  # one RNG per chain
+
+
+def max_swaps_per_window(timing: TimingParams, pipelined: bool = True) -> int:
+    """Largest chain that fits inside one hammer window.
+
+    The paper's constraint (Section 5.1): swaps must complete within
+    ``T_ACT x T_RH``; with the steady-state swap cost ``T_swap = 3 x T_AAP``
+    that bound is ``(T_ACT x T_RH) / T_swap``.
+    """
+    per_swap = (
+        timing.t_swap_ns if pipelined else timing.t_swap_unpipelined_ns
+    )
+    return int(timing.hammer_window_ns / per_swap)
+
+
+@dataclass(frozen=True)
+class TimelineEntry:
+    """One scheduled step of the Fig. 6 timeline."""
+
+    swap: int          # 1-based swap index
+    step: int          # 1..4
+    slot: int          # AAP slot index on the time axis
+    start_ns: float
+    end_ns: float
+    shared_with_next: bool  # True when this step doubles as next swap's step 1
+
+    @property
+    def description(self) -> str:
+        return STEP_NAMES[self.step]
+
+
+def build_timeline(
+    n_swaps: int, timing: TimingParams, pipelined: bool = True
+) -> list[TimelineEntry]:
+    """Explicit AAP-slot schedule for a chain of swaps (Fig. 6).
+
+    Pipelined: swap 1 occupies slots 0..3 (steps 1-4); swap *k* starts at
+    the previous swap's step-4 slot, which serves as its step 1.
+    """
+    if n_swaps < 0:
+        raise ValueError(f"n_swaps must be >= 0, got {n_swaps}")
+    entries: list[TimelineEntry] = []
+    t_aap = timing.t_aap_ns
+    slot = 0
+    for swap in range(1, n_swaps + 1):
+        for step in range(1, 5):
+            if pipelined and swap > 1 and step == 1:
+                # Shared with the previous swap's step 4: no new slot.
+                continue
+            shared = pipelined and step == 4 and swap < n_swaps
+            entries.append(
+                TimelineEntry(
+                    swap=swap,
+                    step=step,
+                    slot=slot,
+                    start_ns=slot * t_aap,
+                    end_ns=(slot + 1) * t_aap,
+                    shared_with_next=shared,
+                )
+            )
+            slot += 1
+    return entries

@@ -1,0 +1,68 @@
+"""Priority protection: profiling-driven protection plans (Section 4).
+
+The defender runs the attacker's own multi-round bit search on a model copy
+(:func:`repro.attacks.profile.profile_vulnerable_bits`), takes the union of
+the discovered vulnerable bits, and secures the DRAM rows holding them.
+``rounds`` is the protection-level knob: more rounds -> more secured bits ->
+Fig. 9's larger SB budgets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.attacks.bfa import BfaConfig
+from repro.attacks.profile import ProfileResult, profile_vulnerable_bits
+from repro.mapping.layout import WeightLayout
+from repro.mapping.victim import ProtectionPlan, build_protection_plan
+from repro.nn.quant import BitLocation
+
+__all__ = ["PriorityProtection", "build_priority_plan"]
+
+
+@dataclass
+class PriorityProtection:
+    """A protection plan plus the profiling evidence behind it."""
+
+    plan: ProtectionPlan
+    profile: ProfileResult
+
+    @property
+    def secured_bits(self) -> set[BitLocation]:
+        return self.plan.secured_bits
+
+    @property
+    def num_secured_bits(self) -> int:
+        return len(self.plan.secured_bits)
+
+
+def build_priority_plan(
+    layout: WeightLayout,
+    attack_x: np.ndarray,
+    attack_y: np.ndarray,
+    rounds: int = 3,
+    config: BfaConfig | None = None,
+    extra_bits: set[BitLocation] | None = None,
+) -> PriorityProtection:
+    """Profile vulnerable bits and classify the layout's rows.
+
+    Args:
+        layout: the deployed weight layout (provides the model and the
+            bit-to-row mapping).
+        attack_x / attack_y: the batch used for gradient ranking — the same
+            kind of data the attacker holds, per Section 4 ("we propose
+            using the same attack searching algorithm adopted by an
+            attacker").
+        rounds: number of restore-and-skip profiling rounds.
+        config: bit-search parameters.
+        extra_bits: additional bits to secure on top of the profile (lets
+            benchmarks sweep the secured-bit budget like Fig. 9).
+    """
+    profile = profile_vulnerable_bits(
+        layout.qmodel, attack_x, attack_y, rounds=rounds, config=config
+    )
+    secured = profile.all_bits | set(extra_bits or ())
+    plan = build_protection_plan(layout, secured)
+    return PriorityProtection(plan=plan, profile=profile)

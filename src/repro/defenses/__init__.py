@@ -1,0 +1,33 @@
+"""Baseline RowHammer mitigations and software BFA defenses."""
+
+from repro.defenses import software
+from repro.defenses.base import DefenseStats, HookedDefense, NoDefense
+from repro.defenses.ppim import make_ppim
+from repro.defenses.rrs import RandomizedRowSwap
+from repro.defenses.shadow import Shadow
+from repro.defenses.srs import SecureRowSwap
+from repro.defenses.trackers import (
+    CounterBasedRefresh,
+    make_counter_per_row,
+    make_counter_tree,
+    make_graphene,
+    make_hydra,
+    make_twice,
+)
+
+__all__ = [
+    "software",
+    "DefenseStats",
+    "HookedDefense",
+    "NoDefense",
+    "make_ppim",
+    "RandomizedRowSwap",
+    "Shadow",
+    "SecureRowSwap",
+    "CounterBasedRefresh",
+    "make_counter_per_row",
+    "make_counter_tree",
+    "make_graphene",
+    "make_hydra",
+    "make_twice",
+]

@@ -1,0 +1,98 @@
+"""Defense-mechanism base machinery shared by the hardware baselines.
+
+Hardware baselines observe DRAM activity through the controller's activate
+hook, keep per-row activation counters that reset every refresh interval,
+and react (swap / shuffle / refresh) when a row gets hot.  They also plug
+into the hammer driver's ``tick()`` protocol, though most act directly from
+the hook.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dram.address import RowAddress
+from repro.dram.controller import MemoryController
+
+__all__ = ["DefenseStats", "HookedDefense", "NoDefense"]
+
+
+@dataclass
+class DefenseStats:
+    """Common counters across the baseline defenses."""
+
+    reactions: int = 0           # swaps / shuffles / refreshes triggered
+    rows_moved: int = 0
+    skipped_for_budget: int = 0
+    notes: dict[str, int] = field(default_factory=dict)
+
+
+class NoDefense:
+    """The undefended baseline."""
+
+    name = "none"
+
+    def tick(self) -> None:
+        return None
+
+
+class HookedDefense:
+    """Base class: per-row activation counting with per-``T_ref`` reset.
+
+    Subclasses implement :meth:`_react` which fires when a row's activation
+    count inside the current refresh interval reaches ``trigger_count``.
+    """
+
+    name = "hooked"
+
+    def __init__(self, controller: MemoryController, trigger_fraction: float):
+        if not 0.0 < trigger_fraction <= 1.0:
+            raise ValueError(
+                f"trigger_fraction must be in (0, 1], got {trigger_fraction}"
+            )
+        self.controller = controller
+        self.trigger_count = max(
+            1, int(controller.timing.t_rh * trigger_fraction)
+        )
+        self.stats = DefenseStats()
+        self._counts: dict[RowAddress, int] = {}
+        self._epoch = controller.refresh_epoch
+        self._reacting = False  # a reaction's own commands must not re-trigger
+        controller.register_activate_hook(self._on_activate)
+
+    # ------------------------------------------------------------------ #
+    # Hook plumbing
+    # ------------------------------------------------------------------ #
+
+    def _maybe_reset_epoch(self) -> None:
+        if self.controller.refresh_epoch != self._epoch:
+            self._epoch = self.controller.refresh_epoch
+            self._counts.clear()
+            self._on_new_epoch()
+
+    def _on_new_epoch(self) -> None:
+        """Subclass hook: refresh-interval budgets reset here."""
+
+    def _on_activate(self, physical: RowAddress, time_ns: float, count: int) -> None:
+        if self._reacting:
+            return
+        self._maybe_reset_epoch()
+        total = self._counts.get(physical, 0) + count
+        self._counts[physical] = total
+        if total >= self.trigger_count:
+            self._counts[physical] = 0
+            self._reacting = True
+            try:
+                self._react(physical)
+            finally:
+                self._reacting = False
+
+    def tick(self) -> None:
+        self._maybe_reset_epoch()
+
+    # ------------------------------------------------------------------ #
+    # Subclass interface
+    # ------------------------------------------------------------------ #
+
+    def _react(self, hot_physical: RowAddress) -> None:
+        raise NotImplementedError

@@ -1,0 +1,21 @@
+"""P-PIM (Zhou et al., DATE 2023 [29]): in-DRAM parallel counter defense.
+
+P-PIM keeps its RowHammer counters *inside* DRAM (processing-in-memory
+LUTs) instead of SRAM/CAM, trading 4.125 MB of DRAM capacity and 0.34% area
+(Table 2) for zero fast-memory cost.  Functionally it is a counter-based
+victim-refresh defense like the tracker family, with the counter
+read-modify-write folded into the in-DRAM logic; the trigger is set early
+because the in-DRAM counters are updated at row-buffer granularity.
+"""
+
+from __future__ import annotations
+
+from repro.defenses.trackers import CounterBasedRefresh
+from repro.dram.controller import MemoryController
+
+__all__ = ["make_ppim"]
+
+
+def make_ppim(controller: MemoryController) -> CounterBasedRefresh:
+    """Functional P-PIM model: in-DRAM counters, early victim refresh."""
+    return CounterBasedRefresh(controller, trigger_fraction=0.5, name="p-pim")

@@ -1,0 +1,67 @@
+"""Randomized Row-Swap (RRS, Saileshwar et al., ASPLOS 2022 [18]).
+
+Aggressor-focused: when a row's activation count reaches half the RowHammer
+threshold, RRS swaps that row with a random row of the same bank, breaking
+the spatial link between the aggressor *address* and the victim.  Against an
+attacker who does not know the internal mapping this is strong; against the
+paper's white-box attacker — who tracks the victim row and simply hammers
+whatever row is physically adjacent — the swap is purposeless (Section 1),
+which is why RRS's time-to-break collapses under the white-box model.
+
+The swap is realised through the row buffer and the SRAM-resident Row
+Indirection Table: two PSM-class row migrations (charged to the "defender"
+actor) plus an indirection update.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.defenses.base import HookedDefense
+from repro.dram.address import RowAddress
+from repro.dram.controller import MemoryController
+
+__all__ = ["RandomizedRowSwap"]
+
+
+class RandomizedRowSwap(HookedDefense):
+    """Functional RRS model."""
+
+    name = "rrs"
+
+    def __init__(
+        self,
+        controller: MemoryController,
+        trigger_fraction: float = 0.5,
+        seed: int = 0,
+    ):
+        super().__init__(controller, trigger_fraction)
+        self.rng = np.random.default_rng(seed)
+
+    def _random_row_in_bank(self, bank: int, avoid: RowAddress) -> RowAddress:
+        geometry = self.controller.device.geometry
+        while True:
+            subarray = int(self.rng.integers(0, geometry.subarrays_per_bank))
+            row = int(self.rng.integers(0, geometry.rows_per_subarray))
+            candidate = RowAddress(bank, subarray, row)
+            if candidate != avoid:
+                return candidate
+
+    def _react(self, hot_physical: RowAddress) -> None:
+        """Swap the hot (aggressor) row with a random row in its bank."""
+        ind = self.controller.indirection
+        hot_logical = ind.logical(hot_physical)
+        partner_physical = self._random_row_in_bank(
+            hot_physical.bank, avoid=hot_physical
+        )
+        partner_logical = ind.logical(partner_physical)
+        # Exchange the two rows' data through the row buffer (the RIT swap).
+        data_hot = self.controller.device.read_row(hot_physical)
+        data_partner = self.controller.device.read_row(partner_physical)
+        self.controller.device.write_row(hot_physical, data_partner)
+        self.controller.device.write_row(partner_physical, data_hot)
+        self.controller.activate(hot_physical, actor="defender")
+        self.controller.activate(partner_physical, actor="defender")
+        ind.swap(hot_logical, partner_logical)
+        self.stats.reactions += 1
+        self.stats.rows_moved += 2

@@ -1,0 +1,29 @@
+"""Software (training-time / run-time) BFA defenses compared in Table 3."""
+
+from repro.defenses.software.binarize import (
+    SignActivation,
+    bake_binarization,
+    binarize_ste,
+    enable_weight_binarization,
+)
+from repro.defenses.software.capacity import width_scale_for_capacity
+from repro.defenses.software.clustering import (
+    clustering_penalty,
+    finetune_with_clustering,
+)
+from repro.defenses.software.reconstruction import (
+    ReconstructingExecutor,
+    WeightReconstructionGuard,
+)
+
+__all__ = [
+    "SignActivation",
+    "bake_binarization",
+    "binarize_ste",
+    "enable_weight_binarization",
+    "width_scale_for_capacity",
+    "clustering_penalty",
+    "finetune_with_clustering",
+    "ReconstructingExecutor",
+    "WeightReconstructionGuard",
+]

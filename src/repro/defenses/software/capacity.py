@@ -1,0 +1,23 @@
+"""Model-capacity defense (Rakin et al. [16]: "Model Capacity x16").
+
+Bigger models dilute each individual weight's influence, so the same
+accuracy damage needs more flips (Table 3: 49 flips at 16x capacity vs. 20
+at baseline).  Parameter count of a convnet scales roughly with the square
+of its width, so a capacity factor ``f`` maps to a width multiplier
+``sqrt(f)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["width_scale_for_capacity"]
+
+
+def width_scale_for_capacity(base_width_scale: float, capacity_factor: float) -> float:
+    """Width multiplier achieving ``capacity_factor`` x the parameters."""
+    if base_width_scale <= 0:
+        raise ValueError("base_width_scale must be positive")
+    if capacity_factor < 1:
+        raise ValueError("capacity_factor must be >= 1")
+    return base_width_scale * math.sqrt(capacity_factor)

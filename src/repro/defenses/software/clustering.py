@@ -1,0 +1,81 @@
+"""Piece-wise clustering defense (He et al., CVPR 2020 [5]).
+
+Fine-tunes the model with a penalty pulling each weight toward one of two
+per-layer centres ``+-mean|W|``.  Clustered weights have no small-magnitude
+outlier-prone values, which blunts the BFA's favourite move (sign-bit flips
+on weights whose flipped value becomes a huge outlier) and raises the
+flips-to-break count at a small clean-accuracy cost (Table 3: 42 flips,
+90.02% clean vs. the baseline's 20 flips, 91.71%).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.data import Dataset
+from repro.nn.layers import Conv2d, Linear
+from repro.nn.module import Module
+from repro.nn.optim import SGD
+from repro.nn.tensor import Tensor
+
+__all__ = ["clustering_penalty", "finetune_with_clustering"]
+
+
+def clustering_penalty(model: Module, lam: float) -> float:
+    """Add the piece-wise clustering penalty's gradient to ``weight.grad``.
+
+    Penalty per layer: ``lam * sum(min(|w - c|, |w + c|)^2)`` with
+    ``c = mean|W|``.  Must be called *after* ``loss.backward()`` so the data
+    gradient is already in place.  Returns the penalty value.
+    """
+    if lam < 0:
+        raise ValueError(f"lam must be non-negative, got {lam}")
+    total = 0.0
+    for module in model.modules():
+        if not isinstance(module, (Conv2d, Linear)):
+            continue
+        w = module.weight.data
+        centre = float(np.abs(w).mean())
+        target = np.where(w >= 0, centre, -centre)
+        residual = w - target
+        total += lam * float((residual**2).sum())
+        grad = 2.0 * lam * residual
+        if module.weight.grad is None:
+            module.weight.grad = grad.astype(w.dtype)
+        else:
+            module.weight.grad += grad.astype(w.dtype)
+    return total
+
+
+def finetune_with_clustering(
+    model: Module,
+    dataset: Dataset,
+    epochs: int = 3,
+    lam: float = 1e-3,
+    lr: float = 0.01,
+    batch_size: int = 64,
+    seed: int = 0,
+) -> dict[str, list[float]]:
+    """Fine-tune ``model`` with the clustering penalty; returns history."""
+    rng = np.random.default_rng(seed)
+    optimizer = SGD(model.parameters(), lr=lr, momentum=0.9)
+    history: dict[str, list[float]] = {"loss": [], "penalty": []}
+    n = dataset.x_train.shape[0]
+    for _ in range(epochs):
+        model.train()
+        order = rng.permutation(n)
+        losses, penalties = [], []
+        for start in range(0, n, batch_size):
+            idx = order[start:start + batch_size]
+            optimizer.zero_grad()
+            logits = model(Tensor(dataset.x_train[idx]))
+            loss = F.cross_entropy(logits, dataset.y_train[idx])
+            loss.backward()
+            penalties.append(clustering_penalty(model, lam))
+            optimizer.step()
+            losses.append(loss.item())
+        history["loss"].append(float(np.mean(losses)))
+        history["penalty"].append(float(np.mean(penalties)))
+    model.eval()
+    return history

@@ -1,0 +1,66 @@
+"""Weight-reconstruction defense (Li et al., DAC 2020 [11]).
+
+Records per-layer magnitude bounds at deployment time and, at run time,
+projects any weight that escaped its layer's historical range back to the
+bound.  MSB flips on small weights — the BFA's highest-damage move —
+produce magnitudes far outside the recorded range and get clamped, so the
+attacker is forced onto many low-damage flips (Table 3: 79 flips to break
+vs. the baseline's 20).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.executor import FlipExecutor
+from repro.nn.quant import BitLocation, QuantizedModel
+
+__all__ = ["WeightReconstructionGuard", "ReconstructingExecutor"]
+
+
+class WeightReconstructionGuard:
+    """Per-layer magnitude bounds + the projection step."""
+
+    def __init__(self, qmodel: QuantizedModel, percentile: float = 99.5):
+        if not 0.0 < percentile <= 100.0:
+            raise ValueError(f"percentile must be in (0, 100], got {percentile}")
+        self.qmodel = qmodel
+        self.percentile = percentile
+        self.bounds: list[int] = []
+        for layer in qmodel.layers:
+            magnitudes = np.abs(layer.weight_int.astype(np.int32))
+            bound = int(np.percentile(magnitudes, percentile))
+            self.bounds.append(max(bound, 1))
+        self.corrections = 0
+
+    def reconstruct(self) -> int:
+        """Clamp out-of-range integer weights; returns weights corrected."""
+        corrected = 0
+        for layer, bound in zip(self.qmodel.layers, self.bounds):
+            values = layer.weight_int.astype(np.int32)
+            clipped = np.clip(values, -bound, bound)
+            changed = int((clipped != values).sum())
+            if changed:
+                layer.weight_int = clipped.astype(np.int8)
+                layer._sync_float()
+                corrected += changed
+        self.corrections += corrected
+        return corrected
+
+
+class ReconstructingExecutor:
+    """Executor wrapper: runs reconstruction after every landed flip.
+
+    This models the defense's periodic weight-integrity pass; wrapping at
+    per-flip granularity is the defense's best case (tightest repair loop).
+    """
+
+    def __init__(self, inner: FlipExecutor, guard: WeightReconstructionGuard):
+        self.inner = inner
+        self.guard = guard
+
+    def execute(self, location: BitLocation) -> bool:
+        landed = self.inner.execute(location)
+        if landed:
+            self.guard.reconstruct()
+        return landed

@@ -1,0 +1,79 @@
+"""Counter-based victim-refresh mitigations (Table 2's tracker family).
+
+Graphene, TWiCe, Hydra, counter-per-row and Counter Tree all share one
+functional behaviour — count activations, proactively refresh the victim
+neighbours when an aggressor gets hot — and differ in *where* the counters
+live and how much they cost (Table 2).  :class:`CounterBasedRefresh`
+implements the shared behaviour; the factory functions pin each proposal's
+trigger point and identity.  These defenses are effective even against the
+white-box attacker (refreshing victims is victim-focused); the paper's case
+against them is their latency/energy/storage overhead, which
+:mod:`repro.analysis.overhead` quantifies.
+"""
+
+from __future__ import annotations
+
+from repro.defenses.base import HookedDefense
+from repro.dram.address import RowAddress
+from repro.dram.controller import MemoryController
+
+__all__ = [
+    "CounterBasedRefresh",
+    "make_graphene",
+    "make_twice",
+    "make_hydra",
+    "make_counter_per_row",
+    "make_counter_tree",
+]
+
+
+class CounterBasedRefresh(HookedDefense):
+    """Refresh both victim neighbours when an aggressor row crosses its
+    trigger count."""
+
+    def __init__(
+        self,
+        controller: MemoryController,
+        trigger_fraction: float = 0.5,
+        name: str = "counter",
+    ):
+        super().__init__(controller, trigger_fraction)
+        self.name = name
+
+    def _react(self, hot_physical: RowAddress) -> None:
+        for victim in self.controller.device.mapper.neighbors(hot_physical):
+            # A plain activation recharges the victim's cells.
+            self.controller.activate(victim, actor="defender")
+        self.stats.reactions += 1
+
+
+def make_graphene(controller: MemoryController) -> CounterBasedRefresh:
+    """Graphene [13]: Misra-Gries tables in CAM/SRAM, early trigger."""
+    return CounterBasedRefresh(controller, trigger_fraction=0.5,
+                               name="graphene")
+
+
+def make_twice(controller: MemoryController) -> CounterBasedRefresh:
+    """TWiCe [10]: time-window counters, conservative trigger."""
+    return CounterBasedRefresh(controller, trigger_fraction=0.5, name="twice")
+
+
+def make_hydra(controller: MemoryController) -> CounterBasedRefresh:
+    """Hydra [14]: hybrid SRAM filter + DRAM-resident counters."""
+    return CounterBasedRefresh(controller, trigger_fraction=0.5, name="hydra")
+
+
+def make_counter_per_row(controller: MemoryController) -> CounterBasedRefresh:
+    """One dedicated counter per row: exact tracking, huge storage.
+
+    Exact counting permits a late trigger; 0.75 leaves margin for the
+    command-burst granularity the controller issues activations at.
+    """
+    return CounterBasedRefresh(controller, trigger_fraction=0.75,
+                               name="counter-per-row")
+
+
+def make_counter_tree(controller: MemoryController) -> CounterBasedRefresh:
+    """Counter trees [21]: shared counters, earlier (pessimistic) trigger."""
+    return CounterBasedRefresh(controller, trigger_fraction=0.25,
+                               name="counter-tree")

@@ -1,0 +1,58 @@
+"""DRAM substrate: geometry, timing, commands, RowHammer dynamics.
+
+This package is the reproduction's stand-in for the paper's
+Spectre/CACTI/gem5 stack: a functional, command-level DRAM model with
+per-row disturbance counters, deterministic RowHammer flips past ``T_RH``,
+RowClone in-DRAM copies, and actor-attributed timing/energy accounting.
+"""
+
+from repro.dram.address import AddressMapper, BitAddress, RowAddress, RowIndirection
+from repro.dram.bank import Bank
+from repro.dram.commands import Command, CommandStats
+from repro.dram.controller import MemoryController
+from repro.dram.device import DramDevice
+from repro.dram.faults import (
+    BitFlipEvent,
+    DeterministicFlipModel,
+    FaultLog,
+    ProfiledFlipModel,
+)
+from repro.dram.geometry import PAPER_GEOMETRY, SMALL_GEOMETRY, DramGeometry
+from repro.dram.rowclone import RowCloneEngine
+from repro.dram.subarray import Subarray
+from repro.dram.trace import CommandTrace, TraceEntry
+from repro.dram.timing import (
+    DDR4_DEFAULT,
+    LPDDR4_DEFAULT,
+    TRH_BY_GENERATION,
+    TRH_LPDDR4,
+    TimingParams,
+)
+
+__all__ = [
+    "AddressMapper",
+    "BitAddress",
+    "RowAddress",
+    "RowIndirection",
+    "Bank",
+    "Command",
+    "CommandStats",
+    "MemoryController",
+    "DramDevice",
+    "BitFlipEvent",
+    "DeterministicFlipModel",
+    "FaultLog",
+    "ProfiledFlipModel",
+    "DramGeometry",
+    "PAPER_GEOMETRY",
+    "SMALL_GEOMETRY",
+    "RowCloneEngine",
+    "Subarray",
+    "CommandTrace",
+    "TraceEntry",
+    "TimingParams",
+    "DDR4_DEFAULT",
+    "LPDDR4_DEFAULT",
+    "TRH_BY_GENERATION",
+    "TRH_LPDDR4",
+]

@@ -1,0 +1,155 @@
+"""Row/bit addressing and physical adjacency.
+
+Two address spaces exist in the simulator:
+
+* **logical rows** — what software (the DNN runtime, the attacker's mapping
+  file before defense swaps) refers to.  The memory controller translates
+  logical rows to physical rows through an indirection table that the
+  defenses update when they move data.
+* **physical rows** — actual positions in the sub-array.  RowHammer coupling
+  is physical: hammering physical row *r* disturbs physical rows *r-1* and
+  *r+1* of the same sub-array (the paper's single-sided model flips bits on
+  the two adjacent victim rows; Section 3, threat model item 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.dram.geometry import DramGeometry
+
+__all__ = ["RowAddress", "BitAddress", "AddressMapper", "RowIndirection"]
+
+
+@dataclass(frozen=True, order=True)
+class RowAddress:
+    """Physical or logical position of one DRAM row."""
+
+    bank: int
+    subarray: int
+    row: int
+
+    def with_row(self, row: int) -> "RowAddress":
+        return RowAddress(self.bank, self.subarray, row)
+
+    def same_subarray(self, other: "RowAddress") -> bool:
+        return self.bank == other.bank and self.subarray == other.subarray
+
+
+@dataclass(frozen=True, order=True)
+class BitAddress:
+    """Position of a single bit inside a row."""
+
+    row: RowAddress
+    bit: int  # absolute bit index within the row, 0 .. row_bits-1
+
+    @property
+    def byte(self) -> int:
+        return self.bit // 8
+
+    @property
+    def bit_in_byte(self) -> int:
+        return self.bit % 8
+
+
+class AddressMapper:
+    """Translate between flat row indices and :class:`RowAddress`.
+
+    Flat index layout: ``bank`` is the most significant component, then
+    ``subarray``, then ``row`` — i.e. consecutive flat indices walk rows
+    within a sub-array first, which matches how the weight layout fills
+    memory and keeps physically adjacent rows adjacent in flat space.
+    """
+
+    def __init__(self, geometry: DramGeometry):
+        self.geometry = geometry
+
+    def to_flat(self, addr: RowAddress) -> int:
+        g = self.geometry
+        self.validate(addr)
+        return (addr.bank * g.subarrays_per_bank + addr.subarray) * g.rows_per_subarray + addr.row
+
+    def from_flat(self, flat: int) -> RowAddress:
+        g = self.geometry
+        if not 0 <= flat < g.total_rows:
+            raise ValueError(f"flat row index {flat} out of range [0, {g.total_rows})")
+        row = flat % g.rows_per_subarray
+        rest = flat // g.rows_per_subarray
+        subarray = rest % g.subarrays_per_bank
+        bank = rest // g.subarrays_per_bank
+        return RowAddress(bank, subarray, row)
+
+    def validate(self, addr: RowAddress) -> None:
+        g = self.geometry
+        if not 0 <= addr.bank < g.banks:
+            raise ValueError(f"bank {addr.bank} out of range [0, {g.banks})")
+        if not 0 <= addr.subarray < g.subarrays_per_bank:
+            raise ValueError(
+                f"subarray {addr.subarray} out of range [0, {g.subarrays_per_bank})"
+            )
+        if not 0 <= addr.row < g.rows_per_subarray:
+            raise ValueError(
+                f"row {addr.row} out of range [0, {g.rows_per_subarray})"
+            )
+
+    def neighbors(self, addr: RowAddress) -> list[RowAddress]:
+        """Physically adjacent rows in the same sub-array (blast radius 1).
+
+        RowHammer coupling does not cross sub-array boundaries because
+        sub-arrays have separate local bit-lines and sense amplifiers.
+        """
+        self.validate(addr)
+        result = []
+        if addr.row > 0:
+            result.append(addr.with_row(addr.row - 1))
+        if addr.row < self.geometry.rows_per_subarray - 1:
+            result.append(addr.with_row(addr.row + 1))
+        return result
+
+    def iter_rows(self) -> Iterator[RowAddress]:
+        """All rows of the device in flat order."""
+        for flat in range(self.geometry.total_rows):
+            yield self.from_flat(flat)
+
+
+class RowIndirection:
+    """Logical-to-physical row remapping updated by swap-based defenses.
+
+    Starts as the identity.  ``swap(a, b)`` records that the *data* of
+    logical rows ``a`` and ``b`` switched physical places.  The white-box
+    attacker of Section 3 is assumed to observe these updates (it "knows the
+    new location"), which is why the mapping exposes both directions.
+    """
+
+    def __init__(self, mapper: AddressMapper):
+        self._mapper = mapper
+        self._log_to_phys: dict[RowAddress, RowAddress] = {}
+        self._phys_to_log: dict[RowAddress, RowAddress] = {}
+
+    def physical(self, logical: RowAddress) -> RowAddress:
+        return self._log_to_phys.get(logical, logical)
+
+    def logical(self, physical: RowAddress) -> RowAddress:
+        return self._phys_to_log.get(physical, physical)
+
+    def swap(self, logical_a: RowAddress, logical_b: RowAddress) -> None:
+        """Swap the physical locations backing two logical rows."""
+        phys_a = self.physical(logical_a)
+        phys_b = self.physical(logical_b)
+        self._set(logical_a, phys_b)
+        self._set(logical_b, phys_a)
+
+    def _set(self, logical: RowAddress, physical: RowAddress) -> None:
+        self._mapper.validate(logical)
+        self._mapper.validate(physical)
+        if logical == physical:
+            self._log_to_phys.pop(logical, None)
+            self._phys_to_log.pop(physical, None)
+        else:
+            self._log_to_phys[logical] = physical
+            self._phys_to_log[physical] = logical
+
+    @property
+    def remapped_count(self) -> int:
+        return len(self._log_to_phys)

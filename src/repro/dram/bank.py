@@ -1,0 +1,50 @@
+"""A DRAM bank: an array of sub-arrays with one open row at a time."""
+
+from __future__ import annotations
+
+from repro.dram.geometry import DramGeometry
+from repro.dram.subarray import Subarray
+
+__all__ = ["Bank"]
+
+
+class Bank:
+    """One bank of the device.
+
+    A bank has a single row buffer from the command protocol's point of view:
+    at most one (subarray, row) pair is open at a time.  RowClone's
+    back-to-back ACT trick requires source and destination to share a
+    sub-array.
+    """
+
+    def __init__(self, geometry: DramGeometry):
+        self.geometry = geometry
+        self.subarrays = [
+            Subarray(geometry.rows_per_subarray, geometry.row_bytes)
+            for _ in range(geometry.subarrays_per_bank)
+        ]
+        self.open: tuple[int, int] | None = None  # (subarray, row)
+
+    def subarray(self, index: int) -> Subarray:
+        if not 0 <= index < len(self.subarrays):
+            raise ValueError(
+                f"subarray {index} out of range [0, {len(self.subarrays)})"
+            )
+        return self.subarrays[index]
+
+    def activate(self, subarray: int, row: int) -> None:
+        sa = self.subarray(subarray)
+        sa._check(row)
+        self.open = (subarray, row)
+        sa.open_row = row
+
+    def precharge(self) -> None:
+        if self.open is not None:
+            subarray, _ = self.open
+            self.subarrays[subarray].open_row = None
+        self.open = None
+
+    def refresh_all(self) -> None:
+        for sa in self.subarrays:
+            sa.refresh_all()
+        self.precharge()

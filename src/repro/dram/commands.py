@@ -1,0 +1,85 @@
+"""DRAM command vocabulary and per-command cost accounting.
+
+The memory controller issues these commands; each has a latency and an energy
+cost drawn from :class:`repro.dram.timing.TimingParams`.  ``AAP`` is the
+RowClone ACT-ACT-PRE sequence (two back-to-back activations with no
+intervening precharge) that copies an entire row inside a sub-array in
+under 100 ns [20].
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.dram.timing import TimingParams
+
+__all__ = ["Command", "CommandStats", "command_latency_ns", "command_energy_pj"]
+
+
+class Command(enum.Enum):
+    """DRAM bus commands modelled by the simulator."""
+
+    ACT = "activate"
+    PRE = "precharge"
+    RD = "read"
+    WR = "write"
+    AAP = "rowclone_aap"   # ACT-ACT-PRE in-sub-array copy
+    REF = "refresh"
+    RNG = "rng"            # random-row-number generation (defender step 1)
+
+
+def command_latency_ns(command: Command, timing: TimingParams) -> float:
+    """Latency charged to the command bus for one command."""
+    if command is Command.ACT:
+        return timing.t_rc_ns
+    if command is Command.PRE:
+        return timing.t_rp_ns
+    if command in (Command.RD, Command.WR):
+        return timing.t_rc_ns
+    if command is Command.AAP:
+        return timing.t_aap_ns
+    if command is Command.REF:
+        return timing.t_rc_ns
+    if command is Command.RNG:
+        # The defender needs one random number per swap chain (Fig. 6); its
+        # generation overlaps command slack, so it is charged a single
+        # activation slot.
+        return timing.t_rc_ns
+    raise ValueError(f"unknown command {command!r}")
+
+
+def command_energy_pj(command: Command, timing: TimingParams) -> float:
+    """Energy charged for one command."""
+    if command in (Command.ACT, Command.RD, Command.WR, Command.REF, Command.RNG):
+        return timing.e_act_pj
+    if command is Command.PRE:
+        return 0.2 * timing.e_act_pj
+    if command is Command.AAP:
+        return timing.e_aap_pj
+    raise ValueError(f"unknown command {command!r}")
+
+
+@dataclass
+class CommandStats:
+    """Running totals of issued commands, time, and energy."""
+
+    counts: dict[Command, int] = field(default_factory=dict)
+    total_time_ns: float = 0.0
+    total_energy_pj: float = 0.0
+
+    def record(self, command: Command, timing: TimingParams, repeat: int = 1) -> None:
+        if repeat < 0:
+            raise ValueError(f"repeat must be non-negative, got {repeat}")
+        self.counts[command] = self.counts.get(command, 0) + repeat
+        self.total_time_ns += command_latency_ns(command, timing) * repeat
+        self.total_energy_pj += command_energy_pj(command, timing) * repeat
+
+    def count(self, command: Command) -> int:
+        return self.counts.get(command, 0)
+
+    def merge(self, other: "CommandStats") -> None:
+        for command, n in other.counts.items():
+            self.counts[command] = self.counts.get(command, 0) + n
+        self.total_time_ns += other.total_time_ns
+        self.total_energy_pj += other.total_energy_pj

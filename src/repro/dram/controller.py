@@ -1,0 +1,268 @@
+"""Memory controller: command issue, timing, refresh, and RowHammer dynamics.
+
+The controller owns simulated time.  Every command advances the clock and is
+charged to an *actor* ("attacker", "defender", "system", ...) so benchmarks
+can separate defense latency from attack activity — the paper's "latency per
+``T_ref``" metric (Fig. 8b) is exactly the defender's busy time inside one
+refresh interval.
+
+RowHammer dynamics: each activation of a physical row
+
+1. restores the activated row's own charge (its disturbance resets),
+2. adds one disturbance unit to each physically adjacent row, and
+3. when a victim's disturbance crosses ``T_RH`` within a refresh interval,
+   the flip model decides which of that row's bits flip (threat model of
+   Section 3: deterministic flips on both neighbours by default).
+
+Auto-refresh fires every ``T_ref`` and recharges every row, which resets all
+disturbance counters — the attacker must reach the threshold *within* one
+refresh interval.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+
+import numpy as np
+
+from repro.dram.address import RowAddress, RowIndirection
+from repro.dram.commands import Command, CommandStats, command_latency_ns
+from repro.dram.device import DramDevice
+from repro.dram.faults import BitFlipEvent
+from repro.dram.timing import TimingParams
+
+__all__ = ["MemoryController"]
+
+ActivateHook = Callable[[RowAddress, float, int], None]
+
+
+class MemoryController:
+    """Single-channel memory controller over one :class:`DramDevice`."""
+
+    def __init__(self, device: DramDevice, timing: TimingParams):
+        self.device = device
+        self.timing = timing
+        self.indirection = RowIndirection(device.mapper)
+        self.now_ns: float = 0.0
+        self.refresh_epoch: int = 0
+        self.stats = CommandStats()
+        self.stats_by_actor: dict[str, CommandStats] = {}
+        # Attacker-declared target bits per *physical* victim row; consulted
+        # by the deterministic flip model when a threshold crossing occurs.
+        self._declared_targets: dict[RowAddress, set[int]] = {}
+        self._activate_hooks: list[ActivateHook] = []
+
+    # ------------------------------------------------------------------ #
+    # Time and refresh
+    # ------------------------------------------------------------------ #
+
+    @property
+    def next_refresh_ns(self) -> float:
+        return (self.refresh_epoch + 1) * self.timing.t_ref_ns
+
+    def _charge(self, command: Command, actor: str, repeat: int = 1) -> None:
+        self.stats.record(command, self.timing, repeat)
+        actor_stats = self.stats_by_actor.setdefault(actor, CommandStats())
+        actor_stats.record(command, self.timing, repeat)
+        self.now_ns += command_latency_ns(command, self.timing) * repeat
+
+    def _maybe_refresh(self) -> None:
+        while self.now_ns >= self.next_refresh_ns:
+            self.refresh_epoch += 1
+            self.device.refresh_all()
+
+    def advance_time(self, ns: float) -> None:
+        """Let idle time pass (crossing refresh boundaries as needed)."""
+        if ns < 0:
+            raise ValueError(f"cannot advance time by {ns} ns")
+        self.now_ns += ns
+        self._maybe_refresh()
+
+    def ns_until_refresh(self) -> float:
+        return max(0.0, self.next_refresh_ns - self.now_ns)
+
+    # ------------------------------------------------------------------ #
+    # Attack-target declarations and hooks
+    # ------------------------------------------------------------------ #
+
+    def declare_attack_targets(
+        self, victim_physical: RowAddress, bits: Iterable[int]
+    ) -> None:
+        """Register the bits the attacker intends to flip in a victim row."""
+        self.device.mapper.validate(victim_physical)
+        self._declared_targets.setdefault(victim_physical, set()).update(
+            int(b) for b in bits
+        )
+
+    def clear_attack_targets(self, victim_physical: RowAddress | None = None) -> None:
+        if victim_physical is None:
+            self._declared_targets.clear()
+        else:
+            self._declared_targets.pop(victim_physical, None)
+
+    def register_activate_hook(self, hook: ActivateHook) -> None:
+        """Observe activations (used by counter-based trackers/defenses)."""
+        self._activate_hooks.append(hook)
+
+    # ------------------------------------------------------------------ #
+    # Commands
+    # ------------------------------------------------------------------ #
+
+    def activate(
+        self, physical: RowAddress, actor: str = "system", count: int = 1,
+        hammer: bool = False,
+    ) -> None:
+        """Issue ``count`` ACT(+PRE) pairs to a physical row.
+
+        ``hammer=True`` charges the calibrated effective activation period
+        (``t_act_eff_ns``) used by the security model; plain accesses are
+        charged ``t_rc_ns``.  Bursts are split at refresh boundaries so a
+        burst cannot carry disturbance across a refresh.
+        """
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        self.device.mapper.validate(physical)
+        period = self.timing.t_act_eff_ns if hammer else self.timing.t_rc_ns
+        remaining = count
+        while remaining > 0:
+            fit = int(self.ns_until_refresh() // period)
+            chunk = min(remaining, max(fit, 1))
+            self._activate_chunk(physical, actor, chunk, hammer)
+            remaining -= chunk
+            self._maybe_refresh()
+
+    def _activate_chunk(
+        self, physical: RowAddress, actor: str, count: int, hammer: bool
+    ) -> None:
+        sa = self.device.subarray_at(physical)
+        # Activation restores the activated row's own charge.
+        sa.reset_disturbance(physical.row)
+        self.device.bank(physical.bank).activate(physical.subarray, physical.row)
+        if hammer:
+            # Hammering is ACT at the effective period; we account it as ACTs.
+            self.stats.record(Command.ACT, self.timing, 0)  # count below
+            self._charge_hammer(actor, count)
+        else:
+            self._charge(Command.ACT, actor, count)
+        for hook in self._activate_hooks:
+            hook(physical, self.now_ns, count)
+        for neighbor in self.device.mapper.neighbors(physical):
+            nsa = self.device.subarray_at(neighbor)
+            nsa.add_disturbance(neighbor.row, count)
+            self._check_threshold(neighbor)
+
+    def _charge_hammer(self, actor: str, count: int) -> None:
+        self.stats.counts[Command.ACT] = self.stats.counts.get(Command.ACT, 0) + count
+        actor_stats = self.stats_by_actor.setdefault(actor, CommandStats())
+        actor_stats.counts[Command.ACT] = (
+            actor_stats.counts.get(Command.ACT, 0) + count
+        )
+        elapsed = self.timing.t_act_eff_ns * count
+        energy = self.timing.e_act_pj * count
+        self.stats.total_time_ns += elapsed
+        self.stats.total_energy_pj += energy
+        actor_stats.total_time_ns += elapsed
+        actor_stats.total_energy_pj += energy
+        self.now_ns += elapsed
+
+    def _check_threshold(self, victim: RowAddress) -> None:
+        sa = self.device.subarray_at(victim)
+        if sa.flipped_this_window[victim.row]:
+            return
+        if sa.disturbance[victim.row] < self.timing.t_rh:
+            return
+        declared = self._declared_targets.get(victim, set())
+        row_data = sa.rows[victim.row]
+        flips = self.device.flip_model.flips_for(victim, declared, row_data)
+        if not flips:
+            # Nothing flippable crossed; leave the window open so bits
+            # declared later in the same window can still flip.
+            return
+        sa.flipped_this_window[victim.row] = True
+        for bit, old, new in sa.flip_bits(victim.row, flips):
+            self.device.fault_log.record(
+                BitFlipEvent(self.now_ns, victim, bit, old, new)
+            )
+
+    def precharge(self, bank: int, actor: str = "system") -> None:
+        self.device.bank(bank).precharge()
+        self._charge(Command.PRE, actor)
+
+    def rowclone(
+        self, src: RowAddress, dst: RowAddress, actor: str = "system"
+    ) -> None:
+        """RowClone FPM copy: both rows must share a sub-array.
+
+        The AAP activates source then destination back-to-back; both end up
+        fully charged, and both activations disturb their physical
+        neighbours (a defense's own copies can hammer, and the model keeps
+        that honest).
+        """
+        self.device.mapper.validate(src)
+        self.device.mapper.validate(dst)
+        if not src.same_subarray(dst):
+            raise ValueError(
+                f"RowClone FPM requires same sub-array: {src} vs {dst}; "
+                "use rowclone_psm for inter-sub-array copies"
+            )
+        if src == dst:
+            raise ValueError("source and destination rows are identical")
+        sa = self.device.subarray_at(src)
+        sa.copy_row(src.row, dst.row)
+        self._charge(Command.AAP, actor)
+        for row in (src, dst):
+            for neighbor in self.device.mapper.neighbors(row):
+                if neighbor in (src, dst):
+                    continue
+                nsa = self.device.subarray_at(neighbor)
+                nsa.add_disturbance(neighbor.row, 1)
+                self._check_threshold(neighbor)
+        self._maybe_refresh()
+
+    def rowclone_psm(
+        self, src: RowAddress, dst: RowAddress, actor: str = "system"
+    ) -> None:
+        """Pipelined-serial-mode copy across sub-arrays (slower fallback)."""
+        data = self.device.read_row(src)
+        self.device.subarray_at(src).reset_disturbance(src.row)
+        self.device.write_row(dst, data)
+        # PSM streams the row through the bank I/O: one ACT per row plus a
+        # transfer charged as a read+write.
+        self._charge(Command.ACT, actor, 2)
+        self._charge(Command.RD, actor)
+        self._charge(Command.WR, actor)
+        self._maybe_refresh()
+
+    def generate_random_row(self, actor: str = "defender") -> None:
+        """Charge one RNG slot (defender step 1 needs one random number)."""
+        self._charge(Command.RNG, actor)
+
+    # ------------------------------------------------------------------ #
+    # Logical data access (through the indirection table)
+    # ------------------------------------------------------------------ #
+
+    def read_logical(self, logical: RowAddress, actor: str = "system") -> np.ndarray:
+        physical = self.indirection.physical(logical)
+        self.activate(physical, actor=actor)
+        data = self.device.read_row(physical)
+        self._charge(Command.RD, actor)
+        return data
+
+    def write_logical(
+        self, logical: RowAddress, data: np.ndarray, actor: str = "system"
+    ) -> None:
+        physical = self.indirection.physical(logical)
+        self.activate(physical, actor=actor)
+        self.device.write_row(physical, data)
+        self._charge(Command.WR, actor)
+
+    def peek_logical(self, logical: RowAddress) -> np.ndarray:
+        """Read row contents without advancing time (test/instrumentation)."""
+        return self.device.read_row(self.indirection.physical(logical))
+
+    def poke_logical(self, logical: RowAddress, data: np.ndarray) -> None:
+        """Write row contents without advancing time (test/instrumentation)."""
+        self.device.write_row(self.indirection.physical(logical), data)
+
+    def actor_stats(self, actor: str) -> CommandStats:
+        return self.stats_by_actor.setdefault(actor, CommandStats())

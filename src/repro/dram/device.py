@@ -1,0 +1,63 @@
+"""Whole-device DRAM model: banks + flip model + fault log."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dram.address import AddressMapper, RowAddress
+from repro.dram.bank import Bank
+from repro.dram.faults import DeterministicFlipModel, FaultLog, FlipModel
+from repro.dram.geometry import DramGeometry
+from repro.dram.subarray import Subarray
+
+__all__ = ["DramDevice"]
+
+
+class DramDevice:
+    """Functional model of one DRAM device.
+
+    Data, disturbance counters and flips live here; command timing and the
+    logical/physical indirection live in
+    :class:`repro.dram.controller.MemoryController`.
+    """
+
+    def __init__(
+        self,
+        geometry: DramGeometry,
+        flip_model: FlipModel | None = None,
+    ):
+        self.geometry = geometry
+        self.mapper = AddressMapper(geometry)
+        self.banks = [Bank(geometry) for _ in range(geometry.banks)]
+        self.flip_model: FlipModel = flip_model or DeterministicFlipModel()
+        self.fault_log = FaultLog()
+
+    def bank(self, index: int) -> Bank:
+        if not 0 <= index < len(self.banks):
+            raise ValueError(f"bank {index} out of range [0, {len(self.banks)})")
+        return self.banks[index]
+
+    def subarray_at(self, addr: RowAddress) -> Subarray:
+        self.mapper.validate(addr)
+        return self.banks[addr.bank].subarray(addr.subarray)
+
+    def read_row(self, addr: RowAddress) -> np.ndarray:
+        return self.subarray_at(addr).read_row(addr.row)
+
+    def write_row(self, addr: RowAddress, data: np.ndarray) -> None:
+        self.subarray_at(addr).write_row(addr.row, data)
+
+    def disturbance(self, addr: RowAddress) -> int:
+        return int(self.subarray_at(addr).disturbance[addr.row])
+
+    def refresh_all(self) -> None:
+        for bank in self.banks:
+            bank.refresh_all()
+
+    def fill_random(self, rng: np.random.Generator) -> None:
+        """Fill every row with random bytes (background memory contents)."""
+        for bank in self.banks:
+            for sa in bank.subarrays:
+                sa.rows[:] = rng.integers(
+                    0, 256, size=sa.rows.shape, dtype=np.uint8
+                )

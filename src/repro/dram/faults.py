@@ -1,0 +1,156 @@
+"""Bit-flip fault records and RowHammer flip models.
+
+The paper's hardware threat model (Section 3) is deterministic: once an
+aggressor row is activated ``T_RH`` times within a refresh interval, bit
+flips are imposed on the two adjacent victim rows, and the attacker — armed
+with a full DRAM mapping — can place its target data so the intended bit
+lands on a flippable cell ("templating" in DeepHammer terms).
+
+Two flip models realise that abstraction:
+
+* :class:`DeterministicFlipModel` — the paper's model: every bit the attacker
+  declares as a target flips when the victim row crosses the threshold.
+* :class:`ProfiledFlipModel` — a more physical model where each row has a
+  persistent pseudo-random set of vulnerable cells with fixed flip
+  directions; declared bits only flip if they sit on vulnerable cells, and
+  hammering also flips the row's other vulnerable cells (collateral damage).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Protocol
+
+import numpy as np
+
+from repro.dram.address import RowAddress
+from repro.utils.bits import get_bit
+
+__all__ = [
+    "BitFlipEvent",
+    "FaultLog",
+    "FlipModel",
+    "DeterministicFlipModel",
+    "ProfiledFlipModel",
+]
+
+
+@dataclass(frozen=True)
+class BitFlipEvent:
+    """One materialised RowHammer bit flip."""
+
+    time_ns: float
+    physical_row: RowAddress
+    bit: int
+    old_value: int
+    new_value: int
+
+
+@dataclass
+class FaultLog:
+    """Chronological record of every flip the device suffered."""
+
+    events: list[BitFlipEvent] = field(default_factory=list)
+
+    def record(self, event: BitFlipEvent) -> None:
+        self.events.append(event)
+
+    def flips_in_row(self, row: RowAddress) -> list[BitFlipEvent]:
+        return [e for e in self.events if e.physical_row == row]
+
+    @property
+    def total_flips(self) -> int:
+        return len(self.events)
+
+    def clear(self) -> None:
+        self.events.clear()
+
+
+class FlipModel(Protocol):
+    """Decides which bits of a victim row flip at threshold crossing."""
+
+    def flips_for(
+        self,
+        victim: RowAddress,
+        declared_bits: Iterable[int],
+        row_data: np.ndarray,
+    ) -> list[int]:
+        """Return the bit indices (within the row) that flip."""
+        ...
+
+
+class DeterministicFlipModel:
+    """Paper threat model: all attacker-declared bits flip at threshold."""
+
+    def flips_for(
+        self,
+        victim: RowAddress,
+        declared_bits: Iterable[int],
+        row_data: np.ndarray,
+    ) -> list[int]:
+        del victim, row_data
+        return sorted(set(int(b) for b in declared_bits))
+
+
+class ProfiledFlipModel:
+    """Physical model: rows have fixed vulnerable cells with flip directions.
+
+    Each physical row's vulnerability profile is derived deterministically
+    from ``(seed, bank, subarray, row)``, so the profile survives data moves —
+    cells are vulnerable, not data.
+
+    Args:
+        row_bits: bits per row.
+        density: fraction of cells that are RowHammer-vulnerable.
+        seed: base seed for the per-row profiles.
+        collateral: if True, crossing the threshold also flips vulnerable
+            cells the attacker did not declare (towards their weak value).
+    """
+
+    def __init__(
+        self,
+        row_bits: int,
+        density: float = 0.02,
+        seed: int = 0,
+        collateral: bool = True,
+    ):
+        if not 0.0 <= density <= 1.0:
+            raise ValueError(f"density must be in [0, 1], got {density}")
+        self.row_bits = row_bits
+        self.density = density
+        self.seed = seed
+        self.collateral = collateral
+        self._profiles: dict[RowAddress, tuple[np.ndarray, np.ndarray]] = {}
+
+    def profile(self, row: RowAddress) -> tuple[np.ndarray, np.ndarray]:
+        """Return (vulnerable bit indices, weak values) for a physical row."""
+        cached = self._profiles.get(row)
+        if cached is not None:
+            return cached
+        rng = np.random.default_rng(
+            (self.seed, row.bank, row.subarray, row.row)
+        )
+        n_vulnerable = int(round(self.row_bits * self.density))
+        bits = rng.choice(self.row_bits, size=n_vulnerable, replace=False)
+        bits.sort()
+        weak_values = rng.integers(0, 2, size=n_vulnerable).astype(np.uint8)
+        self._profiles[row] = (bits, weak_values)
+        return bits, weak_values
+
+    def flips_for(
+        self,
+        victim: RowAddress,
+        declared_bits: Iterable[int],
+        row_data: np.ndarray,
+    ) -> list[int]:
+        vulnerable, weak_values = self.profile(victim)
+        declared = set(int(b) for b in declared_bits)
+        flips = []
+        for bit, weak in zip(vulnerable, weak_values):
+            bit = int(bit)
+            current = get_bit(int(row_data[bit // 8]), bit % 8)
+            if current == int(weak):
+                continue  # already at its weak value; nothing to flip
+            if bit in declared or self.collateral:
+                flips.append(bit)
+        return flips

@@ -1,0 +1,83 @@
+"""DRAM geometry: banks, sub-arrays, rows, and capacity arithmetic.
+
+The paper's hardware experiments assume a 32 GB, 16-bank DDR4 module
+(Table 2).  Simulating that capacity cell-for-cell in Python is wasteful, so
+:class:`DramGeometry` is fully parameterised; tests and benchmarks use small
+geometries while the analytical models (`repro.analysis`) use the paper's
+full-size configuration, which only needs the arithmetic (row counts, bytes
+per row), never the cells themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DramGeometry", "PAPER_GEOMETRY", "SMALL_GEOMETRY"]
+
+
+@dataclass(frozen=True)
+class DramGeometry:
+    """Static shape of one DRAM device.
+
+    Attributes:
+        banks: number of banks in the device.
+        subarrays_per_bank: sub-arrays per bank; RowClone's fast copy (and
+            hence DNN-Defender's swap) only works within one sub-array.
+        rows_per_subarray: DRAM rows per sub-array.
+        row_bytes: bytes per row (row buffer size).
+    """
+
+    banks: int = 16
+    subarrays_per_bank: int = 16
+    rows_per_subarray: int = 512
+    row_bytes: int = 8192
+
+    def __post_init__(self) -> None:
+        for name in ("banks", "subarrays_per_bank", "rows_per_subarray", "row_bytes"):
+            value = getattr(self, name)
+            if value <= 0:
+                raise ValueError(f"{name} must be positive, got {value}")
+        if self.rows_per_subarray < 4:
+            raise ValueError(
+                "rows_per_subarray must be at least 4 so a sub-array can hold "
+                "a target row, an aggressor, a random row and a reserved row"
+            )
+
+    @property
+    def rows_per_bank(self) -> int:
+        return self.subarrays_per_bank * self.rows_per_subarray
+
+    @property
+    def total_rows(self) -> int:
+        return self.banks * self.rows_per_bank
+
+    @property
+    def row_bits(self) -> int:
+        return self.row_bytes * 8
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.total_rows * self.row_bytes
+
+    @property
+    def capacity_gib(self) -> float:
+        return self.capacity_bytes / 2**30
+
+    def describe(self) -> str:
+        return (
+            f"{self.capacity_gib:.2f} GiB: {self.banks} banks x "
+            f"{self.subarrays_per_bank} subarrays x {self.rows_per_subarray} rows "
+            f"x {self.row_bytes} B"
+        )
+
+
+# The paper's Table 2 configuration: 32 GB, 16 banks.  2 GiB/bank at 8 KiB
+# rows = 262,144 rows/bank = 512 subarrays x 512 rows.
+PAPER_GEOMETRY = DramGeometry(
+    banks=16, subarrays_per_bank=512, rows_per_subarray=512, row_bytes=8192
+)
+
+# Default geometry for functional simulation in tests/benchmarks.
+SMALL_GEOMETRY = DramGeometry(
+    banks=4, subarrays_per_bank=4, rows_per_subarray=64, row_bytes=256
+)

@@ -1,0 +1,39 @@
+"""RowClone convenience engine.
+
+Thin wrapper over :class:`MemoryController` copies that picks Fast-Parallel
+Mode (same sub-array, one AAP, <100 ns [20]) or Pipelined-Serial Mode
+(cross-sub-array fallback) automatically, and keeps an operation count that
+the defense layers report.
+"""
+
+from __future__ import annotations
+
+from repro.dram.address import RowAddress
+from repro.dram.controller import MemoryController
+
+__all__ = ["RowCloneEngine"]
+
+
+class RowCloneEngine:
+    """Issue in-DRAM row copies through a memory controller."""
+
+    def __init__(self, controller: MemoryController, actor: str = "defender"):
+        self.controller = controller
+        self.actor = actor
+        self.fpm_copies = 0
+        self.psm_copies = 0
+
+    def copy(self, src: RowAddress, dst: RowAddress) -> None:
+        """Copy ``src`` row to ``dst`` row entirely inside DRAM."""
+        if src == dst:
+            raise ValueError("source and destination rows are identical")
+        if src.same_subarray(dst):
+            self.controller.rowclone(src, dst, actor=self.actor)
+            self.fpm_copies += 1
+        else:
+            self.controller.rowclone_psm(src, dst, actor=self.actor)
+            self.psm_copies += 1
+
+    @property
+    def total_copies(self) -> int:
+        return self.fpm_copies + self.psm_copies

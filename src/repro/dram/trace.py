@@ -1,0 +1,83 @@
+"""Command-trace recording: the reproduction's gem5-style memory statistics.
+
+The paper's evaluation framework (Fig. 7) exports memory statistics (reads,
+writes, micro-ops) from gem5 into the in-house optimizer.  This module
+provides the equivalent observability for the Python DRAM model: a
+:class:`CommandTrace` subscribes to a controller and records a bounded
+window of issued activations with timestamps and actors, plus per-actor and
+per-bank aggregates that benchmarks and tests can assert on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.dram.address import RowAddress
+from repro.dram.controller import MemoryController
+
+__all__ = ["TraceEntry", "CommandTrace"]
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One recorded activation burst."""
+
+    time_ns: float
+    physical: RowAddress
+    count: int
+
+
+class CommandTrace:
+    """Bounded activation trace plus running aggregates.
+
+    Args:
+        controller: the controller to observe.
+        window: maximum retained entries (older entries are dropped from
+            the detailed trace; aggregates keep counting).
+    """
+
+    def __init__(self, controller: MemoryController, window: int = 10_000):
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.controller = controller
+        self.window = window
+        self.entries: deque[TraceEntry] = deque(maxlen=window)
+        self.activations_by_bank: dict[int, int] = {}
+        self.activations_by_row: dict[RowAddress, int] = {}
+        self.total_activations = 0
+        controller.register_activate_hook(self._on_activate)
+
+    def _on_activate(self, physical: RowAddress, time_ns: float, count: int) -> None:
+        self.entries.append(TraceEntry(time_ns, physical, count))
+        self.total_activations += count
+        self.activations_by_bank[physical.bank] = (
+            self.activations_by_bank.get(physical.bank, 0) + count
+        )
+        self.activations_by_row[physical] = (
+            self.activations_by_row.get(physical, 0) + count
+        )
+
+    def hottest_rows(self, n: int = 5) -> list[tuple[RowAddress, int]]:
+        """Rows with the most activations — the aggressor fingerprint a
+        tracker-based defense would flag."""
+        ranked = sorted(
+            self.activations_by_row.items(), key=lambda item: -item[1]
+        )
+        return ranked[:n]
+
+    def activations_in_span(self, start_ns: float, end_ns: float) -> int:
+        """Activations recorded in a time span (within the trace window)."""
+        if end_ns < start_ns:
+            raise ValueError("end_ns must be >= start_ns")
+        return sum(
+            e.count for e in self.entries if start_ns <= e.time_ns <= end_ns
+        )
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "total_activations": self.total_activations,
+            "distinct_rows": len(self.activations_by_row),
+            "banks_touched": len(self.activations_by_bank),
+            "trace_entries": len(self.entries),
+        }

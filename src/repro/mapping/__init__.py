@@ -1,0 +1,12 @@
+"""Weight-to-DRAM placement and victim-row classification."""
+
+from repro.mapping.layout import RowSlot, WeightLayout, place_model
+from repro.mapping.victim import ProtectionPlan, build_protection_plan
+
+__all__ = [
+    "RowSlot",
+    "WeightLayout",
+    "place_model",
+    "ProtectionPlan",
+    "build_protection_plan",
+]

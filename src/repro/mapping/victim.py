@@ -1,0 +1,64 @@
+"""Victim-row classification: target vs. non-target rows (Section 4).
+
+DNN-Defender partitions the protected data region of each sub-array into
+*target* rows (hold profiler-identified vulnerable bits; highest protection
+priority) and *non-target* rows (hold weights whose corruption barely moves
+accuracy; refreshed opportunistically in swap step 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dram.address import RowAddress
+from repro.mapping.layout import WeightLayout
+from repro.nn.quant import BitLocation
+
+__all__ = ["ProtectionPlan", "build_protection_plan"]
+
+
+@dataclass
+class ProtectionPlan:
+    """Defender-side view of which rows deserve which protection level."""
+
+    secured_bits: set[BitLocation] = field(default_factory=set)
+    target_rows: list[RowAddress] = field(default_factory=list)
+    non_target_rows: list[RowAddress] = field(default_factory=list)
+
+    @property
+    def num_target_rows(self) -> int:
+        return len(self.target_rows)
+
+    def is_secured(self, location: BitLocation) -> bool:
+        return location in self.secured_bits
+
+    def rows_in_subarray(self, bank: int, subarray: int) -> list[RowAddress]:
+        return [
+            row for row in self.target_rows
+            if row.bank == bank and row.subarray == subarray
+        ]
+
+
+def build_protection_plan(
+    layout: WeightLayout,
+    secured_bits: set[BitLocation],
+) -> ProtectionPlan:
+    """Classify the layout's weight rows by protection priority.
+
+    A row holding at least one secured bit becomes a *target* row; every
+    other weight row is *non-target*.  Row order follows the layout so the
+    defender's swap schedule is deterministic.
+    """
+    target_rows: list[RowAddress] = []
+    non_target_rows: list[RowAddress] = []
+    secured_rows = layout.row_for_bits(sorted(secured_bits))
+    for slot in layout.slots:
+        if slot.logical_row in secured_rows:
+            target_rows.append(slot.logical_row)
+        else:
+            non_target_rows.append(slot.logical_row)
+    return ProtectionPlan(
+        secured_bits=set(secured_bits),
+        target_rows=target_rows,
+        non_target_rows=non_target_rows,
+    )

@@ -1,0 +1,309 @@
+"""Neural-network primitives with custom backward passes.
+
+Convolution uses the im2col formulation so the heavy lifting happens in one
+matrix multiply per layer; pooling supports the disjoint-window case
+(``kernel == stride``) used by the VGG/ResNet configurations in this
+reproduction; cross-entropy fuses log-softmax and NLL with the standard
+``softmax - onehot`` gradient.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+__all__ = [
+    "im2col",
+    "col2im",
+    "conv2d",
+    "linear",
+    "max_pool2d",
+    "avg_pool2d",
+    "global_avg_pool2d",
+    "batch_norm2d",
+    "log_softmax",
+    "softmax",
+    "cross_entropy",
+    "dropout",
+]
+
+
+def _pair(value) -> tuple[int, int]:
+    if isinstance(value, (tuple, list)):
+        if len(value) != 2:
+            raise ValueError(f"expected a pair, got {value!r}")
+        return int(value[0]), int(value[1])
+    return int(value), int(value)
+
+
+# ---------------------------------------------------------------------- #
+# im2col / col2im
+# ---------------------------------------------------------------------- #
+
+def im2col(
+    x: np.ndarray, kh: int, kw: int, stride: int, padding: int
+) -> np.ndarray:
+    """Unfold ``(N, C, H, W)`` into ``(N, C*kh*kw, OH*OW)`` patch columns."""
+    n, c, h, w = x.shape
+    oh = (h + 2 * padding - kh) // stride + 1
+    ow = (w + 2 * padding - kw) // stride + 1
+    if oh <= 0 or ow <= 0:
+        raise ValueError(
+            f"kernel ({kh}x{kw}, stride={stride}, padding={padding}) does not "
+            f"fit input {h}x{w}"
+        )
+    if padding:
+        x = np.pad(
+            x, ((0, 0), (0, 0), (padding, padding), (padding, padding))
+        )
+    cols = np.empty((n, c, kh, kw, oh, ow), dtype=x.dtype)
+    for i in range(kh):
+        i_end = i + stride * oh
+        for j in range(kw):
+            j_end = j + stride * ow
+            cols[:, :, i, j] = x[:, :, i:i_end:stride, j:j_end:stride]
+    return cols.reshape(n, c * kh * kw, oh * ow)
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Fold patch columns back to an input-shaped array (adjoint of im2col)."""
+    n, c, h, w = x_shape
+    oh = (h + 2 * padding - kh) // stride + 1
+    ow = (w + 2 * padding - kw) // stride + 1
+    cols = cols.reshape(n, c, kh, kw, oh, ow)
+    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
+    for i in range(kh):
+        i_end = i + stride * oh
+        for j in range(kw):
+            j_end = j + stride * ow
+            padded[:, :, i:i_end:stride, j:j_end:stride] += cols[:, :, i, j]
+    if padding:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded
+
+
+# ---------------------------------------------------------------------- #
+# Convolution / linear
+# ---------------------------------------------------------------------- #
+
+def conv2d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor | None = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> Tensor:
+    """2D convolution: x ``(N,C,H,W)``, weight ``(F,C,KH,KW)``."""
+    n, c, h, w = x.shape
+    f, wc, kh, kw = weight.shape
+    if wc != c:
+        raise ValueError(f"input has {c} channels but weight expects {wc}")
+    oh = (h + 2 * padding - kh) // stride + 1
+    ow = (w + 2 * padding - kw) // stride + 1
+    cols = im2col(x.data, kh, kw, stride, padding)        # (N, CKK, L)
+    w2d = weight.data.reshape(f, -1)                      # (F, CKK)
+    out = w2d @ cols                                      # (N, F, L)
+    out = out.reshape(n, f, oh, ow)
+    if bias is not None:
+        out = out + bias.data.reshape(1, f, 1, 1)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward_fn(grad: np.ndarray) -> None:
+        grad2d = grad.reshape(n, f, oh * ow)              # (N, F, L)
+        if weight.requires_grad:
+            # Sum over batch of dout @ cols^T.
+            grad_w = np.einsum("nfl,nkl->fk", grad2d, cols)
+            Tensor._accumulate(weight, grad_w.reshape(weight.shape))
+        if bias is not None and bias.requires_grad:
+            Tensor._accumulate(bias, grad.sum(axis=(0, 2, 3)))
+        if x.requires_grad:
+            grad_cols = w2d.T @ grad2d                    # (N, CKK, L)
+            grad_x = col2im(grad_cols, x.data.shape, kh, kw, stride, padding)
+            Tensor._accumulate(x, grad_x)
+
+    return Tensor._make(out, parents, backward_fn)
+
+
+def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
+    """Affine map: x ``(N, in)``, weight ``(out, in)`` -> ``(N, out)``."""
+    out = x @ weight.T
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+# ---------------------------------------------------------------------- #
+# Pooling
+# ---------------------------------------------------------------------- #
+
+def _check_disjoint(h: int, w: int, kh: int, kw: int) -> None:
+    if h % kh or w % kw:
+        raise ValueError(
+            f"disjoint pooling requires the kernel ({kh}x{kw}) to tile the "
+            f"input ({h}x{w}) exactly"
+        )
+
+
+def max_pool2d(x: Tensor, kernel_size) -> Tensor:
+    """Max pooling with disjoint windows (``stride == kernel_size``)."""
+    kh, kw = _pair(kernel_size)
+    n, c, h, w = x.shape
+    _check_disjoint(h, w, kh, kw)
+    oh, ow = h // kh, w // kw
+    windows = x.data.reshape(n, c, oh, kh, ow, kw)
+    out = windows.max(axis=(3, 5))
+    # Mask of argmax positions for the backward pass; axes reordered so each
+    # window's kh*kw elements are contiguous, then ties broken to the first
+    # maximum per window.
+    mask = windows == out[:, :, :, None, :, None]       # (n,c,oh,kh,ow,kw)
+    flat = mask.transpose(0, 1, 2, 4, 3, 5).reshape(-1, kh * kw)
+    first = np.argmax(flat, axis=1)
+    tie = np.zeros_like(flat)
+    tie[np.arange(tie.shape[0]), first] = True
+    tie_mask = (
+        tie.reshape(n, c, oh, ow, kh, kw).transpose(0, 1, 2, 4, 3, 5)
+    )
+
+    def backward_fn(grad: np.ndarray) -> None:
+        g = grad[:, :, :, None, :, None] * tie_mask
+        Tensor._accumulate(x, g.reshape(x.data.shape))
+
+    return Tensor._make(out, (x,), backward_fn)
+
+
+def avg_pool2d(x: Tensor, kernel_size) -> Tensor:
+    """Average pooling with disjoint windows."""
+    kh, kw = _pair(kernel_size)
+    n, c, h, w = x.shape
+    _check_disjoint(h, w, kh, kw)
+    oh, ow = h // kh, w // kw
+    windows = x.data.reshape(n, c, oh, kh, ow, kw)
+    out = windows.mean(axis=(3, 5))
+    scale = 1.0 / (kh * kw)
+
+    def backward_fn(grad: np.ndarray) -> None:
+        g = np.broadcast_to(
+            grad[:, :, :, None, :, None] * scale, (n, c, oh, kh, ow, kw)
+        )
+        Tensor._accumulate(x, g.reshape(x.data.shape))
+
+    return Tensor._make(out, (x,), backward_fn)
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Mean over the spatial dimensions: ``(N,C,H,W)`` -> ``(N,C)``."""
+    return x.mean(axis=(2, 3))
+
+
+# ---------------------------------------------------------------------- #
+# Batch normalisation
+# ---------------------------------------------------------------------- #
+
+def batch_norm2d(
+    x: Tensor,
+    gamma: Tensor,
+    beta: Tensor,
+    running_mean: np.ndarray,
+    running_var: np.ndarray,
+    training: bool,
+    momentum: float = 0.1,
+    eps: float = 1e-5,
+) -> Tensor:
+    """Per-channel batch norm over ``(N, C, H, W)``.
+
+    In training mode the batch statistics are used (and the running buffers
+    updated in place); in eval mode the running statistics are constants,
+    so only the affine part participates in autograd.
+    """
+    c = x.shape[1]
+    gamma4 = gamma.reshape(1, c, 1, 1)
+    beta4 = beta.reshape(1, c, 1, 1)
+    if training:
+        mean = x.mean(axis=(0, 2, 3), keepdims=True)
+        centered = x - mean
+        var = (centered * centered).mean(axis=(0, 2, 3), keepdims=True)
+        running_mean *= 1.0 - momentum
+        running_mean += momentum * mean.data.reshape(c)
+        n = x.data.shape[0] * x.data.shape[2] * x.data.shape[3]
+        unbiased = var.data.reshape(c) * (n / max(n - 1, 1))
+        running_var *= 1.0 - momentum
+        running_var += momentum * unbiased
+        inv_std = (var + eps) ** -0.5
+        xhat = centered * inv_std
+    else:
+        mean = running_mean.reshape(1, c, 1, 1)
+        inv_std = 1.0 / np.sqrt(running_var.reshape(1, c, 1, 1) + eps)
+        xhat = (x - mean) * Tensor(inv_std)
+    return xhat * gamma4 + beta4
+
+
+# ---------------------------------------------------------------------- #
+# Softmax / losses
+# ---------------------------------------------------------------------- #
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    log_sum = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out = shifted - log_sum
+    softmax_vals = np.exp(out)
+
+    def backward_fn(grad: np.ndarray) -> None:
+        g = grad - softmax_vals * grad.sum(axis=axis, keepdims=True)
+        Tensor._accumulate(x, g)
+
+    return Tensor._make(out, (x,), backward_fn)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    return log_softmax(x, axis=axis).exp()
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean cross-entropy between ``(N, K)`` logits and integer targets."""
+    targets = np.asarray(targets)
+    if targets.ndim != 1:
+        raise ValueError(f"targets must be 1-D class indices, got {targets.shape}")
+    n, k = logits.shape
+    if targets.shape[0] != n:
+        raise ValueError(f"{n} logits rows but {targets.shape[0]} targets")
+    if targets.min() < 0 or targets.max() >= k:
+        raise ValueError("target class index out of range")
+    shifted = logits.data - logits.data.max(axis=1, keepdims=True)
+    log_probs = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+    loss_value = -log_probs[np.arange(n), targets].mean()
+    probs = np.exp(log_probs)
+
+    def backward_fn(grad: np.ndarray) -> None:
+        g = probs.copy()
+        g[np.arange(n), targets] -= 1.0
+        g *= float(grad) / n
+        Tensor._accumulate(logits, g)
+
+    return Tensor._make(np.asarray(loss_value, dtype=logits.dtype),
+                        (logits,), backward_fn)
+
+
+def dropout(x: Tensor, p: float, training: bool,
+            rng: np.random.Generator | None = None) -> Tensor:
+    """Inverted dropout; identity when evaluating or ``p == 0``."""
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    if not training or p == 0.0:
+        return x
+    rng = rng or np.random.default_rng()
+    mask = (rng.random(x.shape) >= p).astype(x.dtype) / (1.0 - p)
+
+    def backward_fn(grad: np.ndarray) -> None:
+        Tensor._accumulate(x, grad * mask)
+
+    return Tensor._make(x.data * mask, (x,), backward_fn)

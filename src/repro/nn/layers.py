@@ -1,0 +1,203 @@
+"""Layer zoo: convolution, linear, batch norm, pooling, activations.
+
+``Conv2d`` and ``Linear`` are the *quantizable* layers: after training they
+can be frozen to 8-bit two's-complement integer weights (see
+:mod:`repro.nn.quant`), which is the representation the bit-flip attack
+manipulates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.module import Module
+from repro.nn.tensor import Parameter, Tensor
+
+__all__ = [
+    "Conv2d",
+    "Linear",
+    "BatchNorm2d",
+    "ReLU",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "Flatten",
+    "Identity",
+    "Dropout",
+]
+
+
+def _kaiming_normal(
+    shape: tuple[int, ...], fan_in: int, rng: np.random.Generator
+) -> np.ndarray:
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape).astype(np.float32)
+
+
+class Conv2d(Module):
+    """2D convolution with optional bias."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = int(kernel_size)
+        self.stride = stride
+        self.padding = padding
+        fan_in = in_channels * self.kernel_size**2
+        self.weight = Parameter(
+            _kaiming_normal(
+                (out_channels, in_channels, self.kernel_size, self.kernel_size),
+                fan_in,
+                rng,
+            )
+        )
+        self.bias = Parameter(np.zeros(out_channels, dtype=np.float32)) if bias else None
+        # Optional differentiable transform of the weight at forward time
+        # (e.g. straight-through binarization for BNN-style defenses).
+        self.weight_transform = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        weight = self.weight
+        if self.weight_transform is not None:
+            weight = self.weight_transform(weight)
+        return F.conv2d(x, weight, self.bias,
+                        stride=self.stride, padding=self.padding)
+
+    def __repr__(self) -> str:
+        return (
+            f"Conv2d({self.in_channels}, {self.out_channels}, "
+            f"k={self.kernel_size}, s={self.stride}, p={self.padding})"
+        )
+
+
+class Linear(Module):
+    """Fully connected layer: ``(N, in) -> (N, out)``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            _kaiming_normal((out_features, in_features), in_features, rng)
+        )
+        self.bias = Parameter(np.zeros(out_features, dtype=np.float32)) if bias else None
+        self.weight_transform = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        weight = self.weight
+        if self.weight_transform is not None:
+            weight = self.weight_transform(weight)
+        return F.linear(x, weight, self.bias)
+
+    def __repr__(self) -> str:
+        return f"Linear({self.in_features}, {self.out_features})"
+
+
+class BatchNorm2d(Module):
+    """Per-channel batch normalisation with running statistics."""
+
+    def __init__(self, num_features: int, momentum: float = 0.1, eps: float = 1e-5):
+        super().__init__()
+        self.num_features = num_features
+        self.momentum = momentum
+        self.eps = eps
+        self.gamma = Parameter(np.ones(num_features, dtype=np.float32))
+        self.beta = Parameter(np.zeros(num_features, dtype=np.float32))
+        self._buffers = {
+            "running_mean": np.zeros(num_features, dtype=np.float32),
+            "running_var": np.ones(num_features, dtype=np.float32),
+        }
+
+    @property
+    def running_mean(self) -> np.ndarray:
+        return self._buffers["running_mean"]
+
+    @property
+    def running_var(self) -> np.ndarray:
+        return self._buffers["running_var"]
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.batch_norm2d(
+            x,
+            self.gamma,
+            self.beta,
+            self.running_mean,
+            self.running_var,
+            training=self.training,
+            momentum=self.momentum,
+            eps=self.eps,
+        )
+
+    def __repr__(self) -> str:
+        return f"BatchNorm2d({self.num_features})"
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class MaxPool2d(Module):
+    """Disjoint-window max pooling (stride == kernel size)."""
+
+    def __init__(self, kernel_size: int):
+        super().__init__()
+        self.kernel_size = kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.max_pool2d(x, self.kernel_size)
+
+
+class AvgPool2d(Module):
+    """Disjoint-window average pooling (stride == kernel size)."""
+
+    def __init__(self, kernel_size: int):
+        super().__init__()
+        self.kernel_size = kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.avg_pool2d(x, self.kernel_size)
+
+
+class GlobalAvgPool2d(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.global_avg_pool2d(x)
+
+
+class Flatten(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.reshape(x.shape[0], -1)
+
+
+class Identity(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+class Dropout(Module):
+    def __init__(self, p: float = 0.5, rng: np.random.Generator | None = None):
+        super().__init__()
+        self.p = p
+        self.rng = rng or np.random.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, training=self.training, rng=self.rng)

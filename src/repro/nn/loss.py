@@ -1,0 +1,17 @@
+"""Loss functions (wrappers over the functional primitives)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+__all__ = ["CrossEntropyLoss"]
+
+
+class CrossEntropyLoss:
+    """Mean cross-entropy over a batch of logits and integer targets."""
+
+    def __call__(self, logits: Tensor, targets: np.ndarray) -> Tensor:
+        return F.cross_entropy(logits, targets)

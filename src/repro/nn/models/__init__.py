@@ -1,0 +1,21 @@
+"""Model zoo used by the paper's experiments."""
+
+from repro.nn.models.resnet import (
+    BasicBlock,
+    ResNet,
+    make_resnet18,
+    make_resnet20,
+    make_resnet34,
+)
+from repro.nn.models.vgg import VGG, VGG11_CONFIG, make_vgg11
+
+__all__ = [
+    "BasicBlock",
+    "ResNet",
+    "make_resnet18",
+    "make_resnet20",
+    "make_resnet34",
+    "VGG",
+    "VGG11_CONFIG",
+    "make_vgg11",
+]

@@ -1,0 +1,48 @@
+"""Optimizers. Plain SGD with momentum and weight decay covers the paper."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Parameter
+
+__all__ = ["SGD"]
+
+
+class SGD:
+    """Stochastic gradient descent with classical momentum.
+
+    Update: ``v = momentum * v + (grad + weight_decay * w); w -= lr * v``.
+    """
+
+    def __init__(
+        self,
+        parameters,
+        lr: float = 0.1,
+        momentum: float = 0.9,
+        weight_decay: float = 0.0,
+    ):
+        self.parameters: list[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received no parameters")
+        if lr <= 0:
+            raise ValueError(f"lr must be positive, got {lr}")
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def zero_grad(self) -> None:
+        for p in self.parameters:
+            p.zero_grad()
+
+    def step(self) -> None:
+        for p, v in zip(self.parameters, self._velocity):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            v *= self.momentum
+            v += grad
+            p.data -= self.lr * v

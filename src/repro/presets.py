@@ -1,0 +1,148 @@
+"""Pre-configured model/dataset combinations used by examples and benchmarks.
+
+The paper evaluates VGG-11 and ResNet-20 on CIFAR-10 and ResNet-18/34 on
+ImageNet.  These presets instantiate the same architectures at a
+configurable scale (width multiplier, image size, synthetic dataset size)
+so every experiment runs on CPU in seconds while keeping the architecture
+topology — and therefore the attack/defense dynamics — intact.
+
+Each preset returns ``(model_factory, trained_state, dataset)``: a factory
+producing a freshly initialised copy of the architecture, the trained
+weights, and the dataset.  Experiments that need several fresh victims
+(every attack mutates its model) rebuild from the factory + state.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.nn.data import Dataset, cifar10_like, imagenet_like
+from repro.nn.models import make_resnet18, make_resnet20, make_resnet34, make_vgg11
+from repro.nn.module import Module
+from repro.nn.train import fit
+
+__all__ = [
+    "TrainedPreset",
+    "resnet20_cifar",
+    "vgg11_cifar",
+    "resnet18_imagenet",
+    "resnet34_imagenet",
+]
+
+ModelFactory = Callable[[], Module]
+
+
+class TrainedPreset:
+    """A trained architecture + dataset bundle."""
+
+    def __init__(
+        self,
+        name: str,
+        factory: ModelFactory,
+        dataset: Dataset,
+        epochs: int,
+        lr: float,
+        seed: int,
+        min_accuracy: float,
+    ):
+        self.name = name
+        self.factory = factory
+        self.dataset = dataset
+        model = factory()
+        self.history = fit(
+            model, dataset, epochs=epochs, batch_size=64, lr=lr, seed=seed
+        )
+        self.state = model.state_dict()
+        self.clean_accuracy = self.history["test_accuracy"][-1]
+        if self.clean_accuracy < min_accuracy:
+            raise RuntimeError(
+                f"preset {name} trained to {self.clean_accuracy:.2%}, below "
+                f"the {min_accuracy:.0%} floor; attack results would be "
+                "meaningless"
+            )
+
+    def fresh_model(self) -> Module:
+        model = self.factory()
+        model.load_state_dict(self.state)
+        model.eval()
+        return model
+
+
+def resnet20_cifar(
+    width_scale: float = 0.5,
+    image_hw: int = 8,
+    n_train: int = 1024,
+    n_test: int = 384,
+    epochs: int = 6,
+    seed: int = 0,
+) -> TrainedPreset:
+    """ResNet-20 on the CIFAR-10 stand-in (Table 3's victim model)."""
+    dataset = cifar10_like(n_train=n_train, n_test=n_test,
+                           image_hw=image_hw, seed=seed)
+    return TrainedPreset(
+        "resnet20-cifar10",
+        lambda: make_resnet20(num_classes=10, width_scale=width_scale,
+                              seed=seed),
+        dataset, epochs=epochs, lr=0.08, seed=seed, min_accuracy=0.6,
+    )
+
+
+def vgg11_cifar(
+    width_scale: float = 0.125,
+    image_hw: int = 8,
+    n_train: int = 1024,
+    n_test: int = 384,
+    epochs: int = 6,
+    seed: int = 0,
+) -> TrainedPreset:
+    """VGG-11 on the CIFAR-10 stand-in (Fig. 9a's victim model)."""
+    dataset = cifar10_like(n_train=n_train, n_test=n_test,
+                           image_hw=image_hw, seed=seed)
+    return TrainedPreset(
+        "vgg11-cifar10",
+        lambda: make_vgg11(num_classes=10, input_size=image_hw,
+                           width_scale=width_scale, seed=seed),
+        dataset, epochs=epochs, lr=0.05, seed=seed, min_accuracy=0.6,
+    )
+
+
+def resnet18_imagenet(
+    width_scale: float = 0.0625,
+    num_classes: int = 20,
+    image_hw: int = 8,
+    n_train: int = 1536,
+    n_test: int = 512,
+    epochs: int = 6,
+    seed: int = 0,
+) -> TrainedPreset:
+    """ResNet-18 on the ImageNet stand-in (Fig. 9b's victim model)."""
+    dataset = imagenet_like(num_classes=num_classes, n_train=n_train,
+                            n_test=n_test, image_hw=image_hw, seed=seed)
+    return TrainedPreset(
+        "resnet18-imagenet",
+        lambda: make_resnet18(num_classes=num_classes,
+                              width_scale=width_scale, seed=seed),
+        dataset, epochs=epochs, lr=0.08, seed=seed, min_accuracy=0.5,
+    )
+
+
+def resnet34_imagenet(
+    width_scale: float = 0.0625,
+    num_classes: int = 20,
+    image_hw: int = 8,
+    n_train: int = 1536,
+    n_test: int = 512,
+    epochs: int = 6,
+    seed: int = 0,
+) -> TrainedPreset:
+    """ResNet-34 on the ImageNet stand-in (Figs. 1b and 9c)."""
+    dataset = imagenet_like(num_classes=num_classes, n_train=n_train,
+                            n_test=n_test, image_hw=image_hw, seed=seed)
+    return TrainedPreset(
+        "resnet34-imagenet",
+        lambda: make_resnet34(num_classes=num_classes,
+                              width_scale=width_scale, seed=seed),
+        dataset, epochs=epochs, lr=0.08, seed=seed, min_accuracy=0.5,
+    )

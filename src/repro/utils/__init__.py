@@ -1,0 +1,33 @@
+"""Shared utilities: bit manipulation, deterministic RNG, table formatting."""
+
+from repro.utils.bits import (
+    bytes_to_bits,
+    bits_to_bytes,
+    flip_bit_in_byte,
+    get_bit,
+    set_bit,
+    int8_to_twos_complement,
+    twos_complement_to_int8,
+    bit_flip_delta,
+    popcount,
+    hamming_distance,
+)
+from repro.utils.rng import make_rng, derive_rng
+from repro.utils.tabulate import format_table, format_row
+
+__all__ = [
+    "bytes_to_bits",
+    "bits_to_bytes",
+    "flip_bit_in_byte",
+    "get_bit",
+    "set_bit",
+    "int8_to_twos_complement",
+    "twos_complement_to_int8",
+    "bit_flip_delta",
+    "popcount",
+    "hamming_distance",
+    "make_rng",
+    "derive_rng",
+    "format_table",
+    "format_row",
+]

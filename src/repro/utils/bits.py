@@ -1,0 +1,110 @@
+"""Bit-level helpers shared by the DRAM model and the quantized DNN stack.
+
+DRAM rows are stored as ``numpy`` ``uint8`` arrays; quantized DNN weights are
+8-bit two's-complement integers.  The bit-flip attack and the defense both
+reason about individual bits of those bytes, so the conversions live here in
+one place.
+
+Bit index convention: bit 0 is the least-significant bit of a byte.  Within a
+row, the absolute bit index of bit ``b`` of byte ``i`` is ``i * 8 + b``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "bytes_to_bits",
+    "bits_to_bytes",
+    "flip_bit_in_byte",
+    "get_bit",
+    "set_bit",
+    "int8_to_twos_complement",
+    "twos_complement_to_int8",
+    "bit_flip_delta",
+    "popcount",
+    "hamming_distance",
+]
+
+_BIT_WEIGHTS = np.array([1, 2, 4, 8, 16, 32, 64, 128], dtype=np.uint8)
+
+
+def bytes_to_bits(data: np.ndarray) -> np.ndarray:
+    """Expand a ``uint8`` array into a bit array (LSB-first per byte).
+
+    The result has shape ``data.shape + (8,)`` and dtype ``uint8`` with values
+    in ``{0, 1}``.
+    """
+    data = np.asarray(data, dtype=np.uint8)
+    bits = np.unpackbits(data[..., np.newaxis], axis=-1, bitorder="little")
+    return bits
+
+
+def bits_to_bytes(bits: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`bytes_to_bits` (expects trailing axis of length 8)."""
+    bits = np.asarray(bits, dtype=np.uint8)
+    if bits.shape[-1] != 8:
+        raise ValueError(f"trailing axis must have length 8, got {bits.shape}")
+    return np.packbits(bits, axis=-1, bitorder="little")[..., 0]
+
+
+def flip_bit_in_byte(value: int, bit: int) -> int:
+    """Return ``value`` with ``bit`` (0..7) inverted, as an unsigned byte."""
+    if not 0 <= bit <= 7:
+        raise ValueError(f"bit index must be in [0, 7], got {bit}")
+    return (int(value) ^ (1 << bit)) & 0xFF
+
+
+def get_bit(value: int, bit: int) -> int:
+    """Return bit ``bit`` (0..7) of the unsigned byte ``value``."""
+    if not 0 <= bit <= 7:
+        raise ValueError(f"bit index must be in [0, 7], got {bit}")
+    return (int(value) >> bit) & 1
+
+
+def set_bit(value: int, bit: int, bit_value: int) -> int:
+    """Return ``value`` with ``bit`` forced to ``bit_value`` (0 or 1)."""
+    if bit_value not in (0, 1):
+        raise ValueError(f"bit_value must be 0 or 1, got {bit_value}")
+    if get_bit(value, bit) == bit_value:
+        return int(value) & 0xFF
+    return flip_bit_in_byte(value, bit)
+
+
+def int8_to_twos_complement(values: np.ndarray) -> np.ndarray:
+    """Reinterpret signed int8 values as their two's-complement uint8 bytes."""
+    return np.asarray(values, dtype=np.int8).view(np.uint8).copy()
+
+
+def twos_complement_to_int8(values: np.ndarray) -> np.ndarray:
+    """Reinterpret uint8 bytes as signed two's-complement int8 values."""
+    return np.asarray(values, dtype=np.uint8).view(np.int8).copy()
+
+
+def bit_flip_delta(value_int8: int, bit: int) -> int:
+    """Signed change to an int8 weight when ``bit`` of its byte is flipped.
+
+    Bit 7 is the sign bit of the two's-complement representation, so flipping
+    it moves the value by ``-+128``; flipping bit ``b < 7`` moves it by
+    ``+-2**b`` depending on the current bit value.
+    """
+    current = get_bit(int8_to_twos_complement(np.array(value_int8))[()], bit)
+    magnitude = 1 << bit
+    if bit == 7:
+        # Sign bit: 0 -> 1 subtracts 128, 1 -> 0 adds 128.
+        return -magnitude if current == 0 else magnitude
+    return magnitude if current == 0 else -magnitude
+
+
+def popcount(data: np.ndarray) -> int:
+    """Total number of set bits in a ``uint8`` array."""
+    return int(bytes_to_bits(data).sum())
+
+
+def hamming_distance(a: np.ndarray, b: np.ndarray) -> int:
+    """Number of differing bits between two equally-shaped ``uint8`` arrays."""
+    a = np.asarray(a, dtype=np.uint8)
+    b = np.asarray(b, dtype=np.uint8)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    return popcount(a ^ b)

@@ -1,0 +1,29 @@
+"""Deterministic random-number helpers.
+
+Every stochastic component (dataset synthesis, model init, random-row
+selection, attack sampling) takes an explicit ``numpy.random.Generator``.
+These helpers centralise construction so that experiments are reproducible
+from a single integer seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["make_rng", "derive_rng"]
+
+
+def make_rng(seed: int | None = 0) -> np.random.Generator:
+    """Create a :class:`numpy.random.Generator` from an integer seed."""
+    return np.random.default_rng(seed)
+
+
+def derive_rng(rng: np.random.Generator, stream: int) -> np.random.Generator:
+    """Derive an independent child generator from ``rng``.
+
+    Used to hand independent streams to sub-components (e.g. the defender's
+    random-row selector vs. the attacker's sampling) without the two
+    perturbing each other's sequences.
+    """
+    seed = int(rng.integers(0, 2**63 - 1)) ^ (0x9E3779B97F4A7C15 * (stream + 1) % 2**63)
+    return np.random.default_rng(seed)

@@ -1,0 +1,49 @@
+"""Plain-text table formatting for benchmark reports.
+
+The benchmark harness prints the same rows the paper's tables/figures report;
+this module renders them without any third-party dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_row"]
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_row(values: Sequence[object], widths: Sequence[int]) -> str:
+    """Format one row with left-aligned first column, right-aligned rest."""
+    cells = [_cell(v) for v in values]
+    parts = [cells[0].ljust(widths[0])]
+    parts.extend(c.rjust(w) for c, w in zip(cells[1:], widths[1:]))
+    return "  ".join(parts)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned plain-text table."""
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(format_row(headers, widths))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(format_row(row, widths) for row in str_rows)
+    return "\n".join(lines)

@@ -1,0 +1,162 @@
+"""Tests for the analytical models: Table 2, Fig. 8a, Fig. 8b, power."""
+
+import pytest
+
+from repro.analysis import (
+    TABLE2_SPECS,
+    derived_capacity_mb,
+    latency_per_tref_ms,
+    latency_sweep,
+    max_defended_bfas,
+    power_comparison,
+    security_sweep,
+    swaps_per_tref,
+    t_op_ns,
+    table2_rows,
+    time_to_break_days,
+)
+from repro.dram import PAPER_GEOMETRY, TimingParams
+
+
+class TestOverheadTable:
+    def test_has_ten_frameworks(self):
+        assert len(TABLE2_SPECS) == 10
+        names = [s.name for s in TABLE2_SPECS]
+        assert names[-1] == "DNN-Defender"
+
+    def test_dnn_defender_zero_capacity_dram_only(self):
+        dd = TABLE2_SPECS[-1]
+        assert dd.total_capacity_mb == 0.0
+        assert dd.dram_only
+        assert not dd.uses_fast_memory
+
+    def test_fast_memory_flags(self):
+        by_name = {s.name: s for s in TABLE2_SPECS}
+        assert by_name["Graphene"].uses_fast_memory
+        assert by_name["RRS"].uses_fast_memory
+        assert not by_name["SHADOW"].uses_fast_memory
+
+    def test_counter_per_row_derivation_matches_published(self):
+        derived = derived_capacity_mb("Counter per Row", PAPER_GEOMETRY)
+        assert derived == pytest.approx(32.0)
+
+    def test_dnn_defender_derivation_is_zero(self):
+        assert derived_capacity_mb("DNN-Defender") == 0.0
+
+    def test_underivable_returns_none(self):
+        assert derived_capacity_mb("Graphene") is None
+
+    def test_table_rows_printable(self):
+        rows = table2_rows()
+        assert len(rows) == 10
+        assert all(len(r) == 5 for r in rows)
+
+
+class TestSecurityModel:
+    def test_defended_bfas_match_paper_anchors(self):
+        """Fig. 8a right axis: ~7K/14K/28K/55K at 1k/2k/4k/8k."""
+        expected = {1000: 7_000, 2000: 14_000, 4000: 28_000, 8000: 55_000}
+        for t_rh, anchor in expected.items():
+            value = max_defended_bfas(TimingParams(t_rh=t_rh))
+            assert abs(value - anchor) / anchor < 0.02
+
+    def test_time_to_break_matches_paper_anchor(self):
+        """Paper: ~1180 days (DD) and ~894 days (SHADOW) at T_RH=4k."""
+        t = TimingParams(t_rh=4000)
+        assert time_to_break_days("dnn-defender", t) == pytest.approx(1180, abs=15)
+        assert time_to_break_days("shadow", t) == pytest.approx(894, abs=10)
+
+    def test_dd_protects_286_more_days_at_4k(self):
+        t = TimingParams(t_rh=4000)
+        gap = time_to_break_days("dnn-defender", t) - time_to_break_days(
+            "shadow", t
+        )
+        assert gap == pytest.approx(286, abs=10)
+
+    def test_linear_in_threshold(self):
+        t1 = time_to_break_days("dnn-defender", TimingParams(t_rh=1000))
+        t8 = time_to_break_days("dnn-defender", TimingParams(t_rh=8000))
+        assert t8 / t1 == pytest.approx(8.0, rel=1e-6)
+
+    def test_aggressor_swaps_break_within_a_day(self):
+        """Section 5.1: even SRS cannot defend white-box attacks for a day."""
+        for defense in ("rrs", "srs"):
+            assert time_to_break_days(defense, TimingParams(t_rh=8000)) < 1.0
+
+    def test_unknown_defense_rejected(self):
+        with pytest.raises(ValueError):
+            time_to_break_days("magic", TimingParams())
+
+    def test_sweep_covers_grid(self):
+        points = security_sweep()
+        assert len(points) == 8
+        assert {p.defense for p in points} == {"dnn-defender", "shadow"}
+
+    def test_swaps_per_tref_formula(self):
+        t = TimingParams(t_rh=4000)
+        n_s = 100
+        t_n = t.hammer_window_ns + t.t_swap_ns * n_s
+        expected = (t.t_ref_ns / t_n) * n_s
+        assert swaps_per_tref(t, n_s) == pytest.approx(expected)
+        assert swaps_per_tref(t, 0) == 0.0
+        with pytest.raises(ValueError):
+            swaps_per_tref(t, -1)
+
+
+class TestLatencyModel:
+    def test_dd_below_shadow_at_all_points(self):
+        for p_dd, p_sh in zip(
+            latency_sweep(defenses=("dnn-defender",)),
+            latency_sweep(defenses=("shadow",)),
+        ):
+            assert p_dd.latency_ms <= p_sh.latency_ms + 1e-9
+
+    def test_saturates_at_half_tref(self):
+        t = TimingParams(t_rh=1000)
+        limit = t.t_ref_ns / 2 / 1e6
+        value = latency_per_tref_ms("dnn-defender", 10**7, t)
+        assert value == pytest.approx(limit, rel=1e-3)
+
+    def test_monotonic_and_decelerating(self):
+        """Fig. 8b: latency increases with BFAs, rate decelerates."""
+        t = TimingParams(t_rh=4000)
+        counts = [5000, 10000, 15000, 20000, 25000, 30000]
+        values = [
+            latency_per_tref_ms("dnn-defender", n, t) for n in counts
+        ]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+        gains = [b - a for a, b in zip(values, values[1:])]
+        assert all(b <= a + 1e-9 for a, b in zip(gains, gains[1:]))
+
+    def test_zero_bfas_zero_latency(self):
+        assert latency_per_tref_ms("dnn-defender", 0, TimingParams()) == 0.0
+
+    def test_unpipelined_ablation_is_slower(self):
+        t = TimingParams(t_rh=4000)
+        assert t_op_ns("dnn-defender-unpipelined", t) > t_op_ns("dnn-defender", t)
+        assert latency_per_tref_ms(
+            "dnn-defender-unpipelined", 7000, t
+        ) > latency_per_tref_ms("dnn-defender", 7000, t)
+
+    def test_validates_inputs(self):
+        with pytest.raises(ValueError):
+            latency_per_tref_ms("dnn-defender", -1, TimingParams())
+        with pytest.raises(ValueError):
+            t_op_ns("magic", TimingParams())
+
+
+class TestPowerModel:
+    def test_shadow_saving_matches_paper(self):
+        """Paper: negligible 1.6% power saving vs SHADOW at T_RH=1k."""
+        result = power_comparison()
+        assert result["saving_vs_shadow_1k_percent"] == pytest.approx(1.6, abs=0.3)
+
+    def test_srs_improvement_matches_paper(self):
+        """Paper: 3.4x improvement vs SRS."""
+        result = power_comparison()
+        assert result["improvement_vs_srs"] == pytest.approx(3.4, abs=0.3)
+
+    def test_dd_draws_least_defense_power(self):
+        result = power_comparison()
+        assert result["dd_power_mw"] < result["shadow_power_mw"]
+        assert result["dd_power_mw"] < result["srs_power_mw"]

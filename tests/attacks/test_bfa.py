@@ -1,0 +1,214 @@
+"""Tests for the progressive bit-flip attack and its baselines."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    BfaConfig,
+    BitFlipAttack,
+    LogicalDefenseExecutor,
+    SoftwareFlipExecutor,
+    profile_vulnerable_bits,
+    random_bit_attack,
+    sample_random_bits,
+)
+from repro.nn import evaluate
+from repro.nn.quant import BitLocation
+
+
+def attack_batch(dataset, n=128, seed=0):
+    rng = np.random.default_rng(seed)
+    return dataset.attack_batch(n, rng)
+
+
+class TestBfaCore:
+    def test_bfa_degrades_accuracy_fast(self, fresh_quantized, tiny_dataset):
+        x, y = attack_batch(tiny_dataset)
+        before = evaluate(
+            fresh_quantized.model, tiny_dataset.x_test, tiny_dataset.y_test
+        )
+        attack = BitFlipAttack(
+            fresh_quantized, x, y,
+            config=BfaConfig(max_iterations=20, stop_accuracy=0.15),
+            eval_x=tiny_dataset.x_test, eval_y=tiny_dataset.y_test,
+        )
+        result = attack.run()
+        after = result.final_accuracy
+        # Targeted attack: large drop with a small number of flips.
+        assert before - after > 0.4
+        assert result.num_flips <= 20
+
+    def test_bfa_beats_random_at_equal_budget(
+        self, fresh_quantized, tiny_dataset, trained_state
+    ):
+        from tests.conftest import make_tiny_model
+        from repro.nn import QuantizedModel
+
+        x, y = attack_batch(tiny_dataset)
+        attack = BitFlipAttack(
+            fresh_quantized, x, y,
+            config=BfaConfig(max_iterations=10),
+            eval_x=tiny_dataset.x_test, eval_y=tiny_dataset.y_test,
+        )
+        bfa_result = attack.run()
+
+        rand_model = make_tiny_model(seed=0)
+        rand_model.load_state_dict(trained_state)
+        rand_q = QuantizedModel(rand_model)
+        rand_result = random_bit_attack(
+            rand_q, tiny_dataset.x_test, tiny_dataset.y_test,
+            num_flips=bfa_result.num_flips or 10,
+            rng=np.random.default_rng(1),
+        )
+        assert bfa_result.final_accuracy < rand_result.final_accuracy - 0.1
+
+    def test_flip_history_is_consistent(self, fresh_quantized, tiny_dataset):
+        x, y = attack_batch(tiny_dataset)
+        snap = fresh_quantized.snapshot()
+        attack = BitFlipAttack(
+            fresh_quantized, x, y, config=BfaConfig(max_iterations=5)
+        )
+        result = attack.run()
+        assert fresh_quantized.hamming_distance_from(snap) == result.num_flips
+        assert len(result.accuracy_history) == len(result.attempts) + 1
+
+    def test_skip_set_is_respected(self, fresh_quantized, tiny_dataset):
+        x, y = attack_batch(tiny_dataset)
+        probe = BitFlipAttack(
+            fresh_quantized, x, y, config=BfaConfig(max_iterations=3)
+        )
+        first = probe.run().flips
+        assert first
+        # Restore and re-attack skipping the previous flips.
+        fresh = fresh_quantized
+        snap = fresh.snapshot()
+        for loc in first:
+            fresh.flip_bit(loc)  # undo by flipping back
+        attack = BitFlipAttack(
+            fresh, x, y, config=BfaConfig(max_iterations=3),
+            skip=set(first),
+        )
+        second = attack.run().flips
+        assert not set(second) & set(first)
+
+    def test_no_candidates_stops_early(self, fresh_quantized, tiny_dataset):
+        x, y = attack_batch(tiny_dataset)
+        all_bits = {
+            BitLocation(l, i, b)
+            for l in range(fresh_quantized.num_layers)
+            for i in range(fresh_quantized.layer(l).num_weights)
+            for b in range(8)
+        }
+        attack = BitFlipAttack(
+            fresh_quantized, x, y, config=BfaConfig(max_iterations=5),
+            skip=all_bits,
+        )
+        result = attack.run()
+        assert result.num_flips == 0
+        assert not result.attempts
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            BfaConfig(max_iterations=0)
+        with pytest.raises(ValueError):
+            BfaConfig(exact_eval_top=0)
+
+    def test_bit_deltas_match_scalar_helper(self, fresh_quantized):
+        from repro.utils.bits import bit_flip_delta
+        layer = fresh_quantized.layer(0)
+        deltas = BitFlipAttack._bit_deltas(layer.weight_int)
+        flat = layer.weight_int.reshape(-1)
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            i = int(rng.integers(0, flat.size))
+            b = int(rng.integers(0, 8))
+            assert deltas[i, b] == bit_flip_delta(int(flat[i]), b)
+
+
+class TestLogicalDefenseExecutor:
+    def test_blocks_secured_bits(self, fresh_quantized):
+        loc = BitLocation(0, 0, 7)
+        execu = LogicalDefenseExecutor(fresh_quantized, {loc})
+        before = fresh_quantized.get_int(loc)
+        assert not execu.execute(loc)
+        assert fresh_quantized.get_int(loc) == before
+        assert execu.blocked == 1
+
+    def test_allows_unsecured_bits(self, fresh_quantized):
+        execu = LogicalDefenseExecutor(fresh_quantized, set())
+        loc = BitLocation(0, 1, 7)
+        assert execu.execute(loc)
+        assert execu.flips_performed == 1
+
+
+class TestRandomAttack:
+    def test_sample_random_bits_valid(self, fresh_quantized):
+        rng = np.random.default_rng(0)
+        locs = sample_random_bits(fresh_quantized, 100, rng)
+        assert len(locs) == 100
+        for loc in locs:
+            assert 0 <= loc.layer < fresh_quantized.num_layers
+            assert 0 <= loc.index < fresh_quantized.layer(loc.layer).num_weights
+            assert 0 <= loc.bit < 8
+
+    def test_sample_too_many_rejected(self, fresh_quantized):
+        with pytest.raises(ValueError):
+            sample_random_bits(
+                fresh_quantized, fresh_quantized.total_bits + 1,
+                np.random.default_rng(0),
+            )
+
+    def test_random_attack_mild(self, fresh_quantized, tiny_dataset):
+        before = evaluate(
+            fresh_quantized.model, tiny_dataset.x_test, tiny_dataset.y_test
+        )
+        result = random_bit_attack(
+            fresh_quantized, tiny_dataset.x_test, tiny_dataset.y_test,
+            num_flips=30, rng=np.random.default_rng(2), eval_every=10,
+        )
+        assert result.accuracies[0] == pytest.approx(before)
+        assert result.checkpoints[-1] == 30
+        # Random flips hurt far less than a targeted attack of the same size.
+        assert result.final_accuracy > before - 0.35
+
+    def test_eval_every_validation(self, fresh_quantized, tiny_dataset):
+        with pytest.raises(ValueError):
+            random_bit_attack(
+                fresh_quantized, tiny_dataset.x_test, tiny_dataset.y_test,
+                num_flips=2, rng=np.random.default_rng(0), eval_every=0,
+            )
+
+
+class TestProfiler:
+    def test_rounds_are_disjoint_and_model_restored(
+        self, fresh_quantized, tiny_dataset
+    ):
+        x, y = attack_batch(tiny_dataset)
+        snap = fresh_quantized.snapshot()
+        profile = profile_vulnerable_bits(
+            fresh_quantized, x, y, rounds=3,
+            config=BfaConfig(max_iterations=4),
+        )
+        assert fresh_quantized.hamming_distance_from(snap) == 0
+        assert profile.num_rounds >= 2
+        seen = set()
+        for round_bits in profile.rounds:
+            assert not seen & set(round_bits)
+            seen.update(round_bits)
+        assert profile.all_bits == seen
+
+    def test_bits_up_to_round(self, fresh_quantized, tiny_dataset):
+        x, y = attack_batch(tiny_dataset)
+        profile = profile_vulnerable_bits(
+            fresh_quantized, x, y, rounds=2,
+            config=BfaConfig(max_iterations=3),
+        )
+        assert profile.bits_up_to_round(0) == set()
+        assert profile.bits_up_to_round(1) == set(profile.rounds[0])
+        with pytest.raises(ValueError):
+            profile.bits_up_to_round(-1)
+
+    def test_rounds_validation(self, fresh_quantized, tiny_dataset):
+        x, y = attack_batch(tiny_dataset)
+        with pytest.raises(ValueError):
+            profile_vulnerable_bits(fresh_quantized, x, y, rounds=0)

@@ -1,0 +1,208 @@
+"""Tests for the four-step swap engine and the Fig. 6 pipeline algebra."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import (
+    build_timeline,
+    chain_aap_count,
+    chain_latency_ns,
+    max_swaps_per_window,
+)
+from repro.core.swap import SwapEngine
+from repro.dram import (
+    DramDevice,
+    DramGeometry,
+    MemoryController,
+    RowAddress,
+    TimingParams,
+)
+
+GEOMETRY = DramGeometry(
+    banks=1, subarrays_per_bank=2, rows_per_subarray=32, row_bytes=64
+)
+
+
+def make_controller(t_rh=1000):
+    return MemoryController(DramDevice(GEOMETRY), TimingParams(t_rh=t_rh))
+
+
+def fill_rows(controller, rows):
+    """Give each row distinct recognisable content."""
+    for i, row in enumerate(rows):
+        controller.poke_logical(
+            row, np.full(GEOMETRY.row_bytes, i + 1, dtype=np.uint8)
+        )
+
+
+class TestSwapEngine:
+    def test_swap_preserves_logical_data(self):
+        mc = make_controller()
+        engine = SwapEngine(mc, reserved_rows=2)
+        target = RowAddress(0, 0, 5)
+        others = [RowAddress(0, 0, r) for r in range(12) if r != 5]
+        fill_rows(mc, [target] + others)
+        before = {row: mc.peek_logical(row).copy() for row in [target] + others}
+        rng = np.random.default_rng(0)
+        record = engine.swap_target(target, rng)
+        # Every logical row still reads back its own data.
+        for row, data in before.items():
+            np.testing.assert_array_equal(mc.peek_logical(row), data)
+        # But the target's physical location changed.
+        assert mc.indirection.physical(target) != target
+        assert record.random_logical != target
+
+    def test_swap_moves_target_physically_and_tracks_random(self):
+        mc = make_controller()
+        engine = SwapEngine(mc, reserved_rows=2)
+        target = RowAddress(0, 0, 3)
+        fill_rows(mc, [RowAddress(0, 0, r) for r in range(10)])
+        rng = np.random.default_rng(1)
+        record = engine.swap_target(target, rng)
+        # Target now physically sits where the random row was, and vice versa.
+        assert mc.indirection.physical(target) == record.random_logical
+        assert mc.indirection.physical(record.random_logical) == target
+
+    def test_swap_resets_target_disturbance(self):
+        mc = make_controller(t_rh=500)
+        engine = SwapEngine(mc, reserved_rows=2)
+        target = RowAddress(0, 0, 5)
+        aggressor = RowAddress(0, 0, 6)
+        mc.activate(aggressor, actor="attacker", count=400, hammer=True)
+        assert mc.device.disturbance(target) == 400
+        engine.swap_target(target, np.random.default_rng(0))
+        # The data's new physical home is fully charged.
+        new_physical = mc.indirection.physical(target)
+        assert mc.device.disturbance(new_physical) == 0
+
+    def test_first_swap_costs_four_aaps(self):
+        mc = make_controller()
+        engine = SwapEngine(mc, reserved_rows=2)
+        fill_rows(mc, [RowAddress(0, 0, r) for r in range(10)])
+        record = engine.swap_target(
+            RowAddress(0, 0, 2),
+            np.random.default_rng(0),
+            non_target_logical=RowAddress(0, 0, 8),
+        )
+        assert record.aaps_issued == 4
+        assert not record.reused_reserved
+        assert record.non_target_refreshed == RowAddress(0, 0, 8)
+
+    def test_pipelined_chain_reuses_reserved(self):
+        mc = make_controller()
+        engine = SwapEngine(mc, reserved_rows=2)
+        fill_rows(mc, [RowAddress(0, 0, r) for r in range(16)])
+        rng = np.random.default_rng(0)
+        targets = [RowAddress(0, 0, r) for r in (2, 4, 6)]
+        non_targets = [RowAddress(0, 0, r) for r in (10, 11, 12)]
+        records = []
+        for target, nt in zip(targets, non_targets):
+            records.append(
+                engine.swap_target(
+                    target, rng, non_target_logical=nt,
+                    exclude=set(targets), pipelined=True,
+                )
+            )
+        assert not records[0].reused_reserved
+        assert records[1].reused_reserved
+        assert records[2].reused_reserved
+        # Steady state: 3 AAPs per swap (Fig. 6 / Section 5.1).
+        assert records[1].aaps_issued == 3
+        assert records[2].aaps_issued == 3
+
+    def test_non_target_refresh_resets_its_disturbance(self):
+        mc = make_controller(t_rh=500)
+        engine = SwapEngine(mc, reserved_rows=2)
+        fill_rows(mc, [RowAddress(0, 0, r) for r in range(12)])
+        non_target = RowAddress(0, 0, 9)
+        mc.activate(RowAddress(0, 0, 10), actor="attacker", count=300,
+                    hammer=True)
+        assert mc.device.disturbance(non_target) == 300
+        engine.swap_target(
+            RowAddress(0, 0, 2), np.random.default_rng(0),
+            non_target_logical=non_target,
+        )
+        assert mc.device.disturbance(non_target) == 0
+
+    def test_step4_requires_same_subarray(self):
+        mc = make_controller()
+        engine = SwapEngine(mc, reserved_rows=2)
+        with pytest.raises(ValueError):
+            engine.swap_target(
+                RowAddress(0, 0, 2), np.random.default_rng(0),
+                non_target_logical=RowAddress(0, 1, 2),
+            )
+
+    def test_validates_reserved_rows(self):
+        with pytest.raises(ValueError):
+            SwapEngine(make_controller(), reserved_rows=0)
+
+    def test_repeated_swaps_stay_consistent(self):
+        mc = make_controller()
+        engine = SwapEngine(mc, reserved_rows=2)
+        rows = [RowAddress(0, 0, r) for r in range(14)]
+        fill_rows(mc, rows)
+        before = {row: mc.peek_logical(row).copy() for row in rows}
+        rng = np.random.default_rng(3)
+        target = RowAddress(0, 0, 5)
+        for _ in range(20):
+            engine.swap_target(target, rng)
+        for row, data in before.items():
+            np.testing.assert_array_equal(mc.peek_logical(row), data)
+
+
+class TestPipelineAlgebra:
+    def test_chain_counts(self):
+        assert chain_aap_count(0) == 0
+        assert chain_aap_count(1, pipelined=True) == 4
+        assert chain_aap_count(10, pipelined=True) == 31    # 3n + 1
+        assert chain_aap_count(10, pipelined=False) == 40   # 4n
+
+    def test_pipelining_saves_one_aap_per_extra_swap(self):
+        for n in range(2, 20):
+            saved = chain_aap_count(n, False) - chain_aap_count(n, True)
+            assert saved == n - 1
+
+    def test_latency_uses_taap(self):
+        timing = TimingParams()
+        latency = chain_latency_ns(5, timing, pipelined=True)
+        assert latency == pytest.approx(16 * timing.t_aap_ns + timing.t_rc_ns)
+
+    def test_max_swaps_matches_paper_formula(self):
+        timing = TimingParams(t_rh=4800)
+        expected = int(
+            timing.t_act_eff_ns * timing.t_rh / (3 * timing.t_aap_ns)
+        )
+        assert max_swaps_per_window(timing) == expected
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            chain_aap_count(-1)
+        with pytest.raises(ValueError):
+            build_timeline(-1, TimingParams())
+
+    def test_timeline_slots_are_contiguous(self):
+        timing = TimingParams()
+        entries = build_timeline(4, timing, pipelined=True)
+        slots = [e.slot for e in entries]
+        assert slots == sorted(slots)
+        assert slots[-1] == chain_aap_count(4, True) - 1
+
+    def test_timeline_overlap_semantics(self):
+        entries = build_timeline(3, TimingParams(), pipelined=True)
+        # Swaps 2 and 3 have no step-1 entry: it is the previous step 4.
+        for swap in (2, 3):
+            steps = [e.step for e in entries if e.swap == swap]
+            assert steps == [2, 3, 4]
+        shared = [e for e in entries if e.shared_with_next]
+        assert len(shared) == 2  # step 4 of swaps 1 and 2
+
+    def test_timeline_unpipelined_has_all_steps(self):
+        entries = build_timeline(3, TimingParams(), pipelined=False)
+        assert len(entries) == 12
+        assert all(not e.shared_with_next for e in entries)
+
+    def test_timeline_descriptions(self):
+        entries = build_timeline(1, TimingParams())
+        assert "random" in entries[0].description
+        assert "non-target" in entries[-1].description

@@ -1,0 +1,193 @@
+"""Tests for RRS / SRS / SHADOW / counter trackers against hammer attacks."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import RowHammerAttacker
+from repro.defenses import (
+    RandomizedRowSwap,
+    SecureRowSwap,
+    Shadow,
+    make_counter_per_row,
+    make_counter_tree,
+    make_graphene,
+    make_hydra,
+    make_twice,
+)
+from repro.dram import DramDevice, DramGeometry, MemoryController, TimingParams
+from repro.mapping import WeightLayout
+from repro.nn import QuantizedModel
+from repro.nn.quant import BitLocation
+
+GEOMETRY = DramGeometry(
+    banks=2, subarrays_per_bank=4, rows_per_subarray=64, row_bytes=128
+)
+
+
+def build_stack(fresh_model, t_rh=1000, seed=0):
+    qmodel = QuantizedModel(fresh_model)
+    controller = MemoryController(DramDevice(GEOMETRY), TimingParams(t_rh=t_rh))
+    layout = WeightLayout(qmodel, controller, seed=seed)
+    return qmodel, controller, layout
+
+
+class TestRRS:
+    def test_blocks_non_tracking_attacker(self, fresh_model):
+        qmodel, controller, layout = build_stack(fresh_model)
+        rrs = RandomizedRowSwap(controller, seed=1)
+        attacker = RowHammerAttacker(
+            controller, layout, defense=rrs, track_swaps=False
+        )
+        assert not attacker.attempt_flip(BitLocation(0, 0, 7), max_windows=2)
+        assert rrs.stats.reactions > 0
+
+    def test_defeated_by_tracking_attacker(self, fresh_model):
+        """Section 1: swapping the aggressor is purposeless when the
+        attacker follows the victim and re-targets its new neighbour."""
+        qmodel, controller, layout = build_stack(fresh_model)
+        rrs = RandomizedRowSwap(controller, seed=1)
+        attacker = RowHammerAttacker(
+            controller, layout, defense=rrs, track_swaps=True
+        )
+        assert attacker.attempt_flip(BitLocation(0, 0, 7), max_windows=3)
+
+    def test_counters_reset_each_refresh_interval(self, fresh_model):
+        qmodel, controller, layout = build_stack(fresh_model)
+        rrs = RandomizedRowSwap(controller, seed=1)
+        from repro.dram import RowAddress
+        row = RowAddress(0, 0, 10)
+        controller.activate(row, count=rrs.trigger_count - 1, hammer=True)
+        controller.advance_time(controller.ns_until_refresh())
+        rrs.tick()
+        controller.activate(row, count=rrs.trigger_count - 1, hammer=True)
+        assert rrs.stats.reactions == 0
+
+    def test_trigger_fraction_validation(self, fresh_model):
+        _, controller, _ = build_stack(fresh_model)
+        with pytest.raises(ValueError):
+            RandomizedRowSwap(controller, trigger_fraction=0.0)
+
+
+class TestSRS:
+    def test_blocks_non_tracking_attacker(self, fresh_model):
+        qmodel, controller, layout = build_stack(fresh_model)
+        srs = SecureRowSwap(controller, tracked_fraction=1.0, seed=2)
+        # SRS triggers late (0.8 T_RH): the attacker's bursts must be finer
+        # than the defense's remaining margin for the trigger to land in time.
+        attacker = RowHammerAttacker(
+            controller, layout, defense=srs, track_swaps=False,
+            chunks_per_window=8,
+        )
+        assert not attacker.attempt_flip(BitLocation(0, 4, 7), max_windows=2)
+
+    def test_swaps_less_than_rrs(self, fresh_model):
+        """SRS triggers later (0.8 T_RH vs 0.5 T_RH): fewer swaps for the
+        same hammer pattern."""
+        results = {}
+        for cls, kwargs in (
+            (RandomizedRowSwap, {}),
+            (SecureRowSwap, {"tracked_fraction": 1.0}),
+        ):
+            qmodel, controller, layout = build_stack(fresh_model)
+            defense = cls(controller, seed=3, **kwargs)
+            attacker = RowHammerAttacker(
+                controller, layout, defense=defense, track_swaps=False
+            )
+            attacker.attempt_flip(BitLocation(0, 0, 7), max_windows=2)
+            results[cls.__name__] = defense.stats.reactions
+        assert results["SecureRowSwap"] <= results["RandomizedRowSwap"]
+
+    def test_tracked_fraction_validation(self, fresh_model):
+        _, controller, _ = build_stack(fresh_model)
+        with pytest.raises(ValueError):
+            SecureRowSwap(controller, tracked_fraction=0.0)
+
+
+class TestShadow:
+    def test_blocks_tracking_attacker(self, fresh_model):
+        """Victim-focused shuffling survives the white-box attacker (the
+        paper keeps SHADOW as the only comparable prior in Fig. 8)."""
+        qmodel, controller, layout = build_stack(fresh_model)
+        shadow = Shadow(controller, seed=1)
+        attacker = RowHammerAttacker(
+            controller, layout, defense=shadow, track_swaps=True
+        )
+        assert not attacker.attempt_flip(BitLocation(0, 0, 7), max_windows=3)
+        assert shadow.stats.rows_moved > 0
+
+    def test_budget_exhaustion_leaks_flips(self, fresh_model):
+        qmodel, controller, layout = build_stack(fresh_model)
+        shadow = Shadow(controller, shuffles_per_tref=0, seed=1)
+        attacker = RowHammerAttacker(
+            controller, layout, defense=shadow, track_swaps=True
+        )
+        assert attacker.attempt_flip(BitLocation(0, 0, 7), max_windows=2)
+        assert shadow.stats.skipped_for_budget > 0
+
+    def test_logical_data_preserved_across_shuffles(self, fresh_model):
+        qmodel, controller, layout = build_stack(fresh_model)
+        shadow = Shadow(controller, seed=1)
+        snap = qmodel.snapshot()
+        attacker = RowHammerAttacker(
+            controller, layout, defense=shadow, track_swaps=True
+        )
+        attacker.attempt_flip(BitLocation(0, 0, 7), max_windows=2)
+        # The flip was blocked AND no other weight was corrupted by the
+        # shuffling itself.
+        layout.sync_model_from_dram()
+        assert qmodel.hamming_distance_from(snap) == 0
+
+    def test_validates_shadow_rows(self, fresh_model):
+        _, controller, _ = build_stack(fresh_model)
+        with pytest.raises(ValueError):
+            Shadow(controller, shadow_rows_per_subarray=0)
+
+
+class TestCounterTrackers:
+    @pytest.mark.parametrize(
+        "factory",
+        [make_graphene, make_twice, make_hydra, make_counter_tree],
+        ids=["graphene", "twice", "hydra", "counter-tree"],
+    )
+    def test_victim_refresh_blocks_flips(self, fresh_model, factory):
+        qmodel, controller, layout = build_stack(fresh_model)
+        tracker = factory(controller)
+        attacker = RowHammerAttacker(
+            controller, layout, defense=tracker, track_swaps=True
+        )
+        assert not attacker.attempt_flip(BitLocation(0, 0, 7), max_windows=2)
+        assert tracker.stats.reactions > 0
+
+    def test_counter_per_row_blocks_with_late_trigger(self, fresh_model):
+        qmodel, controller, layout = build_stack(fresh_model)
+        tracker = make_counter_per_row(controller)
+        assert tracker.trigger_count == 750
+        attacker = RowHammerAttacker(
+            controller, layout, defense=tracker, track_swaps=True,
+        )
+        assert not attacker.attempt_flip(BitLocation(0, 0, 7), max_windows=2)
+
+    def test_names_are_distinct(self, fresh_model):
+        _, controller, _ = build_stack(fresh_model)
+        names = {
+            factory(controller).name
+            for factory in (
+                make_graphene, make_twice, make_hydra,
+                make_counter_per_row, make_counter_tree,
+            )
+        }
+        assert len(names) == 5
+
+
+class TestPPim:
+    def test_ppim_blocks_tracking_attacker(self, fresh_model):
+        from repro.defenses import make_ppim
+
+        qmodel, controller, layout = build_stack(fresh_model)
+        ppim = make_ppim(controller)
+        attacker = RowHammerAttacker(
+            controller, layout, defense=ppim, track_swaps=True
+        )
+        assert not attacker.attempt_flip(BitLocation(0, 0, 7), max_windows=2)
+        assert ppim.name == "p-pim"
+        assert ppim.stats.reactions > 0

@@ -1,0 +1,99 @@
+"""Tests for command cost accounting and timing parameters."""
+
+import pytest
+
+from repro.dram.commands import (
+    Command,
+    CommandStats,
+    command_energy_pj,
+    command_latency_ns,
+)
+from repro.dram.timing import (
+    DDR4_DEFAULT,
+    LPDDR4_DEFAULT,
+    TRH_BY_GENERATION,
+    TRH_LPDDR4,
+    TimingParams,
+)
+
+
+class TestTimingParams:
+    def test_swap_cost_is_three_aaps(self):
+        t = TimingParams()
+        assert t.t_swap_ns == pytest.approx(3 * t.t_aap_ns)
+        assert t.t_swap_unpipelined_ns == pytest.approx(4 * t.t_aap_ns)
+
+    def test_hammer_window(self):
+        t = TimingParams(t_rh=1000)
+        assert t.hammer_window_ns == pytest.approx(1000 * t.t_act_eff_ns)
+
+    def test_with_trh(self):
+        t = TimingParams().with_trh(2000)
+        assert t.t_rh == 2000
+        # original untouched (frozen dataclass)
+        assert TimingParams().t_rh == TRH_LPDDR4
+
+    def test_max_swaps_per_window(self):
+        t = TimingParams(t_rh=4800)
+        assert t.max_swaps_per_window() == int(
+            t.hammer_window_ns / t.t_swap_ns
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TimingParams(t_rh=0)
+        with pytest.raises(ValueError):
+            TimingParams(t_aap_ns=-1)
+
+    def test_trh_table_matches_fig1a(self):
+        assert TRH_BY_GENERATION["DDR3 (old)"] == 139_000
+        assert TRH_BY_GENERATION["LPDDR4 (new)"] == 4_800
+        assert TRH_LPDDR4 == 4_800
+        assert LPDDR4_DEFAULT.t_rh == 4_800
+        assert DDR4_DEFAULT.t_aap_ns == 90.0
+
+    def test_t_ref_ns(self):
+        assert TimingParams(t_ref_ms=64.0).t_ref_ns == 64e6
+
+
+class TestCommandCosts:
+    def test_every_command_has_latency_and_energy(self):
+        t = TimingParams()
+        for command in Command:
+            assert command_latency_ns(command, t) > 0
+            assert command_energy_pj(command, t) > 0
+
+    def test_aap_uses_taap(self):
+        t = TimingParams()
+        assert command_latency_ns(Command.AAP, t) == t.t_aap_ns
+        assert command_energy_pj(Command.AAP, t) == t.e_aap_pj
+
+
+class TestCommandStats:
+    def test_record_accumulates(self):
+        t = TimingParams()
+        stats = CommandStats()
+        stats.record(Command.ACT, t, repeat=3)
+        stats.record(Command.AAP, t)
+        assert stats.count(Command.ACT) == 3
+        assert stats.count(Command.AAP) == 1
+        assert stats.count(Command.PRE) == 0
+        assert stats.total_time_ns == pytest.approx(
+            3 * t.t_rc_ns + t.t_aap_ns
+        )
+
+    def test_record_rejects_negative_repeat(self):
+        with pytest.raises(ValueError):
+            CommandStats().record(Command.ACT, TimingParams(), repeat=-1)
+
+    def test_merge(self):
+        t = TimingParams()
+        a = CommandStats()
+        b = CommandStats()
+        a.record(Command.ACT, t, 2)
+        b.record(Command.ACT, t, 5)
+        b.record(Command.RD, t)
+        a.merge(b)
+        assert a.count(Command.ACT) == 7
+        assert a.count(Command.RD) == 1
+        assert a.total_time_ns == pytest.approx(7 * t.t_rc_ns + t.t_rc_ns)

@@ -1,0 +1,234 @@
+"""Tests for the memory controller: timing, RowHammer dynamics, RowClone."""
+
+import numpy as np
+import pytest
+
+from repro.dram.address import RowAddress
+from repro.dram.commands import Command
+from repro.dram.controller import MemoryController
+from repro.dram.device import DramDevice
+from repro.dram.faults import ProfiledFlipModel
+from repro.dram.geometry import DramGeometry
+from repro.dram.rowclone import RowCloneEngine
+from repro.dram.timing import TimingParams
+
+
+def make_controller(t_rh=100, **timing_kwargs):
+    geometry = DramGeometry(
+        banks=2, subarrays_per_bank=2, rows_per_subarray=32, row_bytes=64
+    )
+    timing = TimingParams(t_rh=t_rh, **timing_kwargs)
+    device = DramDevice(geometry)
+    return MemoryController(device, timing)
+
+
+class TestTimeAccounting:
+    def test_activate_advances_time(self):
+        mc = make_controller()
+        mc.activate(RowAddress(0, 0, 5), actor="attacker")
+        assert mc.now_ns == pytest.approx(mc.timing.t_rc_ns)
+
+    def test_hammer_uses_effective_period(self):
+        mc = make_controller()
+        mc.activate(RowAddress(0, 0, 5), actor="attacker", count=10, hammer=True)
+        assert mc.now_ns == pytest.approx(10 * mc.timing.t_act_eff_ns)
+
+    def test_actor_attribution(self):
+        mc = make_controller()
+        mc.activate(RowAddress(0, 0, 5), actor="attacker", count=3, hammer=True)
+        mc.rowclone(RowAddress(0, 0, 1), RowAddress(0, 0, 9), actor="defender")
+        assert mc.actor_stats("attacker").count(Command.ACT) == 3
+        assert mc.actor_stats("defender").count(Command.AAP) == 1
+        assert mc.actor_stats("defender").total_time_ns == pytest.approx(
+            mc.timing.t_aap_ns
+        )
+
+    def test_advance_time_rejects_negative(self):
+        mc = make_controller()
+        with pytest.raises(ValueError):
+            mc.advance_time(-1.0)
+
+
+class TestRowHammerDynamics:
+    def test_flip_occurs_at_threshold_on_declared_bits(self):
+        mc = make_controller(t_rh=50)
+        victim = RowAddress(0, 0, 10)
+        aggressor = RowAddress(0, 0, 11)
+        mc.declare_attack_targets(victim, [3, 17])
+        mc.activate(aggressor, actor="attacker", count=50, hammer=True)
+        flipped = mc.device.fault_log.flips_in_row(victim)
+        assert sorted(e.bit for e in flipped) == [3, 17]
+
+    def test_no_flip_below_threshold(self):
+        mc = make_controller(t_rh=50)
+        victim = RowAddress(0, 0, 10)
+        mc.declare_attack_targets(victim, [3])
+        mc.activate(RowAddress(0, 0, 11), actor="attacker", count=49, hammer=True)
+        assert mc.device.fault_log.total_flips == 0
+
+    def test_both_neighbours_are_victims(self):
+        mc = make_controller(t_rh=10)
+        aggressor = RowAddress(0, 0, 10)
+        upper = RowAddress(0, 0, 9)
+        lower = RowAddress(0, 0, 11)
+        mc.declare_attack_targets(upper, [0])
+        mc.declare_attack_targets(lower, [1])
+        mc.activate(aggressor, actor="attacker", count=10, hammer=True)
+        assert len(mc.device.fault_log.flips_in_row(upper)) == 1
+        assert len(mc.device.fault_log.flips_in_row(lower)) == 1
+
+    def test_refresh_resets_disturbance(self):
+        # Hammering split across a refresh boundary must not flip.
+        mc = make_controller(t_rh=100)
+        victim = RowAddress(0, 0, 10)
+        aggressor = RowAddress(0, 0, 11)
+        mc.declare_attack_targets(victim, [0])
+        mc.activate(aggressor, actor="attacker", count=60, hammer=True)
+        mc.advance_time(mc.ns_until_refresh())  # crosses the refresh boundary
+        mc.activate(aggressor, actor="attacker", count=60, hammer=True)
+        assert mc.device.fault_log.total_flips == 0
+        assert mc.refresh_epoch >= 1
+
+    def test_victim_activation_resets_own_disturbance(self):
+        mc = make_controller(t_rh=100)
+        victim = RowAddress(0, 0, 10)
+        aggressor = RowAddress(0, 0, 11)
+        mc.declare_attack_targets(victim, [0])
+        mc.activate(aggressor, actor="attacker", count=60, hammer=True)
+        mc.activate(victim, actor="defender")  # refreshes the victim
+        mc.activate(aggressor, actor="attacker", count=60, hammer=True)
+        assert mc.device.fault_log.total_flips == 0
+
+    def test_flip_happens_only_once_per_window(self):
+        mc = make_controller(t_rh=10)
+        victim = RowAddress(0, 0, 10)
+        mc.declare_attack_targets(victim, [5])
+        mc.activate(RowAddress(0, 0, 11), actor="attacker", count=30, hammer=True)
+        assert len(mc.device.fault_log.flips_in_row(victim)) == 1
+
+    def test_subarray_boundary_blocks_disturbance(self):
+        mc = make_controller(t_rh=10)
+        # Last row of subarray 0; "next" row lives in subarray 1 and must
+        # NOT be disturbed.
+        edge = RowAddress(0, 0, 31)
+        other_side = RowAddress(0, 1, 0)
+        mc.declare_attack_targets(other_side, [0])
+        mc.activate(edge, actor="attacker", count=100, hammer=True)
+        assert mc.device.fault_log.total_flips == 0
+
+    def test_activate_hook_sees_counts(self):
+        mc = make_controller()
+        seen = []
+        mc.register_activate_hook(lambda addr, t, n: seen.append((addr, n)))
+        mc.activate(RowAddress(1, 1, 3), count=7, hammer=True)
+        assert seen == [(RowAddress(1, 1, 3), 7)]
+
+
+class TestRowClone:
+    def test_copies_data(self):
+        mc = make_controller()
+        src = RowAddress(0, 0, 2)
+        dst = RowAddress(0, 0, 20)
+        payload = np.arange(64, dtype=np.uint8)
+        mc.poke_logical(src, payload)
+        mc.rowclone(src, dst)
+        assert np.array_equal(mc.peek_logical(dst), payload)
+
+    def test_rejects_cross_subarray_fpm(self):
+        mc = make_controller()
+        with pytest.raises(ValueError):
+            mc.rowclone(RowAddress(0, 0, 1), RowAddress(0, 1, 1))
+
+    def test_rejects_self_copy(self):
+        mc = make_controller()
+        with pytest.raises(ValueError):
+            mc.rowclone(RowAddress(0, 0, 1), RowAddress(0, 0, 1))
+
+    def test_copy_refreshes_source_and_destination(self):
+        mc = make_controller(t_rh=100)
+        src = RowAddress(0, 0, 10)
+        mc.activate(RowAddress(0, 0, 11), count=90, hammer=True)  # disturb src
+        assert mc.device.disturbance(src) == 90
+        mc.rowclone(src, RowAddress(0, 0, 20))
+        assert mc.device.disturbance(src) == 0
+
+    def test_psm_copies_across_subarrays(self):
+        mc = make_controller()
+        src = RowAddress(0, 0, 2)
+        dst = RowAddress(1, 1, 7)
+        payload = np.full(64, 0xAB, dtype=np.uint8)
+        mc.poke_logical(src, payload)
+        mc.rowclone_psm(src, dst)
+        assert np.array_equal(mc.peek_logical(dst), payload)
+
+    def test_engine_picks_mode(self):
+        mc = make_controller()
+        engine = RowCloneEngine(mc)
+        engine.copy(RowAddress(0, 0, 1), RowAddress(0, 0, 2))
+        engine.copy(RowAddress(0, 0, 1), RowAddress(0, 1, 2))
+        assert engine.fpm_copies == 1
+        assert engine.psm_copies == 1
+        assert engine.total_copies == 2
+
+    def test_aap_disturbs_neighbours(self):
+        mc = make_controller(t_rh=100)
+        src = RowAddress(0, 0, 10)
+        dst = RowAddress(0, 0, 20)
+        neighbour = RowAddress(0, 0, 9)
+        before = mc.device.disturbance(neighbour)
+        mc.rowclone(src, dst)
+        assert mc.device.disturbance(neighbour) == before + 1
+
+
+class TestLogicalAccess:
+    def test_read_write_roundtrip(self):
+        mc = make_controller()
+        addr = RowAddress(1, 0, 4)
+        payload = np.arange(64, dtype=np.uint8)[::-1].copy()
+        mc.write_logical(addr, payload)
+        assert np.array_equal(mc.read_logical(addr), payload)
+
+    def test_indirection_redirects_access(self):
+        mc = make_controller()
+        a = RowAddress(0, 0, 1)
+        b = RowAddress(0, 0, 2)
+        mc.poke_logical(a, np.full(64, 1, dtype=np.uint8))
+        mc.poke_logical(b, np.full(64, 2, dtype=np.uint8))
+        # Move the *data*, then record the swap: logical a now lives at
+        # physical b.
+        data_a = mc.device.read_row(a).copy()
+        data_b = mc.device.read_row(b).copy()
+        mc.device.write_row(a, data_b)
+        mc.device.write_row(b, data_a)
+        mc.indirection.swap(a, b)
+        assert mc.read_logical(a)[0] == 1
+        assert mc.read_logical(b)[0] == 2
+
+
+class TestProfiledFlipModel:
+    def test_only_vulnerable_cells_flip(self):
+        geometry = DramGeometry(
+            banks=1, subarrays_per_bank=1, rows_per_subarray=16, row_bytes=64
+        )
+        model = ProfiledFlipModel(row_bits=64 * 8, density=0.05, seed=3)
+        device = DramDevice(geometry, flip_model=model)
+        mc = MemoryController(device, TimingParams(t_rh=10))
+        victim = RowAddress(0, 0, 5)
+        rng = np.random.default_rng(0)
+        device.fill_random(rng)
+        vulnerable, _ = model.profile(victim)
+        mc.activate(RowAddress(0, 0, 6), count=10, hammer=True)
+        flipped_bits = {e.bit for e in device.fault_log.flips_in_row(victim)}
+        assert flipped_bits.issubset(set(int(b) for b in vulnerable))
+
+    def test_profile_is_stable(self):
+        model = ProfiledFlipModel(row_bits=512, density=0.1, seed=9)
+        row = RowAddress(0, 0, 1)
+        bits_a, dirs_a = model.profile(row)
+        bits_b, dirs_b = model.profile(row)
+        assert np.array_equal(bits_a, bits_b)
+        assert np.array_equal(dirs_a, dirs_b)
+
+    def test_density_validation(self):
+        with pytest.raises(ValueError):
+            ProfiledFlipModel(row_bits=8, density=1.5)

@@ -1,0 +1,150 @@
+"""Tests for DRAM geometry arithmetic and addressing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dram.address import AddressMapper, RowAddress, RowIndirection
+from repro.dram.geometry import PAPER_GEOMETRY, SMALL_GEOMETRY, DramGeometry
+
+
+class TestGeometry:
+    def test_paper_geometry_is_32gb_16_banks(self):
+        assert PAPER_GEOMETRY.banks == 16
+        assert PAPER_GEOMETRY.capacity_gib == 32.0
+
+    def test_row_bits(self):
+        assert SMALL_GEOMETRY.row_bits == SMALL_GEOMETRY.row_bytes * 8
+
+    def test_total_rows(self):
+        g = DramGeometry(banks=2, subarrays_per_bank=3, rows_per_subarray=8,
+                         row_bytes=64)
+        assert g.rows_per_bank == 24
+        assert g.total_rows == 48
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            DramGeometry(banks=0)
+
+    def test_rejects_tiny_subarray(self):
+        with pytest.raises(ValueError):
+            DramGeometry(rows_per_subarray=2)
+
+    def test_describe_mentions_banks(self):
+        assert "banks" in SMALL_GEOMETRY.describe()
+
+
+class TestAddressMapper:
+    def setup_method(self):
+        self.geometry = DramGeometry(
+            banks=3, subarrays_per_bank=4, rows_per_subarray=16, row_bytes=32
+        )
+        self.mapper = AddressMapper(self.geometry)
+
+    def test_roundtrip_all_rows(self):
+        for flat in range(self.geometry.total_rows):
+            addr = self.mapper.from_flat(flat)
+            assert self.mapper.to_flat(addr) == flat
+
+    def test_flat_order_walks_rows_first(self):
+        a0 = self.mapper.from_flat(0)
+        a1 = self.mapper.from_flat(1)
+        assert a0 == RowAddress(0, 0, 0)
+        assert a1 == RowAddress(0, 0, 1)
+
+    def test_from_flat_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            self.mapper.from_flat(self.geometry.total_rows)
+        with pytest.raises(ValueError):
+            self.mapper.from_flat(-1)
+
+    def test_validate_rejects_bad_bank(self):
+        with pytest.raises(ValueError):
+            self.mapper.validate(RowAddress(99, 0, 0))
+
+    def test_neighbors_interior(self):
+        addr = RowAddress(1, 2, 5)
+        neighbors = self.mapper.neighbors(addr)
+        assert neighbors == [RowAddress(1, 2, 4), RowAddress(1, 2, 6)]
+
+    def test_neighbors_at_subarray_edges(self):
+        first = self.mapper.neighbors(RowAddress(0, 0, 0))
+        last = self.mapper.neighbors(
+            RowAddress(0, 0, self.geometry.rows_per_subarray - 1)
+        )
+        assert first == [RowAddress(0, 0, 1)]
+        assert last == [RowAddress(0, 0, self.geometry.rows_per_subarray - 2)]
+
+    def test_neighbors_never_cross_subarray(self):
+        for addr in self.mapper.iter_rows():
+            for n in self.mapper.neighbors(addr):
+                assert n.same_subarray(addr)
+
+    @given(st.integers(0, 3 * 4 * 16 - 1))
+    def test_roundtrip_property(self, flat):
+        assert self.mapper.to_flat(self.mapper.from_flat(flat)) == flat
+
+
+class TestRowIndirection:
+    def setup_method(self):
+        self.mapper = AddressMapper(SMALL_GEOMETRY)
+        self.ind = RowIndirection(self.mapper)
+
+    def test_identity_by_default(self):
+        addr = RowAddress(0, 0, 5)
+        assert self.ind.physical(addr) == addr
+        assert self.ind.logical(addr) == addr
+        assert self.ind.remapped_count == 0
+
+    def test_swap_and_inverse(self):
+        a = RowAddress(0, 0, 1)
+        b = RowAddress(0, 0, 7)
+        self.ind.swap(a, b)
+        assert self.ind.physical(a) == b
+        assert self.ind.physical(b) == a
+        assert self.ind.logical(b) == a
+        assert self.ind.logical(a) == b
+
+    def test_double_swap_restores_identity(self):
+        a = RowAddress(1, 1, 2)
+        b = RowAddress(1, 1, 9)
+        self.ind.swap(a, b)
+        self.ind.swap(a, b)
+        assert self.ind.physical(a) == a
+        assert self.ind.physical(b) == b
+        assert self.ind.remapped_count == 0
+
+    def test_three_way_chain_stays_consistent(self):
+        a = RowAddress(0, 0, 1)
+        b = RowAddress(0, 0, 2)
+        c = RowAddress(0, 0, 3)
+        self.ind.swap(a, b)
+        self.ind.swap(a, c)
+        # data of a is now where c was; data of c is where b... follow:
+        # after swap(a,b): a@B, b@A. after swap(a,c): a@C, c@B.
+        assert self.ind.physical(a) == c
+        assert self.ind.physical(c) == b
+        assert self.ind.physical(b) == a
+        # forward and reverse maps agree everywhere
+        for logical in (a, b, c):
+            assert self.ind.logical(self.ind.physical(logical)) == logical
+
+    @given(st.lists(st.tuples(st.integers(0, 63), st.integers(0, 63)),
+                    max_size=30))
+    def test_random_swaps_keep_bijection(self, pairs):
+        mapper = AddressMapper(SMALL_GEOMETRY)
+        ind = RowIndirection(mapper)
+        logicals = []
+        for i, j in pairs:
+            a = mapper.from_flat(i)
+            b = mapper.from_flat(j)
+            if a == b:
+                continue
+            ind.swap(a, b)
+            logicals.extend([a, b])
+        seen_physical = set()
+        for logical in set(logicals):
+            physical = ind.physical(logical)
+            assert ind.logical(physical) == logical
+            assert physical not in seen_physical
+            seen_physical.add(physical)

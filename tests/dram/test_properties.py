@@ -1,0 +1,142 @@
+"""Property-based and fuzz tests for DRAM + swap invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import SwapEngine
+from repro.dram import (
+    DramDevice,
+    DramGeometry,
+    MemoryController,
+    RowAddress,
+    TimingParams,
+)
+
+GEOMETRY = DramGeometry(
+    banks=2, subarrays_per_bank=2, rows_per_subarray=24, row_bytes=32
+)
+
+
+def make_controller(t_rh=10**9):
+    """High threshold: these tests exercise data movement, not flips."""
+    mc = MemoryController(DramDevice(GEOMETRY), TimingParams(t_rh=t_rh))
+    mc.device.fill_random(np.random.default_rng(7))
+    return mc
+
+
+def snapshot_logical(mc, rows):
+    return {row: mc.peek_logical(row).copy() for row in rows}
+
+
+data_rows = st.integers(0, GEOMETRY.rows_per_subarray - 3)
+
+
+class TestSwapChainsPreserveData:
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 1), st.integers(0, 1), data_rows),
+            min_size=1,
+            max_size=12,
+        ),
+        st.integers(0, 2**31 - 1),
+    )
+    def test_arbitrary_swap_sequences(self, targets, seed):
+        """Any sequence of four-step swaps leaves every logical row's data
+        intact (the defense must be transparent to software)."""
+        mc = make_controller()
+        engine = SwapEngine(mc, reserved_rows=2)
+        all_rows = [
+            RowAddress(b, s, r)
+            for b in range(GEOMETRY.banks)
+            for s in range(GEOMETRY.subarrays_per_bank)
+            for r in range(GEOMETRY.rows_per_subarray - 2)
+        ]
+        before = snapshot_logical(mc, all_rows)
+        rng = np.random.default_rng(seed)
+        for bank, subarray, row in targets:
+            engine.swap_target(RowAddress(bank, subarray, row), rng)
+        for row, data in before.items():
+            np.testing.assert_array_equal(mc.peek_logical(row), data)
+
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.integers(0, 2**31 - 1))
+    def test_swaps_interleaved_with_writes(self, seed):
+        """Writes through the logical interface land on the right data even
+        while the defender keeps relocating rows underneath."""
+        mc = make_controller()
+        engine = SwapEngine(mc, reserved_rows=2)
+        rng = np.random.default_rng(seed)
+        row = RowAddress(0, 0, 5)
+        expected = None
+        for i in range(8):
+            payload = np.full(GEOMETRY.row_bytes, i + 1, dtype=np.uint8)
+            mc.write_logical(row, payload)
+            expected = payload
+            engine.swap_target(row, rng)
+            np.testing.assert_array_equal(mc.peek_logical(row), expected)
+
+
+class TestDisturbanceInvariants:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(st.tuples(data_rows, st.integers(1, 50)), min_size=1,
+                 max_size=10)
+    )
+    def test_disturbance_counts_neighbour_activations(self, bursts):
+        """When the victim itself is never activated, its disturbance is
+        exactly the sum of its neighbours' activation counts."""
+        mc = make_controller()
+        victim = RowAddress(0, 0, 10)
+        for row, count in bursts:
+            mc.activate(RowAddress(0, 0, row), count=count, hammer=True)
+        if all(row != victim.row for row, _ in bursts):
+            expected = sum(
+                count for row, count in bursts if abs(row - victim.row) == 1
+            )
+            assert mc.device.disturbance(victim) == expected
+
+    def test_disturbance_never_negative(self):
+        mc = make_controller()
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            row = RowAddress(
+                int(rng.integers(0, GEOMETRY.banks)),
+                int(rng.integers(0, GEOMETRY.subarrays_per_bank)),
+                int(rng.integers(0, GEOMETRY.rows_per_subarray)),
+            )
+            mc.activate(row, count=int(rng.integers(1, 20)), hammer=True)
+        for bank in mc.device.banks:
+            for sa in bank.subarrays:
+                assert (sa.disturbance >= 0).all()
+
+
+class TestTimeMonotonicity:
+    def test_clock_never_goes_backwards(self):
+        mc = make_controller(t_rh=100)
+        engine = SwapEngine(mc, reserved_rows=2)
+        rng = np.random.default_rng(1)
+        previous = mc.now_ns
+        for i in range(30):
+            if i % 3 == 0:
+                engine.swap_target(RowAddress(0, 0, 4), rng)
+            else:
+                mc.activate(RowAddress(0, 0, 8), count=10, hammer=True)
+            assert mc.now_ns >= previous
+            previous = mc.now_ns
+
+    def test_refresh_epoch_tracks_time(self):
+        mc = make_controller()
+        t_ref = mc.timing.t_ref_ns
+        mc.advance_time(3.5 * t_ref)
+        assert mc.refresh_epoch == 3
+
+    def test_energy_accumulates(self):
+        mc = make_controller()
+        before = mc.stats.total_energy_pj
+        mc.activate(RowAddress(0, 0, 1), count=100, hammer=True)
+        assert mc.stats.total_energy_pj > before

@@ -1,0 +1,146 @@
+"""Tests for weight placement into DRAM and the mapping file."""
+
+import numpy as np
+import pytest
+
+from repro.dram import (
+    DramDevice,
+    DramGeometry,
+    MemoryController,
+    TimingParams,
+)
+from repro.mapping import WeightLayout, build_protection_plan, place_model
+from repro.nn.quant import BitLocation
+
+
+GEOMETRY = DramGeometry(
+    banks=2, subarrays_per_bank=4, rows_per_subarray=64, row_bytes=128
+)
+
+
+@pytest.fixture
+def controller():
+    return MemoryController(DramDevice(GEOMETRY), TimingParams(t_rh=200))
+
+
+@pytest.fixture
+def layout(fresh_quantized, controller):
+    return place_model(fresh_quantized, controller, reserved_rows=2, seed=0)
+
+
+class TestPlacement:
+    def test_all_weights_placed(self, layout, fresh_quantized):
+        total_bytes = sum(slot.length for slot in layout.slots)
+        assert total_bytes == fresh_quantized.total_weights
+
+    def test_rows_unique(self, layout):
+        rows = layout.weight_rows()
+        assert len(rows) == len(set(rows))
+
+    def test_rows_avoid_reserved_region(self, layout):
+        data_end = GEOMETRY.rows_per_subarray - layout.reserved_rows
+        for row in layout.weight_rows():
+            assert 0 < row.row < data_end - 1
+
+    def test_rows_scattered_across_subarrays(self, layout):
+        subarrays = {(r.bank, r.subarray) for r in layout.weight_rows()}
+        assert len(subarrays) > 1
+
+    def test_dram_content_matches_model(self, layout, fresh_quantized):
+        for layer_index, layer in enumerate(fresh_quantized.layers):
+            packed = layer.packed_bytes()
+            for slot in layout._rows_by_layer[layer_index]:
+                row = layout.controller.peek_logical(slot.logical_row)
+                np.testing.assert_array_equal(
+                    row[:slot.length],
+                    packed[slot.byte_offset:slot.byte_offset + slot.length],
+                )
+
+    def test_too_small_geometry_rejected(self, fresh_quantized):
+        tiny = DramGeometry(
+            banks=1, subarrays_per_bank=1, rows_per_subarray=8, row_bytes=32
+        )
+        controller = MemoryController(DramDevice(tiny), TimingParams())
+        with pytest.raises(ValueError):
+            place_model(fresh_quantized, controller)
+
+    def test_validates_params(self, fresh_quantized, controller):
+        with pytest.raises(ValueError):
+            WeightLayout(fresh_quantized, controller, reserved_rows=0)
+        with pytest.raises(ValueError):
+            WeightLayout(fresh_quantized, controller, spacing=0)
+
+
+class TestMappingFile:
+    def test_locate_bit_roundtrip(self, layout, fresh_quantized):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            layer = int(rng.integers(0, fresh_quantized.num_layers))
+            index = int(
+                rng.integers(0, fresh_quantized.layer(layer).num_weights)
+            )
+            bit = int(rng.integers(0, 8))
+            loc = BitLocation(layer, index, bit)
+            row, bit_in_row = layout.locate_bit(loc)
+            assert loc in layout.bits_in_row(row)
+            # The bit value in DRAM matches the model's bit value.
+            row_data = layout.controller.peek_logical(row)
+            dram_bit = (int(row_data[bit_in_row // 8]) >> (bit_in_row % 8)) & 1
+            assert dram_bit == fresh_quantized.bit_value(loc)
+
+    def test_locate_bit_validates(self, layout):
+        with pytest.raises(ValueError):
+            layout.locate_bit(BitLocation(0, 10**9, 0))
+        with pytest.raises(ValueError):
+            layout.locate_bit(BitLocation(0, 0, 9))
+
+    def test_bits_in_row_empty_for_non_weight_row(self, layout):
+        from repro.dram import RowAddress
+        # Reserved rows never hold weights.
+        reserved = RowAddress(0, 0, GEOMETRY.rows_per_subarray - 1)
+        assert layout.bits_in_row(reserved) == []
+
+    def test_row_for_bits_dedups(self, layout):
+        bits = layout.bits_in_row(layout.weight_rows()[0])[:16]
+        assert len(layout.row_for_bits(bits)) == 1
+
+
+class TestSync:
+    def test_flip_in_dram_propagates_to_model(self, layout, fresh_quantized):
+        loc = BitLocation(0, 3, 7)
+        row, bit_in_row = layout.locate_bit(loc)
+        before = fresh_quantized.bit_value(loc)
+        data = layout.controller.peek_logical(row).copy()
+        data[bit_in_row // 8] ^= 1 << (bit_in_row % 8)
+        layout.controller.poke_logical(row, data)
+        layout.sync_model_from_dram()
+        assert fresh_quantized.bit_value(loc) == 1 - before
+
+    def test_model_to_dram_roundtrip(self, layout, fresh_quantized):
+        fresh_quantized.flip_bit(BitLocation(1, 0, 6))
+        layout.sync_dram_from_model()
+        snap = fresh_quantized.snapshot()
+        layout.sync_model_from_dram()
+        assert fresh_quantized.hamming_distance_from(snap) == 0
+
+
+class TestProtectionPlan:
+    def test_partitions_rows(self, layout):
+        secured = set(layout.bits_in_row(layout.weight_rows()[0])[:8])
+        plan = build_protection_plan(layout, secured)
+        assert plan.num_target_rows == 1
+        assert set(plan.target_rows) | set(plan.non_target_rows) == set(
+            layout.weight_rows()
+        )
+        assert not set(plan.target_rows) & set(plan.non_target_rows)
+
+    def test_is_secured(self, layout):
+        bits = layout.bits_in_row(layout.weight_rows()[0])[:4]
+        plan = build_protection_plan(layout, set(bits))
+        assert plan.is_secured(bits[0])
+        assert not plan.is_secured(BitLocation(0, 10**6, 0))
+
+    def test_empty_plan(self, layout):
+        plan = build_protection_plan(layout, set())
+        assert plan.num_target_rows == 0
+        assert len(plan.non_target_rows) == layout.num_rows

@@ -1,0 +1,314 @@
+"""Gradient checks for the autograd engine (numerical vs analytic)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor, no_grad
+
+
+def numerical_grad(fn, x: np.ndarray, eps: float = 1e-5) -> np.ndarray:
+    """Central-difference gradient of scalar ``fn`` w.r.t. ``x``."""
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        old = flat[i]
+        flat[i] = old + eps
+        plus = fn()
+        flat[i] = old - eps
+        minus = fn()
+        flat[i] = old
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def check_gradient(make_output, *tensors, atol=1e-5, rtol=1e-4):
+    """Compare autograd gradients to numerical ones for each input tensor."""
+    for t in tensors:
+        t.zero_grad()
+    out = make_output()
+    out.backward()
+    for t in tensors:
+        analytic = t.grad.copy()
+
+        def scalar():
+            with no_grad():
+                return float(make_output().data)
+
+        numeric = numerical_grad(scalar, t.data)
+        np.testing.assert_allclose(analytic, numeric, atol=atol, rtol=rtol)
+
+
+def t64(array, requires_grad=True):
+    return Tensor(np.asarray(array, dtype=np.float64), requires_grad=requires_grad)
+
+
+class TestElementwiseOps:
+    def test_add_mul(self):
+        rng = np.random.default_rng(0)
+        a = t64(rng.normal(size=(3, 4)))
+        b = t64(rng.normal(size=(3, 4)))
+        check_gradient(lambda: ((a + b) * a).sum(), a, b)
+
+    def test_broadcast_add(self):
+        rng = np.random.default_rng(1)
+        a = t64(rng.normal(size=(3, 4)))
+        b = t64(rng.normal(size=(4,)))
+        check_gradient(lambda: (a + b).sum(), a, b)
+
+    def test_broadcast_mul_keepdims(self):
+        rng = np.random.default_rng(2)
+        a = t64(rng.normal(size=(2, 3, 4)))
+        b = t64(rng.normal(size=(1, 3, 1)))
+        check_gradient(lambda: (a * b).sum(), a, b)
+
+    def test_div_pow(self):
+        rng = np.random.default_rng(3)
+        a = t64(rng.uniform(0.5, 2.0, size=(5,)))
+        b = t64(rng.uniform(0.5, 2.0, size=(5,)))
+        check_gradient(lambda: (a / b).sum(), a, b)
+        check_gradient(lambda: (a ** 3.0).sum(), a)
+
+    def test_relu_away_from_kink(self):
+        a = t64([[-1.0, -0.5, 0.5, 2.0]])
+        check_gradient(lambda: (a.relu() * 3.0).sum(), a)
+
+    def test_exp_log_sqrt_tanh(self):
+        rng = np.random.default_rng(4)
+        a = t64(rng.uniform(0.5, 2.0, size=(6,)))
+        check_gradient(lambda: a.exp().sum(), a)
+        check_gradient(lambda: a.log().sum(), a)
+        check_gradient(lambda: a.sqrt().sum(), a)
+        check_gradient(lambda: a.tanh().sum(), a)
+
+    def test_clip(self):
+        a = t64([-2.0, -0.5, 0.5, 2.0])
+        check_gradient(lambda: a.clip(-1.0, 1.0).sum(), a)
+
+    def test_neg_sub(self):
+        rng = np.random.default_rng(5)
+        a = t64(rng.normal(size=(4,)))
+        b = t64(rng.normal(size=(4,)))
+        check_gradient(lambda: (a - b).sum(), a, b)
+        check_gradient(lambda: (-a * b).sum(), a, b)
+
+
+class TestMatmulShapes:
+    def test_matmul_2d(self):
+        rng = np.random.default_rng(6)
+        a = t64(rng.normal(size=(3, 4)))
+        b = t64(rng.normal(size=(4, 5)))
+        check_gradient(lambda: (a @ b).sum(), a, b)
+
+    def test_matmul_broadcast_batch(self):
+        rng = np.random.default_rng(7)
+        a = t64(rng.normal(size=(2, 3)))        # broadcast over batch
+        b = t64(rng.normal(size=(4, 3, 5)))
+        check_gradient(lambda: (a @ b).sum(), a, b)
+
+    def test_matmul_rejects_1d(self):
+        with pytest.raises(ValueError):
+            _ = t64([1.0, 2.0]) @ t64([[1.0], [2.0]])
+
+    def test_sum_axis(self):
+        rng = np.random.default_rng(8)
+        a = t64(rng.normal(size=(3, 4, 2)))
+        check_gradient(lambda: (a.sum(axis=1) ** 2.0).sum(), a)
+
+    def test_mean_axes(self):
+        rng = np.random.default_rng(9)
+        a = t64(rng.normal(size=(3, 4, 2)))
+        check_gradient(lambda: (a.mean(axis=(0, 2)) ** 2.0).sum(), a)
+
+    def test_reshape_transpose(self):
+        rng = np.random.default_rng(10)
+        a = t64(rng.normal(size=(3, 4)))
+        check_gradient(lambda: (a.reshape(2, 6).T ** 2.0).sum(), a)
+
+    def test_getitem(self):
+        rng = np.random.default_rng(11)
+        a = t64(rng.normal(size=(5, 3)))
+        check_gradient(lambda: (a[1:4] * 2.0).sum(), a)
+
+
+class TestBackwardSemantics:
+    def test_grad_accumulates_across_uses(self):
+        a = t64([2.0])
+        out = a * a + a  # d/da = 2a + 1 = 5
+        out.backward()
+        assert a.grad[0] == pytest.approx(5.0)
+
+    def test_backward_requires_scalar(self):
+        a = t64([[1.0, 2.0]])
+        with pytest.raises(RuntimeError):
+            (a * 2).backward()
+
+    def test_backward_on_nograd_tensor_raises(self):
+        a = Tensor([1.0])
+        with pytest.raises(RuntimeError):
+            a.backward()
+
+    def test_no_grad_blocks_graph(self):
+        a = t64([1.0])
+        with no_grad():
+            out = a * 3.0
+        assert not out.requires_grad
+
+    def test_diamond_graph(self):
+        # a -> b, c -> d uses both paths; grads must sum correctly.
+        a = t64([3.0])
+        b = a * 2.0
+        c = a * 5.0
+        d = (b * c).sum()  # d = 10 a^2, dd/da = 20 a = 60
+        d.backward()
+        assert a.grad[0] == pytest.approx(60.0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.floats(-3, 3), min_size=2, max_size=6))
+    def test_sum_grad_is_ones(self, values):
+        a = t64(values)
+        a.sum().backward()
+        assert np.allclose(a.grad, np.ones(len(values)))
+
+
+class TestNNFunctional:
+    def test_conv2d_gradcheck(self):
+        rng = np.random.default_rng(12)
+        x = t64(rng.normal(size=(2, 3, 5, 5)))
+        w = t64(rng.normal(size=(4, 3, 3, 3)) * 0.5)
+        b = t64(rng.normal(size=(4,)))
+        check_gradient(
+            lambda: (F.conv2d(x, w, b, stride=1, padding=1) ** 2.0).sum(),
+            x, w, b, atol=1e-4, rtol=1e-3,
+        )
+
+    def test_conv2d_stride2_gradcheck(self):
+        rng = np.random.default_rng(13)
+        x = t64(rng.normal(size=(2, 2, 6, 6)))
+        w = t64(rng.normal(size=(3, 2, 3, 3)) * 0.5)
+        check_gradient(
+            lambda: (F.conv2d(x, w, None, stride=2, padding=1) ** 2.0).sum(),
+            x, w, atol=1e-4, rtol=1e-3,
+        )
+
+    def test_conv2d_matches_direct_computation(self):
+        rng = np.random.default_rng(14)
+        x = rng.normal(size=(1, 1, 4, 4))
+        w = rng.normal(size=(1, 1, 2, 2))
+        out = F.conv2d(Tensor(x), Tensor(w), None, stride=1, padding=0)
+        expected = np.zeros((1, 1, 3, 3))
+        for i in range(3):
+            for j in range(3):
+                expected[0, 0, i, j] = (x[0, 0, i:i + 2, j:j + 2] * w[0, 0]).sum()
+        np.testing.assert_allclose(out.data, expected, rtol=1e-5)
+
+    def test_conv2d_channel_mismatch(self):
+        with pytest.raises(ValueError):
+            F.conv2d(
+                Tensor(np.zeros((1, 3, 4, 4))),
+                Tensor(np.zeros((2, 4, 3, 3))),
+            )
+
+    def test_max_pool_gradcheck(self):
+        rng = np.random.default_rng(15)
+        # Distinct values avoid argmax ties that break numerical checking.
+        x = t64(rng.permutation(32).reshape(1, 2, 4, 4) * 0.37)
+        check_gradient(lambda: (F.max_pool2d(x, 2) ** 2.0).sum(), x)
+
+    def test_avg_pool_gradcheck(self):
+        rng = np.random.default_rng(16)
+        x = t64(rng.normal(size=(2, 2, 4, 4)))
+        check_gradient(lambda: (F.avg_pool2d(x, 2) ** 2.0).sum(), x)
+
+    def test_pool_rejects_non_tiling_kernel(self):
+        with pytest.raises(ValueError):
+            F.max_pool2d(Tensor(np.zeros((1, 1, 5, 5))), 2)
+
+    def test_log_softmax_gradcheck(self):
+        rng = np.random.default_rng(17)
+        x = t64(rng.normal(size=(3, 5)))
+        check_gradient(lambda: (F.log_softmax(x) * 0.3).sum(), x)
+
+    def test_softmax_rows_sum_to_one(self):
+        rng = np.random.default_rng(18)
+        x = Tensor(rng.normal(size=(4, 7)))
+        s = F.softmax(x)
+        np.testing.assert_allclose(s.data.sum(axis=1), np.ones(4), rtol=1e-5)
+
+    def test_cross_entropy_gradcheck(self):
+        rng = np.random.default_rng(19)
+        x = t64(rng.normal(size=(4, 6)))
+        targets = np.array([0, 2, 5, 1])
+        check_gradient(lambda: F.cross_entropy(x, targets), x)
+
+    def test_cross_entropy_matches_nll(self):
+        rng = np.random.default_rng(20)
+        x = Tensor(rng.normal(size=(8, 5)))
+        targets = rng.integers(0, 5, size=8)
+        loss = F.cross_entropy(x, targets)
+        log_probs = F.log_softmax(x).data
+        expected = -log_probs[np.arange(8), targets].mean()
+        assert loss.item() == pytest.approx(expected, rel=1e-6)
+
+    def test_cross_entropy_validates_targets(self):
+        x = Tensor(np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            F.cross_entropy(x, np.array([0, 3]))
+        with pytest.raises(ValueError):
+            F.cross_entropy(x, np.array([[0], [1]]))
+
+    def test_batch_norm_train_normalises(self):
+        rng = np.random.default_rng(21)
+        from repro.nn.layers import BatchNorm2d
+        bn = BatchNorm2d(3)
+        x = Tensor(rng.normal(2.0, 3.0, size=(8, 3, 4, 4)).astype(np.float32))
+        out = bn(x)
+        mean = out.data.mean(axis=(0, 2, 3))
+        std = out.data.std(axis=(0, 2, 3))
+        np.testing.assert_allclose(mean, np.zeros(3), atol=1e-4)
+        np.testing.assert_allclose(std, np.ones(3), atol=1e-2)
+
+    def test_batch_norm_eval_uses_running_stats(self):
+        from repro.nn.layers import BatchNorm2d
+        bn = BatchNorm2d(2)
+        rng = np.random.default_rng(22)
+        x = Tensor(rng.normal(1.0, 2.0, size=(16, 2, 3, 3)).astype(np.float32))
+        for _ in range(30):
+            bn(x)  # accumulate running stats
+        bn.eval()
+        out_a = bn(x).data
+        out_b = bn(Tensor(x.data.copy())).data
+        np.testing.assert_allclose(out_a, out_b)
+        assert abs(out_a.mean()) < 0.5
+
+    def test_dropout_eval_is_identity(self):
+        x = Tensor(np.ones((4, 4)))
+        out = F.dropout(x, 0.5, training=False)
+        np.testing.assert_array_equal(out.data, x.data)
+
+    def test_dropout_train_scales(self):
+        rng = np.random.default_rng(23)
+        x = Tensor(np.ones((200, 200)))
+        out = F.dropout(x, 0.5, training=True, rng=rng)
+        assert out.data.mean() == pytest.approx(1.0, abs=0.05)
+        with pytest.raises(ValueError):
+            F.dropout(x, 1.0, training=True)
+
+
+class TestIm2Col:
+    def test_roundtrip_adjoint(self):
+        """col2im is the adjoint of im2col: <im2col(x), y> == <x, col2im(y)>."""
+        rng = np.random.default_rng(24)
+        x = rng.normal(size=(2, 3, 6, 6))
+        cols = F.im2col(x, 3, 3, stride=1, padding=1)
+        y = rng.normal(size=cols.shape)
+        lhs = (cols * y).sum()
+        rhs = (x * F.col2im(y, x.shape, 3, 3, stride=1, padding=1)).sum()
+        assert lhs == pytest.approx(rhs, rel=1e-9)
+
+    def test_bad_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            F.im2col(np.zeros((1, 1, 3, 3)), 5, 5, stride=1, padding=0)

@@ -1,0 +1,136 @@
+"""Tests for synthetic datasets, the optimizer, and end-to-end training."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    SGD,
+    Linear,
+    Sequential,
+    Tensor,
+    cifar10_like,
+    evaluate,
+    fit,
+    imagenet_like,
+    loss_and_grads,
+    make_resnet20,
+    predict_logits,
+    synthetic_classification,
+)
+from repro.nn import functional as F
+
+
+class TestSyntheticData:
+    def test_shapes_and_dtypes(self):
+        data = cifar10_like(n_train=64, n_test=32, image_hw=8, seed=0)
+        assert data.x_train.shape == (64, 3, 8, 8)
+        assert data.x_train.dtype == np.float32
+        assert data.y_train.dtype == np.int64
+        assert data.num_classes == 10
+        assert data.random_guess_accuracy == pytest.approx(0.1)
+
+    def test_deterministic(self):
+        a = cifar10_like(n_train=32, n_test=16, image_hw=8, seed=5)
+        b = cifar10_like(n_train=32, n_test=16, image_hw=8, seed=5)
+        np.testing.assert_array_equal(a.x_train, b.x_train)
+        np.testing.assert_array_equal(a.y_test, b.y_test)
+
+    def test_different_seed_differs(self):
+        a = cifar10_like(n_train=32, n_test=16, image_hw=8, seed=1)
+        b = cifar10_like(n_train=32, n_test=16, image_hw=8, seed=2)
+        assert not np.array_equal(a.x_train, b.x_train)
+
+    def test_normalised(self):
+        data = cifar10_like(n_train=256, n_test=32, image_hw=8, seed=0)
+        assert abs(data.x_train.mean()) < 0.05
+        assert data.x_train.std() == pytest.approx(1.0, abs=0.05)
+
+    def test_imagenet_like_classes(self):
+        data = imagenet_like(num_classes=20, n_train=64, n_test=32,
+                             image_hw=8, seed=0)
+        assert data.num_classes == 20
+        assert set(np.unique(data.y_train)).issubset(set(range(20)))
+
+    def test_attack_batch_comes_from_test(self):
+        data = cifar10_like(n_train=32, n_test=16, image_hw=8, seed=0)
+        rng = np.random.default_rng(0)
+        xb, yb = data.attack_batch(8, rng)
+        assert xb.shape[0] == 8
+        # every sampled row exists in the test set
+        for row, label in zip(xb, yb):
+            matches = np.where((data.x_test == row).all(axis=(1, 2, 3)))[0]
+            assert len(matches) >= 1
+            assert label in data.y_test[matches]
+
+    def test_rejects_single_class(self):
+        with pytest.raises(ValueError):
+            synthetic_classification("x", 1, 8, 8)
+
+
+class TestSGD:
+    def test_minimises_quadratic(self):
+        rng = np.random.default_rng(0)
+        w = Linear(4, 1, rng=rng)
+        opt = SGD(w.parameters(), lr=0.1, momentum=0.5)
+        x = np.eye(4, dtype=np.float32)
+        loss = None
+        for _ in range(200):
+            opt.zero_grad()
+            out = w(Tensor(x))
+            loss = (out * out).sum()
+            loss.backward()
+            opt.step()
+        assert loss.item() < 1e-8
+
+    def test_weight_decay_shrinks(self):
+        rng = np.random.default_rng(1)
+        layer = Linear(3, 3, rng=rng)
+        opt = SGD(layer.parameters(), lr=0.1, momentum=0.0, weight_decay=1.0)
+        before = np.abs(layer.weight.data).sum()
+        # Gradient-free steps: only decay acts.
+        for p in layer.parameters():
+            p.grad = np.zeros_like(p.data)
+        for _ in range(10):
+            opt.step()
+        after = np.abs(layer.weight.data).sum()
+        assert after < before
+
+    def test_validates_args(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            SGD(Linear(2, 2, rng=rng).parameters(), lr=0.0)
+
+
+class TestTraining:
+    def test_resnet20_learns_synthetic_data(self):
+        data = cifar10_like(n_train=512, n_test=256, image_hw=8, seed=0)
+        model = make_resnet20(num_classes=10, width_scale=0.5, seed=0)
+        history = fit(model, data, epochs=6, batch_size=64, lr=0.08, seed=0)
+        assert history["test_accuracy"][-1] > 0.7
+        assert history["loss"][-1] < history["loss"][0]
+
+    def test_evaluate_range(self):
+        data = cifar10_like(n_train=32, n_test=32, image_hw=8, seed=0)
+        model = make_resnet20(num_classes=10, width_scale=0.25, seed=0)
+        acc = evaluate(model, data.x_test, data.y_test)
+        assert 0.0 <= acc <= 1.0
+
+    def test_predict_logits_batching_consistent(self):
+        data = cifar10_like(n_train=32, n_test=40, image_hw=8, seed=0)
+        model = make_resnet20(num_classes=10, width_scale=0.25, seed=0)
+        full = predict_logits(model, data.x_test, batch_size=64)
+        chunked = predict_logits(model, data.x_test, batch_size=7)
+        np.testing.assert_allclose(full, chunked, rtol=1e-5, atol=1e-5)
+
+    def test_loss_and_grads_populates_gradients(self):
+        data = cifar10_like(n_train=32, n_test=32, image_hw=8, seed=0)
+        model = make_resnet20(num_classes=10, width_scale=0.25, seed=0)
+        loss = loss_and_grads(model, data.x_test[:8], data.y_test[:8])
+        assert loss > 0
+        grads = [p.grad for p in model.parameters()]
+        assert all(g is not None for g in grads)
+        assert any(np.abs(g).max() > 0 for g in grads)
+        # eval mode must be left on and BN stats untouched by the pass
+        assert not model.training

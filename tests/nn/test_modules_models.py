@@ -1,0 +1,152 @@
+"""Tests for the Module system, layers, and the model zoo."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+    Tensor,
+    make_resnet18,
+    make_resnet20,
+    make_resnet34,
+    make_vgg11,
+)
+
+
+class TestModuleRegistry:
+    def make_net(self):
+        rng = np.random.default_rng(0)
+        return Sequential(
+            Conv2d(3, 4, 3, padding=1, rng=rng),
+            BatchNorm2d(4),
+            ReLU(),
+            MaxPool2d(2),
+            Flatten(),
+            Linear(4 * 2 * 2, 5, rng=rng),
+        )
+
+    def test_named_parameters_unique(self):
+        net = self.make_net()
+        names = [name for name, _ in net.named_parameters()]
+        assert len(names) == len(set(names))
+        assert any("weight" in n for n in names)
+
+    def test_parameter_count(self):
+        net = self.make_net()
+        expected = (4 * 3 * 9 + 4) + (4 + 4) + (16 * 5 + 5)
+        assert net.parameter_count() == expected
+
+    def test_train_eval_propagates(self):
+        net = self.make_net()
+        net.eval()
+        assert all(not m.training for m in net.modules())
+        net.train()
+        assert all(m.training for m in net.modules())
+
+    def test_zero_grad(self):
+        net = self.make_net()
+        x = Tensor(np.random.default_rng(1).normal(size=(2, 3, 4, 4)))
+        out = net(x).sum()
+        out.backward()
+        assert any(p.grad is not None for p in net.parameters())
+        net.zero_grad()
+        assert all(p.grad is None for p in net.parameters())
+
+    def test_state_dict_roundtrip(self):
+        net_a = self.make_net()
+        net_b = self.make_net()
+        # Perturb net_b so the load is observable.
+        for p in net_b.parameters():
+            p.data += 1.0
+        state = net_a.state_dict()
+        net_b.load_state_dict(state)
+        for (na, pa), (nb, pb) in zip(
+            net_a.named_parameters(), net_b.named_parameters()
+        ):
+            assert na == nb
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_state_dict_includes_bn_buffers(self):
+        net = self.make_net()
+        state = net.state_dict()
+        assert any("running_mean" in k for k in state)
+
+    def test_load_state_dict_missing_key(self):
+        net = self.make_net()
+        state = net.state_dict()
+        state.pop(next(iter(state)))
+        with pytest.raises(KeyError):
+            net.load_state_dict(state)
+
+    def test_load_state_dict_shape_mismatch(self):
+        net = self.make_net()
+        state = net.state_dict()
+        key = next(k for k in state if k.endswith("weight"))
+        state[key] = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            net.load_state_dict(state)
+
+
+class TestModels:
+    def test_vgg11_forward_shape(self):
+        model = make_vgg11(num_classes=10, input_size=16, width_scale=0.125,
+                           seed=0)
+        x = Tensor(np.zeros((2, 3, 16, 16), dtype=np.float32))
+        assert model(x).shape == (2, 10)
+
+    def test_vgg11_has_8_convs_3_linears(self):
+        model = make_vgg11(num_classes=10, input_size=32, width_scale=0.125)
+        convs = [m for m in model.modules() if isinstance(m, Conv2d)]
+        linears = [m for m in model.modules() if isinstance(m, Linear)]
+        assert len(convs) == 8
+        assert len(linears) == 3
+
+    def test_resnet20_forward_shape(self):
+        model = make_resnet20(num_classes=10, width_scale=0.5, seed=1)
+        x = Tensor(np.zeros((2, 3, 16, 16), dtype=np.float32))
+        assert model(x).shape == (2, 10)
+
+    def test_resnet20_depth(self):
+        model = make_resnet20(width_scale=0.5)
+        convs = [m for m in model.modules() if isinstance(m, Conv2d)]
+        # 1 stem + 18 block convs + 2 downsample projections = 21
+        assert len(convs) == 21
+
+    def test_resnet18_and_34_forward(self):
+        for factory, blocks in ((make_resnet18, 8), (make_resnet34, 16)):
+            model = factory(num_classes=7, width_scale=0.0625, seed=2)
+            x = Tensor(np.zeros((1, 3, 16, 16), dtype=np.float32))
+            assert model(x).shape == (1, 7)
+
+    def test_resnet34_deeper_than_resnet18(self):
+        r18 = make_resnet18(width_scale=0.0625)
+        r34 = make_resnet34(width_scale=0.0625)
+        assert r34.parameter_count() > r18.parameter_count()
+
+    def test_deterministic_init(self):
+        a = make_resnet20(width_scale=0.25, seed=7)
+        b = make_resnet20(width_scale=0.25, seed=7)
+        for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_different_seeds_differ(self):
+        a = make_resnet20(width_scale=0.25, seed=1)
+        b = make_resnet20(width_scale=0.25, seed=2)
+        pa = next(iter(a.parameters())).data
+        pb = next(iter(b.parameters())).data
+        assert not np.array_equal(pa, pb)
+
+    def test_vgg_small_input_skips_late_pools(self):
+        model = make_vgg11(num_classes=10, input_size=8, width_scale=0.125)
+        x = Tensor(np.zeros((1, 3, 8, 8), dtype=np.float32))
+        assert model(x).shape == (1, 10)
+
+    def test_vgg_rejects_tiny_input(self):
+        with pytest.raises(ValueError):
+            make_vgg11(input_size=2)

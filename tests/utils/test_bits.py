@@ -1,0 +1,116 @@
+"""Unit and property tests for repro.utils.bits."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.bits import (
+    bit_flip_delta,
+    bits_to_bytes,
+    bytes_to_bits,
+    flip_bit_in_byte,
+    get_bit,
+    hamming_distance,
+    int8_to_twos_complement,
+    popcount,
+    set_bit,
+    twos_complement_to_int8,
+)
+
+
+class TestBytesBitsRoundtrip:
+    def test_known_value(self):
+        bits = bytes_to_bits(np.array([0b1010_0001], dtype=np.uint8))
+        assert bits.shape == (1, 8)
+        # LSB-first
+        assert bits.tolist() == [[1, 0, 0, 0, 0, 1, 0, 1]]
+
+    def test_roundtrip_2d(self):
+        rng = np.random.default_rng(7)
+        data = rng.integers(0, 256, size=(5, 9), dtype=np.uint8)
+        assert np.array_equal(bits_to_bytes(bytes_to_bits(data)), data)
+
+    def test_bits_to_bytes_rejects_bad_axis(self):
+        with pytest.raises(ValueError):
+            bits_to_bytes(np.zeros((3, 7), dtype=np.uint8))
+
+    @given(st.lists(st.integers(0, 255), min_size=1, max_size=64))
+    def test_roundtrip_property(self, values):
+        data = np.array(values, dtype=np.uint8)
+        assert np.array_equal(bits_to_bytes(bytes_to_bits(data)), data)
+
+
+class TestBitOps:
+    def test_flip_bit(self):
+        assert flip_bit_in_byte(0b0000_0000, 0) == 1
+        assert flip_bit_in_byte(0b1000_0000, 7) == 0
+        assert flip_bit_in_byte(0xFF, 3) == 0b1111_0111
+
+    def test_flip_bit_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            flip_bit_in_byte(0, 8)
+        with pytest.raises(ValueError):
+            get_bit(0, -1)
+
+    def test_get_set_bit(self):
+        assert get_bit(0b0100, 2) == 1
+        assert set_bit(0, 5, 1) == 32
+        assert set_bit(32, 5, 1) == 32
+        assert set_bit(32, 5, 0) == 0
+
+    def test_set_bit_rejects_bad_value(self):
+        with pytest.raises(ValueError):
+            set_bit(0, 0, 2)
+
+    @given(st.integers(0, 255), st.integers(0, 7))
+    def test_double_flip_is_identity(self, value, bit):
+        assert flip_bit_in_byte(flip_bit_in_byte(value, bit), bit) == value
+
+    @given(st.integers(0, 255), st.integers(0, 7), st.integers(0, 1))
+    def test_set_then_get(self, value, bit, bit_value):
+        assert get_bit(set_bit(value, bit, bit_value), bit) == bit_value
+
+
+class TestTwosComplement:
+    def test_known_values(self):
+        assert int8_to_twos_complement(np.array([-1], dtype=np.int8))[0] == 0xFF
+        assert int8_to_twos_complement(np.array([-128], dtype=np.int8))[0] == 0x80
+        assert twos_complement_to_int8(np.array([0x80], dtype=np.uint8))[0] == -128
+
+    @given(st.lists(st.integers(-128, 127), min_size=1, max_size=32))
+    def test_roundtrip(self, values):
+        data = np.array(values, dtype=np.int8)
+        assert np.array_equal(
+            twos_complement_to_int8(int8_to_twos_complement(data)), data
+        )
+
+    @given(st.integers(-128, 127), st.integers(0, 7))
+    def test_bit_flip_delta_matches_actual_flip(self, value, bit):
+        byte = int8_to_twos_complement(np.array([value], dtype=np.int8))[0]
+        flipped = twos_complement_to_int8(
+            np.array([flip_bit_in_byte(int(byte), bit)], dtype=np.uint8)
+        )[0]
+        assert int(flipped) - int(value) == bit_flip_delta(value, bit)
+
+
+class TestPopcountHamming:
+    def test_popcount(self):
+        assert popcount(np.array([0xFF, 0x00, 0x0F], dtype=np.uint8)) == 12
+
+    def test_hamming(self):
+        a = np.array([0b1010], dtype=np.uint8)
+        b = np.array([0b0101], dtype=np.uint8)
+        assert hamming_distance(a, b) == 4
+        assert hamming_distance(a, a) == 0
+
+    def test_hamming_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            hamming_distance(
+                np.zeros(2, dtype=np.uint8), np.zeros(3, dtype=np.uint8)
+            )
+
+    @given(st.lists(st.integers(0, 255), min_size=1, max_size=16))
+    def test_hamming_to_zero_is_popcount(self, values):
+        data = np.array(values, dtype=np.uint8)
+        assert hamming_distance(data, np.zeros_like(data)) == popcount(data)
