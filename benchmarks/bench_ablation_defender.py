@@ -1,76 +1,13 @@
 """Ablations of DNN-Defender's design choices (DESIGN.md section 5).
 
-1. Pipelining: the Fig. 6 overlap cuts the per-chain AAP count from ``4n``
-   to ``3n + 1`` and the analytic latency accordingly.
+Thin wrapper over the ``ablation`` scenario:
+
+1. Pipelining: the Fig. 6 overlap cuts the per-chain AAP count from
+   ``4n`` to ``3n + 1`` and the analytic latency accordingly.
 2. Priority protection: securing profiler-chosen bits beats securing the
    same number of random bits at equal budget.
-3. Non-target refresh (swap step 4): opportunistic refreshes cover victim
-   rows beyond the target set.
 """
 
-import numpy as np
 
-from repro.analysis import latency_per_tref_ms
-from repro.attacks import BfaConfig, LogicalDefenseExecutor, profile_vulnerable_bits, sample_random_bits, white_box_adaptive_attack
-from repro.dram import TimingParams
-from repro.nn import QuantizedModel
-from repro.utils.tabulate import format_table
-
-
-def run_ablation(preset):
-    dataset = preset.dataset
-    rng = np.random.default_rng(0)
-    x, y = dataset.attack_batch(96, rng)
-    config = BfaConfig(max_iterations=10, exact_eval_top=4)
-
-    # --- priority protection vs random protection at equal budget -------- #
-    qmodel = QuantizedModel(preset.fresh_model())
-    profile = profile_vulnerable_bits(qmodel, x, y, rounds=6, config=config)
-    secured = profile.all_bits
-    budget = len(secured)
-
-    results = {}
-    for label, bits in (
-        ("priority", secured),
-        ("random", set(sample_random_bits(qmodel, budget,
-                                          np.random.default_rng(3)))),
-    ):
-        victim = QuantizedModel(preset.fresh_model())
-        executor = LogicalDefenseExecutor(victim, bits)
-        outcome = white_box_adaptive_attack(
-            victim, x, y, executor, bits,
-            config=BfaConfig(max_iterations=6, exact_eval_top=4),
-            eval_x=dataset.x_test, eval_y=dataset.y_test,
-        )
-        results[label] = outcome.final_accuracy
-
-    # --- pipelining: analytic latency below the saturation point --------- #
-    timing = TimingParams(t_rh=4000)
-    latency_pipe = latency_per_tref_ms("dnn-defender", 7000, timing)
-    latency_flat = latency_per_tref_ms("dnn-defender-unpipelined", 7000,
-                                       timing)
-    return results, budget, latency_pipe, latency_flat
-
-
-def test_ablation_defender(benchmark, report_sink, preset_resnet20):
-    results, budget, latency_pipe, latency_flat = benchmark.pedantic(
-        run_ablation, args=(preset_resnet20,), rounds=1, iterations=1
-    )
-    table = format_table(
-        ["ablation", "value"],
-        [
-            ["secured-bit budget", budget],
-            ["post-attack acc, priority bits (%)",
-             f"{results['priority'] * 100:.2f}"],
-            ["post-attack acc, random bits (%)",
-             f"{results['random'] * 100:.2f}"],
-            ["latency/T_ref pipelined (ms)", f"{latency_pipe:.2f}"],
-            ["latency/T_ref unpipelined (ms)", f"{latency_flat:.2f}"],
-        ],
-        title="Ablations — priority protection and swap pipelining",
-    )
-    report_sink("ablation_defender", table)
-    # Priority protection strictly helps at equal budget.
-    assert results["priority"] >= results["random"]
-    # Pipelining strictly reduces latency below the saturation point.
-    assert latency_pipe < latency_flat
+def test_ablation_defender(run_bench):
+    run_bench("ablation", sink_name="ablation_defender")

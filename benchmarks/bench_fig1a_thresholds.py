@@ -1,30 +1,11 @@
 """Fig. 1(a): RowHammer thresholds by DRAM generation.
 
-Regenerates the threshold bar chart's data and the intro's headline claim:
-LPDDR4 (new) needs ~4.5x fewer hammer counts than DDR3 (new).
+Thin wrapper over the ``fig1a`` scenario (see
+``repro.experiments.scenarios``): regenerates the threshold bar chart's
+data and the intro's headline claim that LPDDR4 (new) needs ~4.5x fewer
+hammer counts than DDR3 (new).
 """
 
-from repro.dram import TRH_BY_GENERATION
-from repro.utils.tabulate import format_table
 
-
-def build_table() -> str:
-    rows = [
-        [generation, f"{t_rh:,}"]
-        for generation, t_rh in TRH_BY_GENERATION.items()
-    ]
-    ratio = TRH_BY_GENERATION["DDR3 (new)"] / TRH_BY_GENERATION["LPDDR4 (new)"]
-    table = format_table(
-        ["DRAM generation", "T_RH (hammer count)"],
-        rows,
-        title="Fig. 1a — RowHammer threshold by generation",
-    )
-    return f"{table}\nDDR3(new) / LPDDR4(new) = {ratio:.2f}x (paper: ~4.5x)"
-
-
-def test_fig1a_thresholds(benchmark, report_sink):
-    table = benchmark.pedantic(build_table, rounds=1, iterations=1)
-    report_sink("fig1a_thresholds", table)
-    ratio = TRH_BY_GENERATION["DDR3 (new)"] / TRH_BY_GENERATION["LPDDR4 (new)"]
-    assert 4.0 < ratio < 5.0
-    assert min(TRH_BY_GENERATION.values()) == TRH_BY_GENERATION["LPDDR4 (new)"]
+def test_fig1a_thresholds(run_bench):
+    run_bench("fig1a", sink_name="fig1a_thresholds")

@@ -1,58 +1,11 @@
 """Fig. 6: the swap-pipeline timeline and its 3-AAP steady state.
 
-Regenerates the multi-swap timeline (step 1 of swap *n+1* overlapping step 4
-of swap *n*) and verifies the functional swap engine reproduces the
-analytic AAP counts on the DRAM simulator.
+Thin wrapper over the ``fig6`` scenario: regenerates the multi-swap
+timeline (step 1 of swap *n+1* overlapping step 4 of swap *n*) and
+verifies the functional swap engine reproduces the analytic ``3n + 1``
+AAP count on the DRAM simulator.
 """
 
-import numpy as np
 
-from repro.core import SwapEngine, build_timeline, chain_aap_count
-from repro.dram import DramDevice, DramGeometry, MemoryController, RowAddress, TimingParams
-from repro.utils.tabulate import format_table
-
-
-def build_report() -> tuple[str, int, int]:
-    timing = TimingParams()
-    entries = build_timeline(3, timing, pipelined=True)
-    rows = [
-        [e.swap, e.step, e.slot, f"{e.start_ns:.0f}", f"{e.end_ns:.0f}",
-         "yes" if e.shared_with_next else "", e.description]
-        for e in entries
-    ]
-    table = format_table(
-        ["swap", "step", "slot", "start (ns)", "end (ns)", "shared", "op"],
-        rows,
-        title="Fig. 6 — pipelined timeline of 3 swaps",
-    )
-
-    # Functional measurement: a chain of 8 swaps on the simulator.
-    geometry = DramGeometry(
-        banks=1, subarrays_per_bank=1, rows_per_subarray=64, row_bytes=64
-    )
-    controller = MemoryController(DramDevice(geometry), timing)
-    controller.device.fill_random(np.random.default_rng(0))
-    engine = SwapEngine(controller, reserved_rows=2)
-    rng = np.random.default_rng(1)
-    targets = [RowAddress(0, 0, r) for r in range(2, 18, 2)]
-    non_targets = [RowAddress(0, 0, r) for r in range(20, 36, 2)]
-    for target, nt in zip(targets, non_targets):
-        engine.swap_target(target, rng, non_target_logical=nt,
-                           exclude=set(targets), pipelined=True)
-    measured = engine.total_aaps
-    expected = chain_aap_count(len(targets), pipelined=True)
-    table += (
-        f"\nfunctional chain of {len(targets)} swaps: {measured} AAPs "
-        f"(analytic: {expected}; unpipelined would be "
-        f"{chain_aap_count(len(targets), pipelined=False)})"
-    )
-    return table, measured, expected
-
-
-def test_fig6_pipeline(benchmark, report_sink):
-    table, measured, expected = benchmark.pedantic(
-        build_report, rounds=1, iterations=1
-    )
-    report_sink("fig6_pipeline", table)
-    assert measured == expected  # 3n + 1
-    assert measured < chain_aap_count(8, pipelined=False)
+def test_fig6_pipeline(run_bench):
+    run_bench("fig6", sink_name="fig6_pipeline")

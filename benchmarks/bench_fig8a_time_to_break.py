@@ -1,39 +1,11 @@
 """Fig. 8(a): time-to-break and defended-BFA capacity vs ``T_RH``.
 
-Regenerates both series of the figure from the analytical security model:
-time-to-break in days for DNN-Defender and SHADOW at thresholds
-1k/2k/4k/8k, and the corresponding maximum number of defendable BFAs
-(7K/14K/28K/55K in the paper).
+Thin wrapper over the ``fig8a`` scenario: both series of the figure from
+the analytical security model — time-to-break in days for DNN-Defender
+and SHADOW at thresholds 1k/2k/4k/8k, and the corresponding maximum
+number of defendable BFAs (7K/14K/28K/55K in the paper).
 """
 
-from repro.analysis import format_security_sweep, security_sweep
 
-
-def run_sweep():
-    return security_sweep()
-
-
-def test_fig8a_time_to_break(benchmark, report_sink):
-    points = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
-    report_sink("fig8a_time_to_break", format_security_sweep(points))
-    by_key = {(p.defense, p.t_rh): p for p in points}
-    # Paper anchors at T_RH = 4k.
-    dd_4k = by_key[("dnn-defender", 4000)]
-    shadow_4k = by_key[("shadow", 4000)]
-    assert abs(dd_4k.time_to_break_days - 1180) < 15
-    assert abs(shadow_4k.time_to_break_days - 894) < 10
-    # "DD protects 286 more days".
-    assert abs(
-        dd_4k.time_to_break_days - shadow_4k.time_to_break_days - 286
-    ) < 10
-    # DNN-Defender outperforms SHADOW at every threshold.
-    for t_rh in (1000, 2000, 4000, 8000):
-        assert (
-            by_key[("dnn-defender", t_rh)].time_to_break_days
-            > by_key[("shadow", t_rh)].time_to_break_days
-        )
-    # Defended-BFA anchors: ~7K/14K/28K/55K.
-    for t_rh, anchor in ((1000, 7000), (2000, 14000), (4000, 28000),
-                         (8000, 55000)):
-        measured = by_key[("dnn-defender", t_rh)].max_defended_bfas
-        assert abs(measured - anchor) / anchor < 0.02
+def test_fig8a_time_to_break(run_bench):
+    run_bench("fig8a", sink_name="fig8a_time_to_break")

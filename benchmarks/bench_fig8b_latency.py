@@ -1,79 +1,12 @@
 """Fig. 8(b): defense latency per refresh interval vs number of BFAs.
 
-Regenerates the latency curves for DNN-Defender and SHADOW at thresholds
-1k/2k/4k/8k over the paper's BFA counts (7K/14K/28K/55K), plus the
-saturation limit both curves approach (``T_ref / 2``), and cross-checks the
-analytical model against the functional defender running on the DRAM
-simulator.
+Thin wrapper over the ``fig8b`` scenario: latency curves for
+DNN-Defender and SHADOW at thresholds 1k/2k/4k/8k over the paper's BFA
+counts (7K/14K/28K/55K), the ``T_ref / 2`` saturation limit, and a
+cross-check of the analytical model against the functional defender
+running on the DRAM simulator.
 """
 
-import numpy as np
 
-from repro.analysis import format_latency_sweep, latency_per_tref_ms, latency_sweep
-from repro.core import DNNDefender
-from repro.dram import DramDevice, DramGeometry, MemoryController, TimingParams
-from repro.mapping import ProtectionPlan
-from repro.dram.address import RowAddress
-
-
-def run_sweep():
-    return latency_sweep()
-
-
-def functional_latency_ms(n_targets: int, t_rh: int = 1000) -> float:
-    """Measure the defender's busy time per T_ref on the live simulator."""
-    geometry = DramGeometry(
-        banks=4, subarrays_per_bank=8, rows_per_subarray=64, row_bytes=64
-    )
-    timing = TimingParams(t_rh=t_rh)
-    controller = MemoryController(DramDevice(geometry), timing)
-    rng = np.random.default_rng(0)
-    controller.device.fill_random(rng)
-    targets, non_targets = [], []
-    for bank in range(geometry.banks):
-        for subarray in range(geometry.subarrays_per_bank):
-            per_sub = n_targets // (geometry.banks * geometry.subarrays_per_bank)
-            for row in range(2, 2 + per_sub):
-                targets.append(RowAddress(bank, subarray, row))
-            non_targets.append(RowAddress(bank, subarray, 40))
-    plan = ProtectionPlan(
-        secured_bits=set(), target_rows=targets, non_target_rows=non_targets
-    )
-    defender = DNNDefender(controller, plan)
-    # Run windows across one refresh interval's worth of schedule.
-    windows = int(
-        timing.t_ref_ns / (timing.hammer_window_ns * defender.config.period_fraction)
-    )
-    windows = min(windows, 200)
-    for _ in range(windows):
-        defender.run_window()
-        controller.advance_time(defender.period_ns)
-    return defender.latency_per_tref_ms()
-
-
-def test_fig8b_latency(benchmark, report_sink):
-    points = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
-    table = format_latency_sweep(points)
-    # Functional cross-check at a modest target count.
-    measured = functional_latency_ms(n_targets=64)
-    table += (
-        f"\nfunctional defender latency (64 target rows, T_RH=1k): "
-        f"{measured:.3f} ms per T_ref"
-    )
-    report_sink("fig8b_latency", table)
-    by_key = {(p.defense, p.t_rh, p.n_bfas): p for p in points}
-    # DNN-Defender's latency never exceeds SHADOW's at any grid point.
-    for p in points:
-        if p.defense != "dnn-defender":
-            continue
-        shadow = by_key[("shadow", p.t_rh, p.n_bfas)]
-        assert p.latency_ms <= shadow.latency_ms + 1e-9
-    # Latency grows with BFAs and saturates below T_ref/2 = 32 ms.
-    for t_rh in (1000, 2000, 4000, 8000):
-        series = [
-            by_key[("dnn-defender", t_rh, n)].latency_ms
-            for n in (7000, 14000, 28000, 55000)
-        ]
-        assert all(b >= a - 1e-9 for a, b in zip(series, series[1:]))
-        assert series[-1] <= 32.0 + 1e-6
-    assert measured > 0.0
+def test_fig8b_latency(run_bench):
+    run_bench("fig8b", sink_name="fig8b_latency")

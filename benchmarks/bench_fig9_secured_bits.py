@@ -1,69 +1,22 @@
 """Fig. 9: adaptive white-box BFA vs the secured-bit budget.
 
-Three panels — (a) VGG-11 / CIFAR-10-like, (b) ResNet-18 / ImageNet-like,
-(c) ResNet-34 / ImageNet-like.  For growing secured-bit budgets (obtained
-with more profiling rounds, the paper's protection-level knob), the
-defense-aware attacker skips every secured bit and spends extra flips on
-the best unprotected ones.  Reproduction target: more secured bits =>
-slower degradation, approaching the random-attack level (the paper's
-2k -> 24k sweep shows ~6x more flips needed for equal damage on VGG-11).
+Thin wrappers over the ``fig9a``/``fig9b``/``fig9c`` scenarios — three
+panels: (a) VGG-11 / CIFAR-10-like, (b) ResNet-18 / ImageNet-like,
+(c) ResNet-34 / ImageNet-like.  For growing secured-bit budgets
+(obtained with more profiling rounds, the paper's protection-level
+knob), the defense-aware attacker skips every secured bit and spends
+extra flips on the best unprotected ones; more secured bits means
+slower degradation, approaching the random-attack level.
 """
 
-import pytest
 
-from repro.analysis import format_secured_bits_curves, secured_bits_sweep
-from repro.attacks import BfaConfig
-
-
-def run_sweep(preset):
-    return secured_bits_sweep(
-        preset.factory,
-        preset.state,
-        preset.dataset,
-        round_budgets=(1, 2, 4),
-        extra_flip_budget=12,
-        attack_batch=96,
-        profile_config=BfaConfig(max_iterations=8, exact_eval_top=4),
-        seed=0,
-    )
+def test_fig9a_vgg11(run_bench):
+    run_bench("fig9a", sink_name="fig9a_secured_bits")
 
 
-def check_and_report(curves, preset, report_sink, panel):
-    text = format_secured_bits_curves(curves)
-    text += f"\nmodel: {preset.name}, clean accuracy "
-    text += f"{preset.clean_accuracy * 100:.2f}%"
-    report_sink(f"fig9{panel}_secured_bits_{preset.name}", text)
-    # Budgets grow with rounds (the paper's protection-level knob).
-    budgets = [c.secured_bits for c in curves]
-    assert budgets == sorted(budgets)
-    assert budgets[0] > 0
-    # More secured bits slows early degradation: after the first couple of
-    # extra flips the largest budget retains at least as much accuracy as
-    # the smallest (the Fig. 9 separation between SB curves).
-    early_small = curves[0].accuracies[min(2, len(curves[0].accuracies) - 1)]
-    early_large = curves[-1].accuracies[min(2, len(curves[-1].accuracies) - 1)]
-    assert early_large >= early_small - 0.05
+def test_fig9b_resnet18(run_bench):
+    run_bench("fig9b", sink_name="fig9b_secured_bits")
 
 
-@pytest.mark.parametrize("panel", ["a"])
-def test_fig9a_vgg11(benchmark, report_sink, preset_vgg11, panel):
-    curves = benchmark.pedantic(
-        run_sweep, args=(preset_vgg11,), rounds=1, iterations=1
-    )
-    check_and_report(curves, preset_vgg11, report_sink, panel)
-
-
-@pytest.mark.parametrize("panel", ["b"])
-def test_fig9b_resnet18(benchmark, report_sink, preset_resnet18, panel):
-    curves = benchmark.pedantic(
-        run_sweep, args=(preset_resnet18,), rounds=1, iterations=1
-    )
-    check_and_report(curves, preset_resnet18, report_sink, panel)
-
-
-@pytest.mark.parametrize("panel", ["c"])
-def test_fig9c_resnet34(benchmark, report_sink, preset_resnet34, panel):
-    curves = benchmark.pedantic(
-        run_sweep, args=(preset_resnet34,), rounds=1, iterations=1
-    )
-    check_and_report(curves, preset_resnet34, report_sink, panel)
+def test_fig9c_resnet34(run_bench):
+    run_bench("fig9c", sink_name="fig9c_secured_bits")

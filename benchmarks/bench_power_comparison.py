@@ -1,28 +1,8 @@
-"""Section 5.1 power claims: 1.6% saving vs SHADOW-1k, 3.4x vs SRS."""
+"""Section 5.1 power claims: 1.6% saving vs SHADOW-1k, 3.4x vs SRS.
 
-from repro.analysis import power_comparison
-from repro.utils.tabulate import format_table
-
-
-def run_comparison():
-    return power_comparison()
+Thin wrapper over the ``power`` scenario.
+"""
 
 
-def test_power_comparison(benchmark, report_sink):
-    result = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
-    table = format_table(
-        ["metric", "value", "paper"],
-        [
-            ["DD defense power (mW)", f"{result['dd_power_mw']:.1f}", "-"],
-            ["SHADOW defense power (mW)", f"{result['shadow_power_mw']:.1f}", "-"],
-            ["SRS defense power (mW)", f"{result['srs_power_mw']:.1f}", "-"],
-            ["total-power saving vs SHADOW@1k",
-             f"{result['saving_vs_shadow_1k_percent']:.2f}%", "1.6%"],
-            ["defense-power improvement vs SRS",
-             f"{result['improvement_vs_srs']:.2f}x", "3.4x"],
-        ],
-        title="Section 5.1 — power comparison",
-    )
-    report_sink("power_comparison", table)
-    assert abs(result["saving_vs_shadow_1k_percent"] - 1.6) < 0.3
-    assert abs(result["improvement_vs_srs"] - 3.4) < 0.3
+def test_power_comparison(run_bench):
+    run_bench("power", sink_name="power_comparison")

@@ -1,62 +1,12 @@
 """Section 5.2: semi-white-box BFA fails end-to-end through the DRAM path.
 
-The defense-unaware attacker plans its flip sequence offline and replays it
-through hammered activations against the *defended* DRAM.  Every planned
-flip that targets a profiled (secured) row is refreshed away before
-reaching ``T_RH``; accuracy does not move.
+Thin wrapper over the ``semi-whitebox`` scenario: the defense-unaware
+attacker plans its flip sequence offline and replays it through hammered
+activations against the *defended* DRAM.  Every planned flip targeting a
+profiled (secured) row is refreshed away before reaching ``T_RH``;
+accuracy does not move.
 """
 
-import numpy as np
 
-from repro.attacks import BfaConfig, semi_white_box_attack
-from repro.core import DefendedDeployment
-from repro.dram import DramGeometry, TimingParams
-from repro.utils.tabulate import format_table
-
-
-def run_experiment(preset):
-    deployment = DefendedDeployment.build(
-        preset.fresh_model(),
-        preset.dataset,
-        geometry=DramGeometry(
-            banks=2, subarrays_per_bank=8, rows_per_subarray=64,
-            row_bytes=256,
-        ),
-        timing=TimingParams(t_rh=1000),
-        profile_rounds=2,
-        profile_config=BfaConfig(max_iterations=8, exact_eval_top=4),
-        attack_batch_size=96,
-        seed=0,
-    )
-    rng = np.random.default_rng(1)
-    x, y = preset.dataset.attack_batch(96, rng)
-    result = semi_white_box_attack(
-        deployment.qmodel, x, y,
-        executor=deployment.hammer_executor(),
-        config=BfaConfig(max_iterations=8, exact_eval_top=4),
-        eval_x=preset.dataset.x_test, eval_y=preset.dataset.y_test,
-    )
-    return deployment, result
-
-
-def test_semi_whitebox_fails(benchmark, report_sink, preset_resnet20):
-    deployment, result = benchmark.pedantic(
-        run_experiment, args=(preset_resnet20,), rounds=1, iterations=1
-    )
-    table = format_table(
-        ["metric", "value"],
-        [
-            ["planned flips", len(result.planned_sequence)],
-            ["landed", len(result.landed)],
-            ["blocked by defense", len(result.blocked)],
-            ["initial accuracy (%)", f"{result.initial_accuracy * 100:.2f}"],
-            ["final accuracy (%)", f"{result.final_accuracy * 100:.2f}"],
-            ["defender swaps executed", deployment.defender.stats.swaps_executed],
-        ],
-        title="Section 5.2 — semi-white-box BFA vs DNN-Defender (DRAM path)",
-    )
-    report_sink("semi_whitebox", table)
-    assert result.planned_sequence
-    assert len(result.blocked) >= len(result.planned_sequence) // 2
-    assert result.accuracy_drop < 0.10
-    assert deployment.defender.stats.swaps_executed > 0
+def test_semi_whitebox_fails(run_bench):
+    run_bench("semi-whitebox", sink_name="semi_whitebox")

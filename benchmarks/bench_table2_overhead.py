@@ -1,40 +1,11 @@
 """Table 2: hardware overhead of ten RowHammer mitigation frameworks.
 
-Regenerates the comparison for the paper's 32 GB / 16-bank DDR4 reference
-configuration: involved memory technologies, capacity overhead per
-technology (published), area overhead, and — where derivable from the DRAM
-geometry — our independently recomputed capacity figure.
+Thin wrapper over the ``table2`` scenario: the comparison for the
+paper's 32 GB / 16-bank DDR4 reference configuration — involved memory
+technologies, published capacity/area overheads, and the independently
+recomputed capacity figures where derivable from the DRAM geometry.
 """
 
-from repro.analysis import TABLE2_SPECS, derived_capacity_mb, table2_rows
-from repro.dram import PAPER_GEOMETRY
-from repro.utils.tabulate import format_table
 
-
-def build_table() -> str:
-    rows = table2_rows(PAPER_GEOMETRY)
-    return format_table(
-        ["framework", "involved memory", "capacity overhead", "area",
-         "derived"],
-        rows,
-        title=f"Table 2 — overhead on {PAPER_GEOMETRY.describe()}",
-    )
-
-
-def test_table2_overhead(benchmark, report_sink):
-    table = benchmark.pedantic(build_table, rounds=1, iterations=1)
-    report_sink("table2_overhead", table)
-    by_name = {s.name: s for s in TABLE2_SPECS}
-    # DNN-Defender: zero capacity overhead, DRAM only, smallest area.
-    dd = by_name["DNN-Defender"]
-    assert dd.total_capacity_mb == 0.0
-    assert dd.dram_only
-    # Every other framework needs storage or fast memory.
-    for name, spec in by_name.items():
-        if name == "DNN-Defender":
-            continue
-        assert spec.total_capacity_mb > 0 or spec.uses_fast_memory
-    # Derivations agree with published values where applicable.
-    assert abs(derived_capacity_mb("Counter per Row") - 32.0) < 0.5
-    shadow = derived_capacity_mb("SHADOW")
-    assert abs(shadow - 0.16) / 0.16 < 0.05
+def test_table2_overhead(run_bench):
+    run_bench("table2", sink_name="table2_overhead")

@@ -1,188 +1,14 @@
 """Table 3: defense comparison on ResNet-20 / CIFAR-10-like.
 
-Regenerates the paper's comparison of BFA defenses: for each defense we
-report clean accuracy, post-attack accuracy, and the number of flip
-attempts the attacker spent.  Reproduction targets (shape, not absolute
-numbers): the undefended baseline collapses with the fewest flips; software
-defenses (clustering, binary weights, capacity, reconstruction, RA-BNN)
-force progressively more flips at some clean-accuracy cost; hardware swap
-defenses keep accuracy high while the attacker burns flips; DNN-Defender
-keeps the *clean* accuracy with zero drop.
+Thin wrapper over the ``table3`` scenario: for each of ten defenses,
+clean accuracy, post-attack accuracy, and the flip attempts the
+attacker spent.  Reproduction targets (shape, not absolute numbers):
+the undefended baseline collapses fastest; software defenses force
+progressively more flips at some clean-accuracy cost; hardware swap
+defenses keep accuracy high while the attacker burns flips;
+DNN-Defender keeps the *clean* accuracy with zero drop.
 """
 
-import numpy as np
-import pytest
 
-from repro.analysis import evaluate_defense_row
-from repro.attacks import (
-    BehavioralDefenseExecutor,
-    BfaConfig,
-    LogicalDefenseExecutor,
-    profile_vulnerable_bits,
-)
-from repro.defenses.software import (
-    ReconstructingExecutor,
-    WeightReconstructionGuard,
-    bake_binarization,
-    enable_weight_binarization,
-    finetune_with_clustering,
-    width_scale_for_capacity,
-)
-from repro.nn import QuantizedModel, SGD, Tensor, fit, make_resnet20
-from repro.nn import functional as F
-from repro.presets import resnet20_cifar
-from repro.utils.tabulate import format_table
-
-MAX_ITER = 30
-ATTACK_KW = dict(max_iterations=MAX_ITER, attack_batch=96, exact_eval_top=4)
-
-
-def finetune_binary(model, dataset, epochs=3, lr=0.01, seed=0):
-    """Short binarization-aware fine-tune, then bake the binary weights."""
-    enable_weight_binarization(model)
-    rng = np.random.default_rng(seed)
-    optimizer = SGD(model.parameters(), lr=lr, momentum=0.9)
-    n = dataset.x_train.shape[0]
-    for _ in range(epochs):
-        model.train()
-        order = rng.permutation(n)
-        for start in range(0, n, 64):
-            idx = order[start:start + 64]
-            optimizer.zero_grad()
-            loss = F.cross_entropy(
-                model(Tensor(dataset.x_train[idx])), dataset.y_train[idx]
-            )
-            loss.backward()
-            optimizer.step()
-    bake_binarization(model)
-    model.eval()
-
-
-def build_rows(preset):
-    dataset = preset.dataset
-    rows = []
-
-    # 1. Undefended baseline.
-    qmodel = QuantizedModel(preset.fresh_model())
-    rows.append(evaluate_defense_row("baseline", qmodel, dataset, **ATTACK_KW))
-
-    # 2. Piece-wise clustering.
-    model = preset.fresh_model()
-    finetune_with_clustering(model, dataset, epochs=2, lam=5e-4, lr=0.01)
-    rows.append(
-        evaluate_defense_row(
-            "piece-wise clustering", QuantizedModel(model), dataset,
-            **ATTACK_KW,
-        )
-    )
-
-    # 3. Binary weights.
-    model = preset.fresh_model()
-    finetune_binary(model, dataset, epochs=2)
-    rows.append(
-        evaluate_defense_row(
-            "binary weight", QuantizedModel(model), dataset, **ATTACK_KW
-        )
-    )
-
-    # 4. Model capacity x4 (paper: x16; scaled to CI budget).
-    wide_scale = width_scale_for_capacity(0.5, 4.0)
-    wide = make_resnet20(num_classes=10, width_scale=wide_scale, seed=0)
-    fit(wide, dataset, epochs=4, batch_size=64, lr=0.08, seed=0)
-    rows.append(
-        evaluate_defense_row(
-            "model capacity x4", QuantizedModel(wide), dataset, **ATTACK_KW
-        )
-    )
-
-    # 5. Weight reconstruction.
-    qmodel = QuantizedModel(preset.fresh_model())
-    guard = WeightReconstructionGuard(qmodel, percentile=99.0)
-    from repro.attacks import SoftwareFlipExecutor
-    executor = ReconstructingExecutor(SoftwareFlipExecutor(qmodel), guard)
-    rows.append(
-        evaluate_defense_row(
-            "weight reconstruction", qmodel, dataset, executor=executor,
-            **ATTACK_KW,
-        )
-    )
-
-    # 6. RA-BNN-like (binary weights + binary activations).
-    from repro.defenses.software import SignActivation
-    rabnn = make_resnet20(
-        num_classes=10, width_scale=0.5, seed=0,
-        activation_factory=SignActivation,
-    )
-    fit(rabnn, dataset, epochs=4, batch_size=64, lr=0.05, seed=0)
-    finetune_binary(rabnn, dataset, epochs=2)
-    rows.append(
-        evaluate_defense_row(
-            "RA-BNN (binary w+a)", QuantizedModel(rabnn), dataset, **ATTACK_KW
-        )
-    )
-
-    # 7/8/9. RRS / SRS / SHADOW behavioural models.
-    for name, block, collateral in (
-        ("RRS", 0.92, 0.6),
-        ("SRS", 0.92, 0.55),
-        ("SHADOW", 0.97, 0.3),
-    ):
-        qmodel = QuantizedModel(preset.fresh_model())
-        executor = BehavioralDefenseExecutor(
-            qmodel, block_prob=block, collateral_prob=collateral,
-            rng=np.random.default_rng(7),
-        )
-        rows.append(
-            evaluate_defense_row(
-                name, qmodel, dataset, executor=executor, **ATTACK_KW
-            )
-        )
-
-    # 10. DNN-Defender: profiled bits secure their DRAM rows (the paper's
-    # protection granularity), adaptive white-box attacker.
-    qmodel = QuantizedModel(preset.fresh_model())
-    rng = np.random.default_rng(0)
-    x, y = dataset.attack_batch(96, rng)
-    profile = profile_vulnerable_bits(
-        qmodel, x, y, rounds=6, config=BfaConfig(max_iterations=10,
-                                                 exact_eval_top=4)
-    )
-    from repro.analysis.defense_eval import expand_bits_to_rows
-    secured = expand_bits_to_rows(qmodel, profile.all_bits)
-    executor = LogicalDefenseExecutor(qmodel, secured)
-    rows.append(
-        evaluate_defense_row(
-            "DNN-Defender", qmodel, dataset, executor=executor, **ATTACK_KW
-        )
-    )
-    return rows
-
-
-def test_table3_defense_comparison(benchmark, report_sink, preset_resnet20):
-    rows = benchmark.pedantic(
-        build_rows, args=(preset_resnet20,), rounds=1, iterations=1
-    )
-    table = format_table(
-        ["defense", "clean acc (%)", "post-attack acc (%)", "flip attempts"],
-        [
-            [r.name, f"{r.clean_accuracy * 100:.2f}",
-             f"{r.post_attack_accuracy * 100:.2f}", r.bit_flips]
-            for r in rows
-        ],
-        title="Table 3 — defense comparison (ResNet-20, CIFAR-10-like)",
-    )
-    report_sink("table3_defense_comparison", table)
-    by_name = {r.name: r for r in rows}
-    baseline = by_name["baseline"]
-    dd = by_name["DNN-Defender"]
-    # Baseline collapses hard.
-    assert baseline.post_attack_accuracy < baseline.clean_accuracy - 0.4
-    # DNN-Defender: no clean-accuracy drop and the best post-attack accuracy.
-    assert dd.post_attack_accuracy >= dd.clean_accuracy - 0.05
-    for r in rows:
-        assert dd.post_attack_accuracy >= r.post_attack_accuracy - 0.02
-    # Hardware swap defenses retain far more accuracy than the baseline.
-    for name in ("RRS", "SRS", "SHADOW"):
-        assert by_name[name].post_attack_accuracy > baseline.post_attack_accuracy
-    # DNN-Defender's post-attack accuracy beats SHADOW's (paper ordering).
-    assert dd.post_attack_accuracy >= by_name["SHADOW"].post_attack_accuracy
+def test_table3_defense_comparison(run_bench):
+    run_bench("table3", sink_name="table3_defense_comparison")

@@ -1,21 +1,27 @@
-"""Benchmark fixtures: trained presets (built once per session) and report
-sinks.
+"""Benchmark fixtures: scenario execution + dual text/JSON report sinks.
 
-Every benchmark writes the rows/series it regenerates both to stdout and to
-``benchmarks/results/<name>.txt`` so the reproduction record survives pytest
-output capture.
+Every benchmark is a thin wrapper over a registered scenario (see
+``repro.experiments.scenarios``): it executes through the same
+:func:`repro.experiments.run_scenario` path as the ``python -m repro``
+CLI, reports the scenario's table, and enforces the scenario's
+reproduction checks.
+
+Reports land both as ``benchmarks/results/<name>.txt`` (human-readable,
+survives pytest output capture) and ``benchmarks/results/<name>.json``
+(machine-readable aggregate: per-metric mean/std/CI and the detail
+payload — the input to the runner's aggregation and perf tracking).
+
+Trained presets come from the shared on-disk cache
+(``repro.experiments.PresetCache``), so each preset trains once ever
+rather than once per pytest session.
 """
 
+import json
 import pathlib
 
 import pytest
 
-from repro.presets import (
-    resnet18_imagenet,
-    resnet20_cifar,
-    resnet34_imagenet,
-    vgg11_cifar,
-)
+from repro.experiments import get_scenario, run_scenario
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -24,28 +30,42 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 def report_sink():
     RESULTS_DIR.mkdir(exist_ok=True)
 
-    def write(name: str, text: str) -> None:
+    def write(name: str, text: str, data: dict | None = None) -> None:
         (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        if data is not None:
+            (RESULTS_DIR / f"{name}.json").write_text(
+                json.dumps(data, indent=2, sort_keys=True) + "\n"
+            )
         print(f"\n{text}\n")
 
     return write
 
 
-@pytest.fixture(scope="session")
-def preset_resnet20():
-    return resnet20_cifar()
+@pytest.fixture
+def run_bench(benchmark, report_sink):
+    """Run a registered scenario under pytest-benchmark and report it.
 
+    Returns the aggregate :class:`repro.experiments.ScenarioResult` after
+    writing the text/JSON reports and asserting the scenario's
+    reproduction checks.
+    """
 
-@pytest.fixture(scope="session")
-def preset_vgg11():
-    return vgg11_cifar()
+    def run(scenario_name: str, sink_name: str | None = None,
+            trials: int = 1, seed: int = 0):
+        spec = get_scenario(scenario_name)
+        result = benchmark.pedantic(
+            run_scenario,
+            args=(scenario_name,),
+            kwargs=dict(trials=trials, jobs=1, seed=seed),
+            rounds=1,
+            iterations=1,
+        )
+        report_sink(
+            sink_name or scenario_name.replace("-", "_"),
+            spec.render_report(result),
+            data=result.to_json(),
+        )
+        spec.run_checks(result)
+        return result
 
-
-@pytest.fixture(scope="session")
-def preset_resnet18():
-    return resnet18_imagenet()
-
-
-@pytest.fixture(scope="session")
-def preset_resnet34():
-    return resnet34_imagenet()
+    return run

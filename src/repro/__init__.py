@@ -12,11 +12,26 @@ Sub-packages:
     ``repro.core``     -- DNN-Defender: swaps, pipelining, priority protection
     ``repro.defenses`` -- RRS/SRS/SHADOW/trackers + software defenses
     ``repro.analysis`` -- Table 2 / Fig. 8 analytics + experiment harnesses
+    ``repro.presets``  -- trained model/dataset recipes used by experiments
+    ``repro.experiments`` -- scenario registry, parallel runner, preset cache
+
+Experiments are driven through the scenario registry — see
+``python -m repro list`` or :func:`repro.experiments.run_scenario`.
 """
 
-from repro import analysis, attacks, core, defenses, dram, mapping, nn, utils
+from repro import analysis, attacks, core, defenses, dram, mapping, nn, presets, utils
+from repro import experiments
+from repro.experiments import (
+    PresetCache,
+    Scenario,
+    ScenarioResult,
+    get_scenario,
+    run_scenario,
+    scenario_names,
+    write_artifact,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "analysis",
@@ -24,8 +39,17 @@ __all__ = [
     "core",
     "defenses",
     "dram",
+    "experiments",
     "mapping",
     "nn",
+    "presets",
     "utils",
+    "PresetCache",
+    "Scenario",
+    "ScenarioResult",
+    "get_scenario",
+    "run_scenario",
+    "scenario_names",
+    "write_artifact",
     "__version__",
 ]

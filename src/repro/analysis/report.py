@@ -1,12 +1,16 @@
-"""Report formatting for the benchmark harness."""
+"""Report formatting for the benchmark/experiment harness.
+
+Formatters accept either the analysis dataclasses (``SecurityPoint``,
+``AccuracyCurve`` …) or their JSON-dict forms produced by the
+``*_to_json`` serialisers below — so the experiment runner can store pure
+JSON in its artifacts and still render the same tables.
+"""
 
 from __future__ import annotations
 
-from typing import Sequence
+from dataclasses import asdict
+from typing import Any, Sequence
 
-from repro.analysis.defense_eval import AccuracyCurve, SecuredBitsCurve
-from repro.analysis.latency import LatencyPoint
-from repro.analysis.security import SecurityPoint
 from repro.utils.tabulate import format_table
 
 __all__ = [
@@ -14,14 +18,35 @@ __all__ = [
     "format_latency_sweep",
     "format_accuracy_curves",
     "format_secured_bits_curves",
+    "to_json_list",
 ]
 
 
-def format_security_sweep(points: Sequence[SecurityPoint]) -> str:
+def _field(point: Any, name: str):
+    """Read ``name`` from a dataclass instance or a plain dict."""
+    if isinstance(point, dict):
+        return point[name]
+    return getattr(point, name)
+
+
+def to_json_list(items: Sequence[Any]) -> list[dict]:
+    """Dataclass (or dict) sequence as JSON-ready dicts.
+
+    Used to serialise ``SecurityPoint``/``LatencyPoint``/curve sequences
+    into scenario detail payloads that the formatters above accept back.
+    """
+    return [dict(i) if isinstance(i, dict) else asdict(i) for i in items]
+
+
+def format_security_sweep(points: Sequence[Any]) -> str:
     """Fig. 8a as a table: time-to-break and defended-BFA capacity."""
     rows = [
-        [p.defense, p.t_rh, f"{p.time_to_break_days:.0f}",
-         p.max_defended_bfas]
+        [
+            _field(p, "defense"),
+            _field(p, "t_rh"),
+            f"{_field(p, 'time_to_break_days'):.0f}",
+            _field(p, "max_defended_bfas"),
+        ]
         for p in points
     ]
     return format_table(
@@ -31,10 +56,15 @@ def format_security_sweep(points: Sequence[SecurityPoint]) -> str:
     )
 
 
-def format_latency_sweep(points: Sequence[LatencyPoint]) -> str:
+def format_latency_sweep(points: Sequence[Any]) -> str:
     """Fig. 8b as a table: latency per refresh interval."""
     rows = [
-        [p.defense, p.t_rh, p.n_bfas, f"{p.latency_ms:.2f}"]
+        [
+            _field(p, "defense"),
+            _field(p, "t_rh"),
+            _field(p, "n_bfas"),
+            f"{_field(p, 'latency_ms'):.2f}",
+        ]
         for p in points
     ]
     return format_table(
@@ -44,26 +74,36 @@ def format_latency_sweep(points: Sequence[LatencyPoint]) -> str:
     )
 
 
-def format_accuracy_curves(curves: Sequence[AccuracyCurve]) -> str:
+def format_accuracy_curves(curves: Sequence[Any]) -> str:
     """Fig. 1b-style curves as aligned columns."""
     blocks = []
     for curve in curves:
         rows = [
-            [n, f"{a * 100:.2f}"] for n, a in zip(curve.flips, curve.accuracies)
+            [n, f"{a * 100:.2f}"]
+            for n, a in zip(_field(curve, "flips"), _field(curve, "accuracies"))
         ]
         blocks.append(
-            format_table(["# flips", "accuracy (%)"], rows, title=curve.label)
+            format_table(
+                ["# flips", "accuracy (%)"], rows, title=_field(curve, "label")
+            )
         )
     return "\n\n".join(blocks)
 
 
-def format_secured_bits_curves(curves: Sequence[SecuredBitsCurve]) -> str:
+def format_secured_bits_curves(curves: Sequence[Any]) -> str:
     """Fig. 9-style sweep as a table."""
     rows = []
     for curve in curves:
-        for n, a in zip(curve.extra_flips, curve.accuracies):
+        for n, a in zip(
+            _field(curve, "extra_flips"), _field(curve, "accuracies")
+        ):
             rows.append(
-                [curve.secured_bits, curve.profile_rounds, n, f"{a * 100:.2f}"]
+                [
+                    _field(curve, "secured_bits"),
+                    _field(curve, "profile_rounds"),
+                    n,
+                    f"{a * 100:.2f}",
+                ]
             )
     return format_table(
         ["secured bits", "rounds", "SB + extra flips", "accuracy (%)"],

@@ -1,0 +1,198 @@
+"""``python -m repro`` — the public entry point for running experiments.
+
+Subcommands:
+
+* ``list`` — catalogue of registered scenarios (name, source, presets).
+* ``run <scenario> [...]`` — execute scenarios with ``--trials``,
+  ``--jobs``, ``--seed`` and ``--param key=value`` overrides; aggregate
+  results land as JSON artifacts under ``benchmarks/results/``.
+* ``cache info | clear`` — inspect or empty the trained-preset cache.
+
+Reproduction checks run after each scenario; failures are reported (and
+recorded in the artifact) but only fail the process under ``--strict``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.artifacts import default_results_dir, write_artifact
+from repro.experiments.cache import PresetCache
+from repro.experiments.registry import get_scenario, iter_scenarios
+from repro.experiments.runner import run_scenario
+from repro.presets import preset_spec
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="DNN-Defender reproduction experiment runner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    list_cmd = sub.add_parser("list", help="list registered scenarios")
+    list_cmd.add_argument("--tag", default=None,
+                          help="only scenarios carrying this tag")
+
+    run_cmd = sub.add_parser("run", help="run one or more scenarios")
+    run_cmd.add_argument("scenarios", nargs="+", metavar="scenario")
+    run_cmd.add_argument("--trials", type=int, default=None,
+                         help="Monte-Carlo trials (default: per-scenario)")
+    run_cmd.add_argument("--jobs", type=int, default=1,
+                         help="parallel worker processes (default: 1)")
+    run_cmd.add_argument("--seed", type=int, default=0,
+                         help="base seed; trial seeds derive from it")
+    run_cmd.add_argument("--param", action="append", default=[],
+                         metavar="KEY=VALUE",
+                         help="scenario parameter override (repeatable)")
+    run_cmd.add_argument("--out", default=None,
+                         help="artifact directory "
+                              "(default: benchmarks/results/)")
+    run_cmd.add_argument("--no-artifact", action="store_true",
+                         help="skip writing the JSON artifact")
+    run_cmd.add_argument("--strict", action="store_true",
+                         help="exit non-zero if reproduction checks fail")
+    run_cmd.add_argument("--quiet", action="store_true",
+                         help="suppress the report table and progress")
+
+    cache_cmd = sub.add_parser("cache", help="trained-preset cache tools")
+    cache_cmd.add_argument("action", choices=("info", "clear"))
+
+    return parser
+
+
+def _parse_params(pairs: list[str]) -> dict:
+    """``k=v`` strings to a dict, coercing ints/floats when they parse."""
+    params: dict = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"--param expects KEY=VALUE, got {pair!r}")
+        key, raw = pair.split("=", 1)
+        value: object = raw
+        for cast in (int, float):
+            try:
+                value = cast(raw)
+                break
+            except ValueError:
+                continue
+        params[key] = value
+    return params
+
+
+def _cmd_list(args) -> int:
+    rows = list(iter_scenarios(tag=args.tag))
+    if not rows:
+        print("no scenarios registered" + (f" with tag {args.tag!r}" if args.tag else ""))
+        return 1
+    name_width = max(len(s.name) for s in rows)
+    source_width = max(len(s.source) for s in rows)
+    for spec in rows:
+        extras = []
+        if spec.presets:
+            extras.append(f"presets: {', '.join(spec.presets)}")
+        if spec.deterministic:
+            extras.append("deterministic")
+        suffix = f"  [{'; '.join(extras)}]" if extras else ""
+        print(
+            f"{spec.name:<{name_width}}  {spec.source:<{source_width}}  "
+            f"{spec.title}{suffix}"
+        )
+    print(f"\n{len(rows)} scenarios; run with: python -m repro run <name>")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    params = _parse_params(args.param)
+    cache = PresetCache()
+    failed_checks: list[str] = []
+    for name in args.scenarios:
+        spec = get_scenario(name)  # fail fast on typos, before any work
+
+        def progress(done: int, total: int) -> None:
+            print(f"  [{name}] trial {done}/{total}", file=sys.stderr)
+
+        if not args.quiet:
+            cold = [
+                p for p in spec.presets
+                if not cache.path_for(preset_spec(p)).exists()
+            ]
+            trials = args.trials if args.trials is not None else spec.default_trials
+            print(
+                f"running {name} ({spec.source or 'unsourced'}): "
+                f"{trials} trial(s), {args.jobs} job(s), seed {args.seed}"
+                + (f"; cold presets: {', '.join(cold)}" if cold else "")
+            )
+        result = run_scenario(
+            name,
+            trials=args.trials,
+            jobs=args.jobs,
+            seed=args.seed,
+            params=params,
+            cache=cache,
+            progress=None if args.quiet else progress,
+        )
+        try:
+            spec.run_checks(result)
+        except AssertionError as exc:
+            result.check_error = f"{type(exc).__name__}: {exc}" or "AssertionError"
+            failed_checks.append(name)
+        if not args.no_artifact:
+            path = write_artifact(result, directory=args.out)
+            if not args.quiet:
+                print(f"artifact: {path}")
+        if not args.quiet:
+            print(spec.render_report(result))
+            print(f"elapsed: {result.elapsed_s:.2f}s")
+        if result.check_error is not None:
+            print(
+                f"warning: reproduction checks FAILED for {name}: "
+                f"{result.check_error}",
+                file=sys.stderr,
+            )
+    if failed_checks and args.strict:
+        return 1
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    cache = PresetCache()
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached preset(s) from {cache.root}")
+        return 0
+    entries = cache.entries()
+    print(f"cache root: {cache.root}")
+    if not entries:
+        print("(empty)")
+        return 0
+    total = 0
+    for path in entries:
+        size = path.stat().st_size
+        total += size
+        print(f"  {path.name}  {size / 1024:.0f} KiB")
+    print(f"{len(entries)} entries, {total / 1024:.0f} KiB total")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code.
+
+    User-input errors (unknown scenario, bad argument values) print a
+    one-line message and return 2 instead of dumping a traceback.
+    """
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list(args)
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "cache":
+            return _cmd_cache(args)
+    except (KeyError, ValueError) as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    raise AssertionError(f"unhandled command {args.command!r}")

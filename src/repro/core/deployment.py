@@ -88,6 +88,25 @@ class DefendedDeployment:
             defender=defender,
         )
 
+    @classmethod
+    def from_preset(
+        cls,
+        preset,
+        geometry: DramGeometry,
+        timing: TimingParams,
+        **kwargs,
+    ) -> "DefendedDeployment":
+        """Build from a :class:`repro.presets.TrainedPreset`.
+
+        Convenience used by scenarios: instantiates a fresh victim from
+        the preset's trained state and deploys it over the preset's
+        dataset.  ``kwargs`` forward to :meth:`build`.
+        """
+        return cls.build(
+            preset.fresh_model(), preset.dataset,
+            geometry=geometry, timing=timing, **kwargs,
+        )
+
     # ------------------------------------------------------------------ #
     # Attack-side adapters
     # ------------------------------------------------------------------ #

@@ -1,0 +1,68 @@
+"""Experiment orchestration: scenario registry, parallel runner, caching.
+
+This package turns the repo's experiments into declarative, batched,
+cacheable *scenarios* with one shared execution path:
+
+* :mod:`repro.experiments.registry` — ``@scenario`` specs for every paper
+  figure/table plus sweep grids; resolved by name.
+* :mod:`repro.experiments.runner` — :func:`run_scenario` fans seeded
+  trials over a process pool and aggregates mean/std/95%-CI metrics.
+* :mod:`repro.experiments.cache` — :class:`PresetCache` stores trained
+  preset weights as ``.npz`` keyed by the recipe hash, so each preset
+  trains once ever.
+* :mod:`repro.experiments.artifacts` — JSON results under
+  ``benchmarks/results/``.
+* :mod:`repro.experiments.scenarios` — the built-in scenario definitions.
+
+Typical usage::
+
+    from repro.experiments import run_scenario, write_artifact
+    result = run_scenario("fig8b", trials=8, jobs=4, seed=0)
+    write_artifact(result)
+
+or from the shell: ``python -m repro run fig8b --trials 8 --jobs 4``.
+"""
+
+from repro.experiments.artifacts import (
+    default_results_dir,
+    load_artifact,
+    write_artifact,
+)
+from repro.experiments.cache import PresetCache, default_cache_root
+from repro.experiments.registry import (
+    Scenario,
+    get_scenario,
+    iter_scenarios,
+    register,
+    scenario,
+    scenario_names,
+    unregister,
+)
+from repro.experiments.runner import (
+    MetricStats,
+    ScenarioResult,
+    TrialContext,
+    run_scenario,
+    trial_seed,
+)
+from repro.experiments import scenarios  # noqa: F401  (registers built-ins)
+
+__all__ = [
+    "Scenario",
+    "scenario",
+    "register",
+    "unregister",
+    "get_scenario",
+    "scenario_names",
+    "iter_scenarios",
+    "TrialContext",
+    "MetricStats",
+    "ScenarioResult",
+    "run_scenario",
+    "trial_seed",
+    "PresetCache",
+    "default_cache_root",
+    "default_results_dir",
+    "write_artifact",
+    "load_artifact",
+]

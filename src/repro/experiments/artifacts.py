@@ -1,0 +1,49 @@
+"""JSON result artifacts for scenario runs.
+
+Every CLI scenario run lands in ``benchmarks/results/<scenario>.json`` —
+the machine-readable record the pytest benchmarks' ``report_sink`` tables
+mirror in text form.  The directory resolves, in order: the explicit
+``directory`` argument, the ``REPRO_RESULTS_DIR`` environment variable,
+then ``benchmarks/results/`` relative to the repository root.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+from repro.experiments.runner import ScenarioResult
+
+__all__ = ["default_results_dir", "write_artifact", "load_artifact"]
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parents[3]
+
+
+def default_results_dir() -> pathlib.Path:
+    """Resolve the artifact directory (env override, then repo-relative)."""
+    env = os.environ.get("REPRO_RESULTS_DIR")
+    if env:
+        return pathlib.Path(env)
+    return _REPO_ROOT / "benchmarks" / "results"
+
+
+def write_artifact(
+    result: ScenarioResult,
+    directory: str | pathlib.Path | None = None,
+) -> pathlib.Path:
+    """Persist an aggregate result as ``<scenario>.json``; returns the path."""
+    out_dir = (
+        pathlib.Path(directory) if directory is not None else default_results_dir()
+    )
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"{result.scenario}.json"
+    path.write_text(
+        json.dumps(result.to_json(), indent=2, sort_keys=True) + "\n"
+    )
+    return path
+
+
+def load_artifact(path: str | pathlib.Path) -> dict:
+    """Read a previously written artifact back as a plain dict."""
+    return json.loads(pathlib.Path(path).read_text())

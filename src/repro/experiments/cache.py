@@ -1,0 +1,165 @@
+"""Trained-preset disk cache: train each preset recipe once, ever.
+
+Every experiment that needs a victim model used to retrain its preset from
+scratch at session start — by far the dominant cost of a benchmark run.
+:class:`PresetCache` keys a :class:`repro.presets.PresetSpec` by the
+SHA-256 of its full recipe and stores the trained ``state_dict`` (plus the
+training history) as a compressed ``.npz`` under the cache root.  A warm
+load rebuilds the dataset and factory in milliseconds and adopts the
+stored weights, skipping training entirely.
+
+The cache root resolves, in order: the ``root`` argument, the
+``REPRO_CACHE_DIR`` environment variable, then
+``~/.cache/dnn-defender-repro/presets``.  Worker processes of the parallel
+runner share the same root, so a preset trained by one trial is a disk hit
+for every later trial, process, and session.
+
+An in-process memo sits in front of the disk layer so repeated
+``load(...)`` calls inside one process (e.g. the three Fig. 9 panels
+sharing ResNet-34) pay the ``.npz`` read once.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+
+import numpy as np
+
+from repro.presets import PresetSpec, TrainedPreset, preset_spec
+
+__all__ = ["PresetCache", "default_cache_root"]
+
+_STATE_PREFIX = "state/"
+_META_KEY = "__meta__"
+# Bump when TrainedPreset/fit semantics change in a way that invalidates
+# previously stored weights.
+CACHE_FORMAT_VERSION = 1
+
+
+def default_cache_root() -> pathlib.Path:
+    """Resolve the preset-cache directory (env override, then ~/.cache)."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return pathlib.Path(env)
+    return pathlib.Path.home() / ".cache" / "dnn-defender-repro" / "presets"
+
+
+class PresetCache:
+    """Content-addressed store of trained preset weights.
+
+    Args:
+        root: Cache directory; created lazily on first store.  ``None``
+            uses :func:`default_cache_root`.
+
+    Attributes:
+        hits / misses: Disk-level counters (memo hits count as hits).
+    """
+
+    def __init__(self, root: str | pathlib.Path | None = None):
+        self.root = pathlib.Path(root) if root is not None else default_cache_root()
+        self.hits = 0
+        self.misses = 0
+        self._memo: dict[str, TrainedPreset] = {}
+
+    # ------------------------------------------------------------------ #
+    # Keys and paths
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def key_for(spec: PresetSpec) -> str:
+        """SHA-256 over the full recipe + cache format version."""
+        payload = json.dumps(
+            {"version": CACHE_FORMAT_VERSION, "spec": spec.config_dict()},
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def path_for(self, spec: PresetSpec) -> pathlib.Path:
+        """On-disk ``.npz`` location for ``spec``."""
+        return self.root / f"{spec.name}-{self.key_for(spec)[:16]}.npz"
+
+    # ------------------------------------------------------------------ #
+    # Load / store
+    # ------------------------------------------------------------------ #
+
+    def load(self, name: str, **overrides) -> TrainedPreset:
+        """Return the trained preset ``name``, training on a cache miss.
+
+        ``overrides`` patch any :class:`PresetSpec` field (e.g.
+        ``epochs=1, min_accuracy=0.0`` for a throwaway test preset) and
+        participate in the cache key.
+        """
+        return self.load_spec(preset_spec(name, **overrides))
+
+    def load_spec(self, spec: PresetSpec) -> TrainedPreset:
+        """Like :meth:`load`, for an already-built spec."""
+        key = self.key_for(spec)
+        memoised = self._memo.get(key)
+        if memoised is not None:
+            self.hits += 1
+            return memoised
+        path = self.path_for(spec)
+        if path.exists():
+            state, history = self._read(path)
+            preset = spec.realise(state=state, history=history)
+            self.hits += 1
+        else:
+            self.misses += 1
+            preset = spec.realise()
+            self._write(path, spec, preset)
+        self._memo[key] = preset
+        return preset
+
+    def _read(self, path: pathlib.Path):
+        with np.load(path, allow_pickle=False) as archive:
+            meta = json.loads(str(archive[_META_KEY]))
+            state = {
+                key[len(_STATE_PREFIX):]: archive[key]
+                for key in archive.files
+                if key.startswith(_STATE_PREFIX)
+            }
+        return state, meta["history"]
+
+    def _write(
+        self, path: pathlib.Path, spec: PresetSpec, preset: TrainedPreset
+    ) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        meta = json.dumps(
+            {
+                "spec": spec.config_dict(),
+                "history": preset.history,
+                "clean_accuracy": preset.clean_accuracy,
+            }
+        )
+        arrays = {
+            f"{_STATE_PREFIX}{key}": value for key, value in preset.state.items()
+        }
+        # Per-writer tmp name: concurrent cold-cache workers must not
+        # truncate each other mid-write; the final rename is atomic and
+        # last-writer-wins with identical content.
+        tmp = path.with_suffix(f".{os.getpid()}.tmp.npz")
+        with open(tmp, "wb") as fh:
+            np.savez_compressed(fh, **arrays, **{_META_KEY: np.str_(meta)})
+        tmp.replace(path)
+
+    # ------------------------------------------------------------------ #
+    # Maintenance
+    # ------------------------------------------------------------------ #
+
+    def entries(self) -> list[pathlib.Path]:
+        """Stored cache files (empty when the root does not exist)."""
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*.npz"))
+
+    def clear(self) -> int:
+        """Delete every stored preset; returns the number removed."""
+        removed = 0
+        for path in self.entries():
+            path.unlink()
+            removed += 1
+        self._memo.clear()
+        return removed

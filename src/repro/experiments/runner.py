@@ -1,0 +1,279 @@
+"""Parallel, seeded execution of registered scenarios.
+
+:func:`run_scenario` is the single execution path shared by the pytest
+benchmarks, the ``python -m repro`` CLI, and library callers.  It fans the
+requested number of independent trials out over a process pool
+(``--jobs``), aggregates the per-trial metrics into mean/std/95%-CI
+statistics, and (optionally) persists the aggregate as a JSON artifact
+under ``benchmarks/results/``.
+
+Determinism contract: trial *i* derives its seed purely from the base
+seed and *i* (trial 0 uses the base seed itself, so a single-trial run
+reproduces the historical single-seed benchmarks bit-for-bit), and
+aggregation always happens in trial order — so the aggregate is identical
+regardless of ``jobs``.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import math
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+from repro.experiments.cache import PresetCache
+from repro.presets import TrainedPreset
+
+__all__ = [
+    "TrialContext",
+    "MetricStats",
+    "ScenarioResult",
+    "run_scenario",
+    "trial_seed",
+]
+
+
+def trial_seed(base_seed: int, trial_index: int) -> int:
+    """Derive the seed for one trial.
+
+    Trial 0 keeps the base seed (exact parity with the pre-runner,
+    single-seed benchmarks); later trials draw independent streams from a
+    :class:`numpy.random.SeedSequence` keyed on ``(base_seed, index)``.
+    """
+    if trial_index == 0:
+        return base_seed
+    sequence = np.random.SeedSequence((base_seed, trial_index))
+    return int(sequence.generate_state(1, dtype=np.uint64)[0] % (2**63))
+
+
+@dataclass
+class TrialContext:
+    """Everything one trial may depend on.
+
+    Attributes:
+        scenario: Name of the scenario being run.
+        trial_index: 0-based index of this trial within the run.
+        seed: This trial's derived seed — the *only* source of randomness
+            a trial function should use.
+        params: Scenario parameters (CLI ``--param`` overrides merged over
+            scenario defaults).
+        cache: Preset cache used by :meth:`preset`.
+    """
+
+    scenario: str
+    trial_index: int
+    seed: int
+    params: Mapping[str, Any] = field(default_factory=dict)
+    cache: PresetCache | None = None
+
+    def rng(self, stream: int = 0) -> np.random.Generator:
+        """Independent generator for sub-component ``stream``."""
+        return np.random.default_rng(self.seed + stream)
+
+    def preset(self, name: str, **overrides) -> TrainedPreset:
+        """Load a trained preset through the (shared, on-disk) cache."""
+        cache = self.cache if self.cache is not None else PresetCache()
+        return cache.load(name, **overrides)
+
+    def param(self, key: str, default: Any = None) -> Any:
+        """Scenario parameter with a default (``--param key=value``)."""
+        return self.params.get(key, default)
+
+
+@dataclass(frozen=True)
+class MetricStats:
+    """Aggregate of one metric across trials."""
+
+    mean: float
+    std: float
+    ci95: float
+    n: int
+    values: tuple[float, ...]
+
+    @classmethod
+    def from_values(cls, values: list[float]) -> "MetricStats":
+        array = np.asarray(values, dtype=float)
+        n = int(array.size)
+        std = float(array.std(ddof=1)) if n > 1 else 0.0
+        return cls(
+            mean=float(array.mean()),
+            std=std,
+            ci95=1.96 * std / math.sqrt(n) if n > 1 else 0.0,
+            n=n,
+            values=tuple(float(v) for v in array),
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "mean": self.mean,
+            "std": self.std,
+            "ci95": self.ci95,
+            "n": self.n,
+            "values": list(self.values),
+        }
+
+
+@dataclass
+class ScenarioResult:
+    """Aggregate outcome of a scenario run.
+
+    ``metrics`` maps each metric name to its cross-trial statistics;
+    ``detail`` carries trial 0's rich payload (series, tables) for
+    reporting; ``per_trial_metrics`` preserves the raw per-trial values in
+    trial order.
+    """
+
+    scenario: str
+    trials: int
+    jobs: int
+    seed: int
+    params: dict
+    elapsed_s: float
+    metrics: dict[str, MetricStats]
+    detail: dict
+    per_trial_metrics: list[dict]
+    check_error: str | None = None
+
+    def metric(self, name: str) -> float:
+        """Mean value of one metric (the common access path in checks)."""
+        return self.metrics[name].mean
+
+    def to_json(self) -> dict:
+        """JSON-artifact form (see ``repro.experiments.artifacts``)."""
+        return {
+            "scenario": self.scenario,
+            "trials": self.trials,
+            "jobs": self.jobs,
+            "seed": self.seed,
+            "params": self.params,
+            "elapsed_s": self.elapsed_s,
+            "metrics": {k: v.to_json() for k, v in sorted(self.metrics.items())},
+            "detail": self.detail,
+            "per_trial_metrics": self.per_trial_metrics,
+            "check_error": self.check_error,
+        }
+
+
+def _execute_trial(
+    scenario_name: str,
+    trial_index: int,
+    seed: int,
+    params: dict,
+    cache_root: str | None,
+) -> dict:
+    """Top-level (picklable) worker: run one trial in this process."""
+    from repro.experiments.registry import get_scenario
+
+    spec = get_scenario(scenario_name)
+    ctx = TrialContext(
+        scenario=scenario_name,
+        trial_index=trial_index,
+        seed=seed,
+        params=params,
+        cache=PresetCache(cache_root) if cache_root is not None else PresetCache(),
+    )
+    return spec.run_trial(ctx)
+
+
+def run_scenario(
+    name: str,
+    trials: int | None = None,
+    jobs: int = 1,
+    seed: int = 0,
+    params: Mapping[str, Any] | None = None,
+    cache: PresetCache | None = None,
+    progress: Callable[[int, int], None] | None = None,
+) -> ScenarioResult:
+    """Run ``trials`` independent trials of scenario ``name``.
+
+    Args:
+        name: Registered scenario name (see ``repro list``).
+        trials: Trial count; ``None`` uses the scenario's default.
+        jobs: Worker processes.  ``1`` runs in-process (no pool); the
+            aggregate is identical for any value by construction.
+        seed: Base seed; trial seeds derive from it via
+            :func:`trial_seed`.
+        params: Scenario parameter overrides.
+        cache: Preset cache override (its root is forwarded to workers).
+        progress: Optional ``callback(done, total)`` after each trial.
+
+    Returns:
+        The aggregated :class:`ScenarioResult` (checks are *not* run —
+        callers decide whether check failures are fatal).
+    """
+    from repro.experiments.registry import get_scenario
+
+    spec = get_scenario(name)
+    n_trials = spec.default_trials if trials is None else trials
+    if n_trials < 1:
+        raise ValueError(f"trials must be >= 1, got {n_trials}")
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    run_params = dict(params or {})
+    cache = cache if cache is not None else PresetCache()
+    cache_root = str(cache.root)
+    seeds = [trial_seed(seed, i) for i in range(n_trials)]
+
+    start = time.perf_counter()
+    payloads: list[dict] = [{} for _ in range(n_trials)]
+    if jobs == 1 or n_trials == 1:
+        for i in range(n_trials):
+            ctx = TrialContext(
+                scenario=name, trial_index=i, seed=seeds[i],
+                params=run_params, cache=cache,
+            )
+            payloads[i] = spec.run_trial(ctx)
+            if progress is not None:
+                progress(i + 1, n_trials)
+    else:
+        # Fork keeps dynamically-registered scenarios (tests) visible in
+        # workers; spawned workers re-import the built-ins by name.
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            context = multiprocessing.get_context("spawn")
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(jobs, n_trials), mp_context=context
+        ) as pool:
+            futures = {
+                pool.submit(
+                    _execute_trial, name, i, seeds[i], run_params, cache_root
+                ): i
+                for i in range(n_trials)
+            }
+            done = 0
+            for future in concurrent.futures.as_completed(futures):
+                payloads[futures[future]] = future.result()
+                done += 1
+                if progress is not None:
+                    progress(done, n_trials)
+    elapsed = time.perf_counter() - start
+
+    metric_values: dict[str, list[float]] = {}
+    for payload in payloads:
+        for key, value in payload["metrics"].items():
+            metric_values.setdefault(key, []).append(float(value))
+    for key, values in metric_values.items():
+        if len(values) != n_trials:
+            raise ValueError(
+                f"metric {key!r} reported by {len(values)}/{n_trials} "
+                "trials; metrics must be present in every trial"
+            )
+    return ScenarioResult(
+        scenario=name,
+        trials=n_trials,
+        jobs=jobs,
+        seed=seed,
+        params=run_params,
+        elapsed_s=elapsed,
+        metrics={
+            key: MetricStats.from_values(values)
+            for key, values in metric_values.items()
+        },
+        detail=payloads[0].get("detail", {}),
+        per_trial_metrics=[p["metrics"] for p in payloads],
+    )

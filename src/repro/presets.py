@@ -6,14 +6,30 @@ configurable scale (width multiplier, image size, synthetic dataset size)
 so every experiment runs on CPU in seconds while keeping the architecture
 topology — and therefore the attack/defense dynamics — intact.
 
-Each preset returns ``(model_factory, trained_state, dataset)``: a factory
-producing a freshly initialised copy of the architecture, the trained
-weights, and the dataset.  Experiments that need several fresh victims
-(every attack mutates its model) rebuild from the factory + state.
+Two layers live here:
+
+* :class:`PresetSpec` — a frozen, declarative recipe (architecture +
+  dataset + training hyper-parameters).  It can cheaply rebuild the
+  dataset and an untrained model factory, and it hashes to a stable cache
+  key, which is what :class:`repro.experiments.PresetCache` uses to store
+  trained weights on disk so each recipe trains **once ever** instead of
+  once per session.
+* :class:`TrainedPreset` — the realised bundle: factory + trained state +
+  dataset.  Experiments that need several fresh victims (every attack
+  mutates its model) rebuild from the factory + state via
+  :meth:`TrainedPreset.fresh_model`.
+
+The four public helpers (:func:`resnet20_cifar`, :func:`vgg11_cifar`,
+:func:`resnet18_imagenet`, :func:`resnet34_imagenet`) keep their original
+train-on-call behaviour; pass their names to
+:func:`repro.experiments.PresetCache.load` to get the cached path.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import json
+from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
@@ -24,7 +40,11 @@ from repro.nn.module import Module
 from repro.nn.train import fit
 
 __all__ = [
+    "ModelFactory",
+    "PresetSpec",
     "TrainedPreset",
+    "PRESET_NAMES",
+    "preset_spec",
     "resnet20_cifar",
     "vgg11_cifar",
     "resnet18_imagenet",
@@ -35,26 +55,49 @@ ModelFactory = Callable[[], Module]
 
 
 class TrainedPreset:
-    """A trained architecture + dataset bundle."""
+    """A trained architecture + dataset bundle.
+
+    Construct with ``state``/``history`` to adopt previously-trained
+    weights (the preset-cache warm path); otherwise ``__init__`` trains
+    the model with :func:`repro.nn.train.fit` and verifies the resulting
+    test accuracy clears ``min_accuracy`` — attack experiments on a model
+    that never learned are meaningless.
+
+    Attributes:
+        name: Preset identifier, e.g. ``"resnet20-cifar10"``.
+        factory: Zero-argument callable producing a fresh, untrained copy
+            of the architecture.
+        dataset: The synthetic train/test split used for training and for
+            attack batches.
+        state: Trained weights/buffers (a ``state_dict``).
+        history: Per-epoch ``{"loss": [...], "test_accuracy": [...]}``.
+        clean_accuracy: Final test accuracy of the trained weights.
+    """
 
     def __init__(
         self,
         name: str,
         factory: ModelFactory,
         dataset: Dataset,
-        epochs: int,
-        lr: float,
-        seed: int,
-        min_accuracy: float,
+        epochs: int = 0,
+        lr: float = 0.0,
+        seed: int = 0,
+        min_accuracy: float = 0.0,
+        state: dict[str, np.ndarray] | None = None,
+        history: dict[str, list[float]] | None = None,
     ):
         self.name = name
         self.factory = factory
         self.dataset = dataset
-        model = factory()
-        self.history = fit(
-            model, dataset, epochs=epochs, batch_size=64, lr=lr, seed=seed
-        )
-        self.state = model.state_dict()
+        if state is not None and history is not None:
+            self.state = state
+            self.history = history
+        else:
+            model = factory()
+            self.history = fit(
+                model, dataset, epochs=epochs, batch_size=64, lr=lr, seed=seed
+            )
+            self.state = model.state_dict()
         self.clean_accuracy = self.history["test_accuracy"][-1]
         if self.clean_accuracy < min_accuracy:
             raise RuntimeError(
@@ -64,10 +107,160 @@ class TrainedPreset:
             )
 
     def fresh_model(self) -> Module:
+        """Build a new model instance carrying the trained weights.
+
+        Every attack mutates its victim in place, so experiments request a
+        fresh copy per attack rather than sharing one instance.
+        """
         model = self.factory()
         model.load_state_dict(self.state)
         model.eval()
         return model
+
+
+@dataclass(frozen=True)
+class PresetSpec:
+    """Declarative recipe for a trained preset.
+
+    Everything needed to (a) rebuild the dataset and model factory in
+    milliseconds and (b) train the weights — split apart so a disk cache
+    can skip (b) when it has seen the identical recipe before.
+
+    Attributes:
+        name: Public preset identifier (``"resnet20_cifar"`` …).
+        arch: Architecture key: ``resnet20 | vgg11 | resnet18 | resnet34``.
+        dataset_family: ``"cifar10"`` or ``"imagenet"`` stand-in.
+        num_classes: Output classes (10 for CIFAR-10-like).
+        width_scale: Channel-width multiplier applied to the architecture.
+        image_hw: Square image side of the synthetic dataset.
+        n_train / n_test: Synthetic dataset split sizes.
+        epochs / lr / seed: Training hyper-parameters.
+        min_accuracy: Floor the trained test accuracy must clear.
+    """
+
+    name: str
+    arch: str
+    dataset_family: str
+    num_classes: int
+    width_scale: float
+    image_hw: int
+    n_train: int
+    n_test: int
+    epochs: int
+    lr: float
+    seed: int
+    min_accuracy: float
+
+    def make_dataset(self) -> Dataset:
+        """Synthesise the (deterministic, seed-keyed) dataset."""
+        if self.dataset_family == "cifar10":
+            return cifar10_like(
+                n_train=self.n_train, n_test=self.n_test,
+                image_hw=self.image_hw, seed=self.seed,
+            )
+        if self.dataset_family == "imagenet":
+            return imagenet_like(
+                num_classes=self.num_classes, n_train=self.n_train,
+                n_test=self.n_test, image_hw=self.image_hw, seed=self.seed,
+            )
+        raise ValueError(f"unknown dataset family {self.dataset_family!r}")
+
+    def make_factory(self) -> ModelFactory:
+        """Zero-argument factory producing an untrained model."""
+        if self.arch == "resnet20":
+            return lambda: make_resnet20(
+                num_classes=self.num_classes, width_scale=self.width_scale,
+                seed=self.seed,
+            )
+        if self.arch == "vgg11":
+            return lambda: make_vgg11(
+                num_classes=self.num_classes, input_size=self.image_hw,
+                width_scale=self.width_scale, seed=self.seed,
+            )
+        if self.arch == "resnet18":
+            return lambda: make_resnet18(
+                num_classes=self.num_classes, width_scale=self.width_scale,
+                seed=self.seed,
+            )
+        if self.arch == "resnet34":
+            return lambda: make_resnet34(
+                num_classes=self.num_classes, width_scale=self.width_scale,
+                seed=self.seed,
+            )
+        raise ValueError(f"unknown architecture {self.arch!r}")
+
+    def config_dict(self) -> dict:
+        """The full recipe as a plain dict — the cache-key payload."""
+        return dataclasses.asdict(self)
+
+    def cache_key(self) -> str:
+        """Stable JSON serialisation of the recipe, hashed by the cache."""
+        return json.dumps(self.config_dict(), sort_keys=True)
+
+    def display_name(self) -> str:
+        return f"{self.arch}-{self.dataset_family}"
+
+    def realise(
+        self,
+        state: dict[str, np.ndarray] | None = None,
+        history: dict[str, list[float]] | None = None,
+    ) -> TrainedPreset:
+        """Build the :class:`TrainedPreset`; trains unless ``state`` and
+        ``history`` are supplied (the cache's warm path)."""
+        return TrainedPreset(
+            self.display_name(),
+            self.make_factory(),
+            self.make_dataset(),
+            epochs=self.epochs,
+            lr=self.lr,
+            seed=self.seed,
+            min_accuracy=self.min_accuracy,
+            state=state,
+            history=history,
+        )
+
+
+_BASE_SPECS: dict[str, PresetSpec] = {
+    "resnet20_cifar": PresetSpec(
+        name="resnet20_cifar", arch="resnet20", dataset_family="cifar10",
+        num_classes=10, width_scale=0.5, image_hw=8, n_train=1024,
+        n_test=384, epochs=6, lr=0.08, seed=0, min_accuracy=0.6,
+    ),
+    "vgg11_cifar": PresetSpec(
+        name="vgg11_cifar", arch="vgg11", dataset_family="cifar10",
+        num_classes=10, width_scale=0.125, image_hw=8, n_train=1024,
+        n_test=384, epochs=6, lr=0.05, seed=0, min_accuracy=0.6,
+    ),
+    "resnet18_imagenet": PresetSpec(
+        name="resnet18_imagenet", arch="resnet18", dataset_family="imagenet",
+        num_classes=20, width_scale=0.0625, image_hw=8, n_train=1536,
+        n_test=512, epochs=6, lr=0.08, seed=0, min_accuracy=0.5,
+    ),
+    "resnet34_imagenet": PresetSpec(
+        name="resnet34_imagenet", arch="resnet34", dataset_family="imagenet",
+        num_classes=20, width_scale=0.0625, image_hw=8, n_train=1536,
+        n_test=512, epochs=6, lr=0.08, seed=0, min_accuracy=0.5,
+    ),
+}
+
+PRESET_NAMES: tuple[str, ...] = tuple(_BASE_SPECS)
+
+
+def preset_spec(name: str, **overrides) -> PresetSpec:
+    """Look up a named base recipe, optionally overriding any field.
+
+    >>> preset_spec("resnet20_cifar", epochs=1, min_accuracy=0.0)
+    """
+    try:
+        base = _BASE_SPECS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown preset {name!r}; available: {', '.join(PRESET_NAMES)}"
+        ) from None
+    unknown = set(overrides) - {f.name for f in dataclasses.fields(PresetSpec)}
+    if unknown:
+        raise TypeError(f"unknown preset fields: {sorted(unknown)}")
+    return dataclasses.replace(base, **overrides) if overrides else base
 
 
 def resnet20_cifar(
@@ -79,14 +272,10 @@ def resnet20_cifar(
     seed: int = 0,
 ) -> TrainedPreset:
     """ResNet-20 on the CIFAR-10 stand-in (Table 3's victim model)."""
-    dataset = cifar10_like(n_train=n_train, n_test=n_test,
-                           image_hw=image_hw, seed=seed)
-    return TrainedPreset(
-        "resnet20-cifar10",
-        lambda: make_resnet20(num_classes=10, width_scale=width_scale,
-                              seed=seed),
-        dataset, epochs=epochs, lr=0.08, seed=seed, min_accuracy=0.6,
-    )
+    return preset_spec(
+        "resnet20_cifar", width_scale=width_scale, image_hw=image_hw,
+        n_train=n_train, n_test=n_test, epochs=epochs, seed=seed,
+    ).realise()
 
 
 def vgg11_cifar(
@@ -98,14 +287,10 @@ def vgg11_cifar(
     seed: int = 0,
 ) -> TrainedPreset:
     """VGG-11 on the CIFAR-10 stand-in (Fig. 9a's victim model)."""
-    dataset = cifar10_like(n_train=n_train, n_test=n_test,
-                           image_hw=image_hw, seed=seed)
-    return TrainedPreset(
-        "vgg11-cifar10",
-        lambda: make_vgg11(num_classes=10, input_size=image_hw,
-                           width_scale=width_scale, seed=seed),
-        dataset, epochs=epochs, lr=0.05, seed=seed, min_accuracy=0.6,
-    )
+    return preset_spec(
+        "vgg11_cifar", width_scale=width_scale, image_hw=image_hw,
+        n_train=n_train, n_test=n_test, epochs=epochs, seed=seed,
+    ).realise()
 
 
 def resnet18_imagenet(
@@ -118,14 +303,11 @@ def resnet18_imagenet(
     seed: int = 0,
 ) -> TrainedPreset:
     """ResNet-18 on the ImageNet stand-in (Fig. 9b's victim model)."""
-    dataset = imagenet_like(num_classes=num_classes, n_train=n_train,
-                            n_test=n_test, image_hw=image_hw, seed=seed)
-    return TrainedPreset(
-        "resnet18-imagenet",
-        lambda: make_resnet18(num_classes=num_classes,
-                              width_scale=width_scale, seed=seed),
-        dataset, epochs=epochs, lr=0.08, seed=seed, min_accuracy=0.5,
-    )
+    return preset_spec(
+        "resnet18_imagenet", width_scale=width_scale,
+        num_classes=num_classes, image_hw=image_hw, n_train=n_train,
+        n_test=n_test, epochs=epochs, seed=seed,
+    ).realise()
 
 
 def resnet34_imagenet(
@@ -138,11 +320,8 @@ def resnet34_imagenet(
     seed: int = 0,
 ) -> TrainedPreset:
     """ResNet-34 on the ImageNet stand-in (Figs. 1b and 9c)."""
-    dataset = imagenet_like(num_classes=num_classes, n_train=n_train,
-                            n_test=n_test, image_hw=image_hw, seed=seed)
-    return TrainedPreset(
-        "resnet34-imagenet",
-        lambda: make_resnet34(num_classes=num_classes,
-                              width_scale=width_scale, seed=seed),
-        dataset, epochs=epochs, lr=0.08, seed=seed, min_accuracy=0.5,
-    )
+    return preset_spec(
+        "resnet34_imagenet", width_scale=width_scale,
+        num_classes=num_classes, image_hw=image_hw, n_train=n_train,
+        n_test=n_test, epochs=epochs, seed=seed,
+    ).realise()

@@ -1,0 +1,67 @@
+"""CLI surface and JSON artifacts (cheap scenarios only)."""
+
+import json
+
+import pytest
+
+from repro.cli import _parse_params, main
+from repro.experiments import load_artifact, run_scenario, write_artifact
+from repro.experiments.artifacts import default_results_dir
+
+
+class TestParamParsing:
+    def test_coercion(self):
+        params = _parse_params(["trials=3", "rate=0.5", "model=vgg11_cifar"])
+        assert params == {"trials": 3, "rate": 0.5, "model": "vgg11_cifar"}
+
+    def test_malformed_pair_exits(self):
+        with pytest.raises(SystemExit):
+            _parse_params(["no-equals-sign"])
+
+
+class TestListCommand:
+    def test_lists_at_least_eight_scenarios(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        lines = [l for l in out.splitlines() if l and not l.startswith("\n")]
+        assert sum(1 for l in lines if l.split() and "scenarios;" not in l) >= 8
+        assert "fig8a" in out and "table3" in out
+
+    def test_tag_filter(self, capsys):
+        assert main(["list", "--tag", "sweep"]) == 0
+        out = capsys.readouterr().out
+        assert "sweep-defense-grid" in out
+        assert "fig1a" not in out
+
+
+class TestRunCommand:
+    def test_run_writes_artifact(self, tmp_path, capsys):
+        code = main([
+            "run", "fig1a", "--trials", "2", "--out", str(tmp_path), "--quiet",
+        ])
+        assert code == 0
+        artifact = json.loads((tmp_path / "fig1a.json").read_text())
+        assert artifact["scenario"] == "fig1a"
+        assert artifact["trials"] == 2
+        assert artifact["check_error"] is None
+        ratio = artifact["metrics"]["ratio_ddr3_new_over_lpddr4_new"]
+        assert 4.0 < ratio["mean"] < 5.0
+        assert len(ratio["values"]) == 2
+
+    def test_unknown_scenario_fails_fast(self, tmp_path, capsys):
+        assert main(["run", "not-a-scenario", "--out", str(tmp_path)]) == 2
+        err = capsys.readouterr().err
+        assert "unknown scenario" in err and "fig8a" in err
+
+
+class TestArtifacts:
+    def test_round_trip(self, tmp_path):
+        result = run_scenario("fig1a", trials=1)
+        path = write_artifact(result, directory=tmp_path)
+        assert path.name == "fig1a.json"
+        loaded = load_artifact(path)
+        assert loaded == result.to_json()
+
+    def test_results_dir_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "override"))
+        assert default_results_dir() == tmp_path / "override"

@@ -1,0 +1,80 @@
+"""Preset disk cache: miss trains and stores, hit skips training."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import PresetCache
+from repro.nn import Tensor
+from repro.presets import preset_spec
+
+# Throwaway recipe: small enough to train in a couple of seconds, with the
+# accuracy floor disabled (two epochs do not have to clear 60%).
+TINY = dict(
+    width_scale=0.25, n_train=192, n_test=96, epochs=2, min_accuracy=0.0
+)
+
+
+@pytest.fixture(scope="module")
+def cache_dir(tmp_path_factory):
+    return tmp_path_factory.mktemp("preset-cache")
+
+
+@pytest.fixture(scope="module")
+def first_load(cache_dir):
+    cache = PresetCache(cache_dir)
+    preset = cache.load("resnet20_cifar", **TINY)
+    return cache, preset
+
+
+class TestMissThenHit:
+    def test_miss_trains_and_stores(self, first_load, cache_dir):
+        cache, preset = first_load
+        assert cache.misses == 1
+        spec = preset_spec("resnet20_cifar", **TINY)
+        path = cache.path_for(spec)
+        assert path.exists()
+        assert path.parent == cache_dir
+
+    def test_fresh_cache_hits_without_training(self, first_load, cache_dir):
+        _, trained = first_load
+        spec = preset_spec("resnet20_cifar", **TINY)
+        warm_cache = PresetCache(cache_dir)
+        before = warm_cache.path_for(spec).stat().st_mtime_ns
+        warm = warm_cache.load("resnet20_cifar", **TINY)
+        assert warm_cache.hits == 1 and warm_cache.misses == 0
+        # The stored file was read, not rewritten.
+        assert warm_cache.path_for(spec).stat().st_mtime_ns == before
+        # Round-trip fidelity: identical weights, history, accuracy.
+        assert set(warm.state) == set(trained.state)
+        for key in trained.state:
+            np.testing.assert_array_equal(warm.state[key], trained.state[key])
+        assert warm.history == trained.history
+        assert warm.clean_accuracy == trained.clean_accuracy
+
+    def test_warm_model_predicts_identically(self, first_load, cache_dir):
+        _, trained = first_load
+        warm = PresetCache(cache_dir).load("resnet20_cifar", **TINY)
+        x = Tensor(trained.dataset.x_test[:16])
+        out_a = trained.fresh_model()(x)
+        out_b = warm.fresh_model()(x)
+        np.testing.assert_array_equal(np.asarray(out_a.data),
+                                      np.asarray(out_b.data))
+
+    def test_in_process_memo_returns_same_object(self, first_load):
+        cache, preset = first_load
+        assert cache.load("resnet20_cifar", **TINY) is preset
+
+    def test_different_recipe_is_different_entry(self, first_load):
+        cache, _ = first_load
+        a = preset_spec("resnet20_cifar", **TINY)
+        b = preset_spec("resnet20_cifar", **{**TINY, "epochs": 3})
+        assert cache.key_for(a) != cache.key_for(b)
+        assert cache.path_for(a) != cache.path_for(b)
+
+    def test_clear_empties_the_root(self, cache_dir, first_load):
+        # Run last in the class: wipes what the earlier tests stored.
+        cache = PresetCache(cache_dir)
+        assert cache.entries()
+        removed = cache.clear()
+        assert removed >= 1
+        assert cache.entries() == []

@@ -1,0 +1,94 @@
+"""Parallel runner: seeding, aggregation, and --jobs-independence."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_scenario, scenario, trial_seed, unregister
+from repro.experiments.runner import MetricStats
+
+# Registered at module import so forked worker processes inherit it.
+toy = scenario(
+    "toy-monte-carlo",
+    title="unit-test scenario",
+    tags=("test",),
+    default_trials=4,
+)(lambda ctx: {
+    "metrics": {
+        "draw": float(ctx.rng().normal()),
+        "seed": float(ctx.seed),
+        "trial": float(ctx.trial_index),
+    },
+    "detail": {"trial": ctx.trial_index},
+})
+
+
+@toy.check
+def _toy_check(result):
+    assert result.metrics["draw"].n == result.trials
+
+
+def teardown_module(module):
+    unregister("toy-monte-carlo")
+
+
+class TestSeeding:
+    def test_trial_zero_uses_base_seed(self):
+        assert trial_seed(123, 0) == 123
+
+    def test_later_trials_draw_distinct_streams(self):
+        seeds = [trial_seed(0, i) for i in range(8)]
+        assert len(set(seeds)) == 8
+
+    def test_seed_derivation_is_deterministic(self):
+        assert trial_seed(7, 3) == trial_seed(7, 3)
+        assert trial_seed(7, 3) != trial_seed(8, 3)
+
+
+class TestAggregation:
+    def test_metric_stats(self):
+        stats = MetricStats.from_values([1.0, 2.0, 3.0])
+        assert stats.mean == pytest.approx(2.0)
+        assert stats.std == pytest.approx(1.0)
+        assert stats.ci95 == pytest.approx(1.96 / np.sqrt(3))
+        assert stats.n == 3
+        assert stats.values == (1.0, 2.0, 3.0)
+
+    def test_single_trial_has_zero_spread(self):
+        stats = MetricStats.from_values([5.0])
+        assert stats.std == 0.0 and stats.ci95 == 0.0
+
+    def test_run_aggregates_in_trial_order(self):
+        result = run_scenario("toy-monte-carlo", trials=5, seed=11)
+        assert result.metrics["trial"].values == (0.0, 1.0, 2.0, 3.0, 4.0)
+        assert result.metrics["seed"].values[0] == 11.0
+        assert result.detail == {"trial": 0}
+        toy.run_checks(result)
+
+    def test_default_trial_count_comes_from_scenario(self):
+        result = run_scenario("toy-monte-carlo", seed=0)
+        assert result.trials == 4
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError, match="trials"):
+            run_scenario("toy-monte-carlo", trials=0)
+        with pytest.raises(ValueError, match="jobs"):
+            run_scenario("toy-monte-carlo", trials=2, jobs=0)
+
+
+class TestJobsIndependence:
+    def test_parallel_equals_serial(self):
+        serial = run_scenario("toy-monte-carlo", trials=6, jobs=1, seed=42)
+        parallel = run_scenario("toy-monte-carlo", trials=6, jobs=3, seed=42)
+        assert parallel.jobs == 3
+        for key in serial.metrics:
+            assert serial.metrics[key].values == parallel.metrics[key].values
+            assert serial.metrics[key].mean == parallel.metrics[key].mean
+        assert serial.per_trial_metrics == parallel.per_trial_metrics
+
+    def test_progress_callback_sees_every_trial(self):
+        seen = []
+        run_scenario(
+            "toy-monte-carlo", trials=3, jobs=1, seed=0,
+            progress=lambda done, total: seen.append((done, total)),
+        )
+        assert seen == [(1, 3), (2, 3), (3, 3)]
