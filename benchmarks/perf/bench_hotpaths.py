@@ -1,0 +1,24 @@
+"""Hot-path perf microbenchmarks (the ``repro bench`` suite under pytest).
+
+Runs the quick configuration of :func:`repro.bench.run_hotpath_suite` —
+incremental sync vs full resync, argpartition vs argsort BFA scoring,
+controller fast path on vs off for the hammer window and the fig6 swap
+chain, and defended vs undefended window cost — writes the payload to the
+report sink, and asserts every before/after pair kept functional parity.
+
+Run directly for the command-line experience::
+
+    PYTHONPATH=src python -m repro bench [--quick]
+"""
+
+from repro.bench import format_suite, run_hotpath_suite
+
+
+def test_hotpath_suite_quick(report_sink):
+    payload = run_hotpath_suite(quick=True)
+    report_sink("hotpaths", format_suite(payload), payload)
+    # Parity is the functional contract and is deterministic; the
+    # wall-clock ratios are recorded in the JSON for trend review rather
+    # than asserted, so machine load cannot flake the smoke run.
+    for name, entry in payload["summary"].items():
+        assert entry["parity"], f"{name}: fast/slow paths disagree"

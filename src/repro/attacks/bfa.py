@@ -30,6 +30,13 @@ from repro.nn import functional as F
 
 __all__ = ["BfaConfig", "FlipAttempt", "AttackResult", "BitFlipAttack"]
 
+_BIT_POSITIONS = np.arange(8, dtype=np.uint8)
+# Weight delta for flipping bit b of a two's-complement byte whose bit is
+# currently 0; the sign bit subtracts 128.  A set bit moves by the negation.
+_BIT_MAGNITUDES = np.array(
+    [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, -128.0], dtype=np.float64
+)
+
 
 @dataclass(frozen=True)
 class BfaConfig:
@@ -40,6 +47,11 @@ class BfaConfig:
     exact_eval_top: int = 8              # layers exact-evaluated per iteration
     eval_batch_size: int = 256
     min_estimated_gain: float = 0.0      # candidates must increase loss
+    # Fast candidate scoring: argpartition top-k over masked scores with a
+    # per-layer bit-delta cache, instead of a full argsort plus a Python
+    # rank scan per layer per iteration.  Parity-tested against the slow
+    # path; keep the flag so benchmarks and tests can compare both.
+    fast_scoring: bool = True
 
     def __post_init__(self) -> None:
         if self.max_iterations < 1:
@@ -134,6 +146,12 @@ class BitFlipAttack:
             self._skip_per_layer[location.layer] = (
                 self._skip_per_layer.get(location.layer, 0) + 1
             )
+        # Fast-path state: a persistent per-layer boolean mask over the
+        # flat (weight, bit) space covering skip + tried bits, and a
+        # bit-delta table cached per layer, invalidated by the layer's
+        # mutation version (committed flips, collateral damage, restores).
+        self._masks: dict[int, np.ndarray] = {}
+        self._delta_cache: dict[int, tuple[int, np.ndarray]] = {}
 
     # ------------------------------------------------------------------ #
     # Candidate generation
@@ -143,20 +161,96 @@ class BitFlipAttack:
     def _bit_deltas(weight_int: np.ndarray) -> np.ndarray:
         """Integer weight change for flipping each bit: shape ``(n, 8)``."""
         bytes_view = weight_int.reshape(-1).view(np.uint8)
-        n = bytes_view.size
-        deltas = np.empty((n, 8), dtype=np.float64)
-        for bit in range(7):
-            current = (bytes_view >> bit) & 1
-            magnitude = float(1 << bit)
-            deltas[:, bit] = np.where(current == 0, magnitude, -magnitude)
-        sign = (bytes_view >> 7) & 1
-        deltas[:, 7] = np.where(sign == 0, -128.0, 128.0)
+        bit_values = (bytes_view[:, None] >> _BIT_POSITIONS) & 1
+        # Magnitude bits 0..6 gain +2^b when currently 0, lose 2^b when 1;
+        # the sign bit (two's complement) moves the weight by -/+128.
+        deltas = np.where(bit_values == 0, _BIT_MAGNITUDES, -_BIT_MAGNITUDES)
         return deltas
+
+    def _scaled_deltas(self, layer_index: int) -> np.ndarray:
+        """Per-layer ``_bit_deltas * scale``, cached until the layer mutates.
+
+        The cache key is :attr:`QuantizedLayer.version`, which every
+        integer-weight mutation bumps (committed flips, behavioural
+        collateral flips, DRAM sync, snapshots) — including the exact-eval
+        flip/revert pairs, which net out but still invalidate, keeping the
+        cache trivially safe.
+        """
+        layer = self.qmodel.layer(layer_index)
+        cached = self._delta_cache.get(layer_index)
+        if cached is not None and cached[0] == layer.version:
+            return cached[1]
+        deltas = self._bit_deltas(layer.weight_int) * layer.scale
+        self._delta_cache[layer_index] = (layer.version, deltas)
+        return deltas
+
+    def _layer_mask(self, layer_index: int) -> np.ndarray:
+        """Persistent boolean mask over the layer's flat (weight, bit) grid
+        marking skip + tried bits; updated in place as bits are tried."""
+        mask = self._masks.get(layer_index)
+        if mask is None:
+            layer = self.qmodel.layer(layer_index)
+            mask = np.zeros(layer.num_weights * 8, dtype=bool)
+            for location in self.skip:
+                if location.layer == layer_index:
+                    mask[location.index * 8 + location.bit] = True
+            for location in self.tried:
+                if location.layer == layer_index:
+                    mask[location.index * 8 + location.bit] = True
+            self._masks[layer_index] = mask
+        return mask
+
+    def _mark_tried(self, location: BitLocation) -> None:
+        """Record an attempted bit in both the set and the fast-path mask."""
+        self.tried.add(location)
+        mask = self._masks.get(location.layer)
+        if mask is not None:
+            mask[location.index * 8 + location.bit] = True
 
     def _layer_best_candidate(
         self, layer_index: int
     ) -> tuple[BitLocation, float] | None:
         """Intra-layer search: best estimated flip in one layer, or None."""
+        if self.config.fast_scoring:
+            candidates = self._layer_top_candidates(layer_index, 1)
+            return candidates[0] if candidates else None
+        return self._layer_best_candidate_argsort(layer_index)
+
+    def _layer_top_candidates(
+        self, layer_index: int, k: int
+    ) -> list[tuple[BitLocation, float]]:
+        """Fast path: top-``k`` eligible flips by estimated gain.
+
+        Skip/tried bits are masked to ``-inf`` up front, so an
+        ``np.argpartition`` top-k over the masked scores replaces the full
+        argsort plus Python rank scan of the slow path.  Results match
+        :meth:`_layer_best_candidate_argsort` whenever scores are
+        tie-free (ties carry no preference in either path).
+        """
+        layer = self.qmodel.layer(layer_index)
+        grad = layer.grad_flat().astype(np.float64)
+        deltas = self._scaled_deltas(layer_index)
+        scores = (grad[:, None] * deltas).reshape(-1)
+        scores[self._layer_mask(layer_index)] = -np.inf
+        if k < scores.size:
+            top = np.argpartition(scores, scores.size - k)[scores.size - k:]
+            top = top[np.argsort(scores[top])[::-1]]
+        else:
+            top = np.argsort(scores)[::-1]
+        results: list[tuple[BitLocation, float]] = []
+        for flat in top:
+            score = float(scores[flat])
+            if not np.isfinite(score) or score <= self.config.min_estimated_gain:
+                break
+            index, bit = divmod(int(flat), 8)
+            results.append((BitLocation(layer_index, index, bit), score))
+        return results
+
+    def _layer_best_candidate_argsort(
+        self, layer_index: int
+    ) -> tuple[BitLocation, float] | None:
+        """Slow path: full argsort + rank scan (pre-optimization behaviour,
+        kept as the parity reference and the ``repro bench`` baseline)."""
         layer = self.qmodel.layer(layer_index)
         grad = layer.grad_flat().astype(np.float64)
         deltas = self._bit_deltas(layer.weight_int) * layer.scale
@@ -225,7 +319,7 @@ class BitFlipAttack:
                 break  # no loss-increasing candidate remains
             location, estimate = selected
             succeeded = self.executor.execute(location)
-            self.tried.add(location)
+            self._mark_tried(location)
             accuracy = self.evaluate_accuracy()
             result.attempts.append(
                 FlipAttempt(

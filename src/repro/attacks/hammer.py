@@ -114,19 +114,34 @@ class RowHammerAttacker:
         aggressor_logical = self.controller.indirection.logical(
             self._aggressor_for(initial_physical)
         )
+        # Re-resolving the victim and aggressors is only necessary after a
+        # defense remap; the indirection version check makes repeated
+        # bursts against an unmoved row O(1) instead of re-deriving the
+        # same addresses every chunk.
+        resolved_version: int | None = None
+        physical = initial_physical
+        aggressors: list[RowAddress] = []
+        cache_resolution = self.controller.fast_path
         for _ in range(max_windows):
             for count in counts:
                 # Let the defense run whatever is due before this burst.
                 self.defense.tick()
-                if self.track_swaps:
-                    # Re-resolve: the defense may have moved the victim.
-                    physical = self.controller.indirection.physical(logical_row)
-                    aggressors = self._aggressors_for(physical)
-                else:
-                    physical = initial_physical
-                    aggressors = [
-                        self.controller.indirection.physical(aggressor_logical)
-                    ]
+                version = self.controller.indirection.version
+                if not cache_resolution or resolved_version != version:
+                    if self.track_swaps:
+                        # Re-resolve: the defense may have moved the victim.
+                        physical = self.controller.indirection.physical(
+                            logical_row
+                        )
+                        aggressors = self._aggressors_for(physical)
+                    else:
+                        physical = initial_physical
+                        aggressors = [
+                            self.controller.indirection.physical(
+                                aggressor_logical
+                            )
+                        ]
+                    resolved_version = version
                 if declared is not None and declared != physical:
                     self.controller.clear_attack_targets(declared)
                 if declared != physical:

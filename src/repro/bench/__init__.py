@@ -1,0 +1,16 @@
+"""Perf-bench subsystem: reproducible hot-path measurements.
+
+``python -m repro bench`` runs :func:`run_hotpath_suite` and persists the
+payload as ``BENCH_hotpaths.json`` — the repo's perf trajectory; every
+perf-focused PR appends a fresh measurement so regressions are visible in
+review.  See ``docs/performance.md`` for the hot-path map and how to read
+the numbers.
+"""
+
+from repro.bench.hotpaths import (
+    HOTPATH_BENCHMARKS,
+    format_suite,
+    run_hotpath_suite,
+)
+
+__all__ = ["HOTPATH_BENCHMARKS", "format_suite", "run_hotpath_suite"]

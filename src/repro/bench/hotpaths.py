@@ -1,0 +1,414 @@
+"""Hot-path microbenchmarks: the data behind ``python -m repro bench``.
+
+Each benchmark times one profiled hot path in two functionally identical
+variants — the optimized fast path (``after``) and the legacy slow path
+(``before``), which the code keeps as a verifiable fallback:
+
+* ``sync_post_window`` — post-hammer-window model sync: incremental
+  dirty-row reload vs the full re-read of every weight row.
+* ``bfa_scoring`` — one BFA candidate-selection sweep over all layers:
+  masked ``argpartition`` top-k with cached bit-deltas vs full argsort
+  plus a Python rank scan.
+* ``bfa_iteration`` — one full BFA ``_select_flip`` (gradients + ranking
+  + exact evaluation) under both scoring modes.
+* ``hammer_window`` — one single-bit hammer window through the memory
+  controller with the controller fast path on vs off.
+* ``fig6_trial`` — one full ``fig6`` scenario trial (the pipelined swap
+  chain) with the controller fast path on vs off.
+* ``defended_vs_undefended`` — one hammer window with DNN-Defender
+  ticking vs undefended (an overhead measurement, not a before/after).
+
+Every before/after pair is parity-checked during the run: the two
+variants must produce identical functional results, and the recorded
+``parity`` flag in the JSON payload asserts that they did.  Results are
+persisted as ``BENCH_hotpaths.json`` through
+:func:`repro.experiments.artifacts.write_bench_artifact`.
+
+Models are built untrained from seeded initializers so the suite never
+depends on the preset cache (CI-safe); timing hot paths does not require
+trained weights.
+"""
+
+from __future__ import annotations
+
+import platform
+import time
+from typing import Callable
+
+import numpy as np
+
+from repro.attacks.bfa import BfaConfig, BitFlipAttack
+from repro.attacks.hammer import RowHammerAttacker
+from repro.core.defender import DNNDefender
+from repro.dram import (
+    DramDevice,
+    DramGeometry,
+    MemoryController,
+    TimingParams,
+)
+from repro.mapping import build_protection_plan, place_model
+from repro.nn import QuantizedModel, make_resnet20
+from repro.nn.data import cifar10_like
+from repro.nn.quant import BitLocation
+from repro.nn.train import loss_and_grads
+
+__all__ = ["HOTPATH_BENCHMARKS", "run_hotpath_suite", "format_suite"]
+
+_GEOMETRY = DramGeometry(
+    banks=4, subarrays_per_bank=8, rows_per_subarray=64, row_bytes=256
+)
+
+
+# ---------------------------------------------------------------------- #
+# Harness helpers
+# ---------------------------------------------------------------------- #
+
+def _stats(times_s: list[float]) -> dict:
+    array = np.asarray(times_s, dtype=float) * 1e3
+    return {
+        "median_ms": float(np.median(array)),
+        "p95_ms": float(np.percentile(array, 95)),
+    }
+
+
+def _timed(fn: Callable[[], object], reps: int, warmup: int = 1) -> list[float]:
+    for _ in range(warmup):
+        fn()
+    times = []
+    for _ in range(reps):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return times
+
+
+def _entry(name, description, reps, variants, parity, ratio_key="speedup"):
+    keys = list(variants)
+    ratio = (
+        variants[keys[0]]["median_ms"] / variants[keys[1]]["median_ms"]
+        if variants[keys[1]]["median_ms"] > 0 else float("inf")
+    )
+    return {
+        "name": name,
+        "description": description,
+        "reps": reps,
+        "variants": variants,
+        ratio_key: round(ratio, 2),
+        "parity": bool(parity),
+    }
+
+
+def _bench_model(seed: int = 0, width_scale: float = 0.5) -> QuantizedModel:
+    """Seeded, untrained victim model (hot paths do not need training)."""
+    return QuantizedModel(
+        make_resnet20(num_classes=10, width_scale=width_scale, seed=seed)
+    )
+
+
+def _bench_layout(qmodel: QuantizedModel, fast_path: bool, t_rh: int = 1000):
+    controller = MemoryController(
+        DramDevice(_GEOMETRY), TimingParams(t_rh=t_rh), fast_path=fast_path
+    )
+    layout = place_model(qmodel, controller, reserved_rows=2, seed=0)
+    return controller, layout
+
+
+def _attack_batch(batch: int = 64, seed: int = 0):
+    dataset = cifar10_like(n_train=64, n_test=256, seed=seed)
+    return dataset.attack_batch(batch, np.random.default_rng(seed))
+
+
+# ---------------------------------------------------------------------- #
+# Benchmarks
+# ---------------------------------------------------------------------- #
+
+def bench_sync_post_window(quick: bool) -> dict:
+    """Post-window model<->DRAM sync: incremental vs full re-read."""
+    reps = 20 if quick else 100
+    dirty_rows = 4  # a hammer window touches a handful of rows at most
+    qmodel = _bench_model()
+    controller, layout = _bench_layout(qmodel, fast_path=True)
+    rows = layout.weight_rows()[:dirty_rows]
+
+    def run(full: bool) -> list[float]:
+        times = []
+        for _ in range(reps):
+            for row in rows:  # untimed: the "attack" dirties a few rows
+                data = controller.peek_logical(row)
+                data[0] ^= 1
+                controller.poke_logical(row, data)
+            start = time.perf_counter()
+            layout.sync_model_from_dram(full=full)
+            times.append(time.perf_counter() - start)
+        return times
+
+    before = run(full=True)
+    after = run(full=False)
+    # Parity: after an incremental sync, a full re-read changes nothing.
+    snapshot = qmodel.snapshot()
+    layout.sync_model_from_dram(full=True)
+    parity = qmodel.hamming_distance_from(snapshot) == 0
+    return _entry(
+        "sync_post_window",
+        f"model sync after {dirty_rows} dirtied rows "
+        f"({layout.num_rows} weight rows total)",
+        reps,
+        {"before": _stats(before), "after": _stats(after)},
+        parity,
+    )
+
+
+def bench_bfa_scoring(quick: bool) -> dict:
+    """One candidate-selection sweep over every layer, both scoring modes."""
+    reps = 10 if quick else 40
+    qmodel = _bench_model()
+    x, y = _attack_batch()
+    fast = BitFlipAttack(qmodel, x, y, config=BfaConfig(fast_scoring=True))
+    slow = BitFlipAttack(qmodel, x, y, config=BfaConfig(fast_scoring=False))
+    loss_and_grads(qmodel.model, x, y)
+    layers = range(qmodel.num_layers)
+
+    def sweep(attack):
+        return [attack._layer_best_candidate(i) for i in layers]
+
+    before = _timed(lambda: sweep(slow), reps)
+    after = _timed(lambda: sweep(fast), reps)
+    parity = sweep(fast) == sweep(slow)
+    return _entry(
+        "bfa_scoring",
+        f"per-iteration flip ranking across {qmodel.num_layers} layers "
+        f"({qmodel.total_weights} weights)",
+        reps,
+        {"before": _stats(before), "after": _stats(after)},
+        parity,
+    )
+
+
+def bench_bfa_iteration(quick: bool) -> dict:
+    """One full BFA search step (gradients + ranking + exact eval)."""
+    reps = 3 if quick else 8
+    qmodel = _bench_model()
+    x, y = _attack_batch()
+    config = dict(max_iterations=1, exact_eval_top=4)
+    fast = BitFlipAttack(
+        qmodel, x, y, config=BfaConfig(fast_scoring=True, **config)
+    )
+    slow = BitFlipAttack(
+        qmodel, x, y, config=BfaConfig(fast_scoring=False, **config)
+    )
+    before = _timed(slow._select_flip, reps)
+    after = _timed(fast._select_flip, reps)
+    parity = fast._select_flip() == slow._select_flip()
+    return _entry(
+        "bfa_iteration",
+        "one _select_flip (loss+grads, ranking, exact eval of top 4)",
+        reps,
+        {"before": _stats(before), "after": _stats(after)},
+        parity,
+    )
+
+
+def _hammer_targets(qmodel: QuantizedModel, n: int) -> list[BitLocation]:
+    """Distinct-row target bits spread across the first layer's rows."""
+    layer = qmodel.layer(0)
+    stride = max(1, layer.num_weights // n)
+    return [
+        BitLocation(0, (i * stride) % layer.num_weights, 6) for i in range(n)
+    ]
+
+
+def bench_hammer_window(quick: bool) -> dict:
+    """One undefended single-bit hammer window, fast vs slow paths.
+
+    The slow variant disables the controller fast path *and* forces the
+    legacy full post-window resync — together, the pre-optimization
+    behaviour of one window.
+    """
+    import os
+
+    reps = 10 if quick else 40
+
+    def run(fast_path: bool):
+        qmodel = _bench_model()
+        controller, layout = _bench_layout(qmodel, fast_path=fast_path)
+        attacker = RowHammerAttacker(controller, layout)
+        targets = _hammer_targets(qmodel, reps + 1)
+        outcomes = []
+        times = []
+        saved = os.environ.get("REPRO_SYNC_MODE")
+        if not fast_path:
+            os.environ["REPRO_SYNC_MODE"] = "full"
+        try:
+            for i, target in enumerate(targets):
+                start = time.perf_counter()
+                outcomes.append(attacker.attempt_flip(target, max_windows=1))
+                elapsed = time.perf_counter() - start
+                if i > 0:  # first window warms caches
+                    times.append(elapsed)
+        finally:
+            if saved is None:
+                os.environ.pop("REPRO_SYNC_MODE", None)
+            else:
+                os.environ["REPRO_SYNC_MODE"] = saved
+        return times, outcomes, [
+            layer.packed_bytes().tobytes() for layer in qmodel.layers
+        ]
+
+    before, outcomes_slow, bytes_slow = run(fast_path=False)
+    after, outcomes_fast, bytes_fast = run(fast_path=True)
+    parity = outcomes_fast == outcomes_slow and bytes_fast == bytes_slow
+    return _entry(
+        "hammer_window",
+        "attempt_flip of one weight bit (T_RH=1000, no defense) incl. sync",
+        reps,
+        {"before": _stats(before), "after": _stats(after)},
+        parity,
+    )
+
+
+def bench_fig6_trial(quick: bool) -> dict:
+    """One full fig6 scenario trial (pipelined swap chain + timeline)."""
+    from repro.experiments.registry import get_scenario
+    from repro.experiments.runner import TrialContext
+
+    reps = 100 if quick else 400
+    spec = get_scenario("fig6")
+    ctx = TrialContext(scenario="fig6", trial_index=0, seed=0)
+    import os
+
+    def run(fast: str):
+        saved = os.environ.get("REPRO_DRAM_FAST_PATH")
+        os.environ["REPRO_DRAM_FAST_PATH"] = fast
+        try:
+            payload = spec.run_trial(ctx)
+            times = _timed(lambda: spec.run_trial(ctx), reps, warmup=10)
+        finally:
+            if saved is None:
+                os.environ.pop("REPRO_DRAM_FAST_PATH", None)
+            else:
+                os.environ["REPRO_DRAM_FAST_PATH"] = saved
+        return times, payload
+
+    before, payload_slow = run("0")
+    after, payload_fast = run("1")
+    parity = payload_fast == payload_slow
+    return _entry(
+        "fig6_trial",
+        "full fig6 scenario trial (8-swap pipelined chain, Fig. 6)",
+        reps,
+        {"before": _stats(before), "after": _stats(after)},
+        parity,
+    )
+
+
+def bench_defended_vs_undefended(quick: bool) -> dict:
+    """Hammer-window cost with DNN-Defender ticking vs undefended."""
+    reps = 6 if quick else 20
+
+    def run(defended: bool):
+        qmodel = _bench_model()
+        controller, layout = _bench_layout(qmodel, fast_path=True)
+        defense = None
+        if defended:
+            secured = set(layout.bits_in_row(layout.weight_rows()[0])[:64])
+            plan = build_protection_plan(layout, secured)
+            defense = DNNDefender(controller, plan)
+        attacker = RowHammerAttacker(controller, layout, defense=defense)
+        targets = _hammer_targets(qmodel, reps + 1)
+        times = []
+        for i, target in enumerate(targets):
+            start = time.perf_counter()
+            attacker.attempt_flip(target, max_windows=1)
+            elapsed = time.perf_counter() - start
+            if i > 0:
+                times.append(elapsed)
+        return times
+
+    undefended = run(defended=False)
+    defended = run(defended=True)
+    return _entry(
+        "defended_vs_undefended",
+        "one hammer window, DNN-Defender ticking vs no defense",
+        reps,
+        {"defended": _stats(defended), "undefended": _stats(undefended)},
+        True,
+        ratio_key="overhead_x",
+    )
+
+
+HOTPATH_BENCHMARKS: dict[str, Callable[[bool], dict]] = {
+    "sync_post_window": bench_sync_post_window,
+    "bfa_scoring": bench_bfa_scoring,
+    "bfa_iteration": bench_bfa_iteration,
+    "hammer_window": bench_hammer_window,
+    "fig6_trial": bench_fig6_trial,
+    "defended_vs_undefended": bench_defended_vs_undefended,
+}
+
+
+# ---------------------------------------------------------------------- #
+# Suite driver
+# ---------------------------------------------------------------------- #
+
+def run_hotpath_suite(
+    quick: bool = False,
+    paths: list[str] | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> dict:
+    """Run the selected hot-path benchmarks; returns the artifact payload."""
+    names = list(HOTPATH_BENCHMARKS) if paths is None else list(paths)
+    unknown = [n for n in names if n not in HOTPATH_BENCHMARKS]
+    if unknown:
+        raise KeyError(
+            f"unknown bench path(s) {', '.join(unknown)}; available: "
+            f"{', '.join(HOTPATH_BENCHMARKS)}"
+        )
+    start = time.perf_counter()
+    benchmarks = []
+    for name in names:
+        if progress is not None:
+            progress(name)
+        benchmarks.append(HOTPATH_BENCHMARKS[name](quick))
+    summary = {}
+    for bench in benchmarks:
+        key = "speedup" if "speedup" in bench else "overhead_x"
+        summary[bench["name"]] = {key: bench[key], "parity": bench["parity"]}
+    return {
+        "suite": "hotpaths",
+        "quick": quick,
+        "elapsed_s": round(time.perf_counter() - start, 2),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "benchmarks": benchmarks,
+        "summary": summary,
+    }
+
+
+def format_suite(payload: dict) -> str:
+    """Human-readable table of a suite payload."""
+    from repro.utils.tabulate import format_table
+
+    rows = []
+    for bench in payload["benchmarks"]:
+        variants = bench["variants"]
+        keys = list(variants)
+        ratio_key = "speedup" if "speedup" in bench else "overhead_x"
+        rows.append(
+            [
+                bench["name"],
+                f"{variants[keys[0]]['median_ms']:.3f}",
+                f"{variants[keys[1]]['median_ms']:.3f}",
+                f"{bench[ratio_key]:.2f}x {ratio_key}",
+                "ok" if bench["parity"] else "MISMATCH",
+            ]
+        )
+    title = (
+        f"repro bench — hot paths ({'quick' if payload['quick'] else 'full'}"
+        f", {payload['elapsed_s']:.1f}s)"
+    )
+    return format_table(
+        ["path", "before/defended (ms)", "after/undefended (ms)",
+         "ratio", "parity"],
+        rows,
+        title=title,
+    )

@@ -6,7 +6,12 @@ Subcommands:
 * ``run <scenario> [...]`` — execute scenarios with ``--trials``,
   ``--jobs``, ``--seed`` and ``--param key=value`` overrides; aggregate
   results land as JSON artifacts under ``benchmarks/results/``.
-* ``cache info | clear`` — inspect or empty the trained-preset cache.
+  ``--stream`` appends per-trial JSONL as trials complete and
+  ``--resume`` replays completed trials from a previous stream.
+* ``bench`` — hot-path perf microbenchmarks; emits ``BENCH_hotpaths.json``
+  (see ``docs/performance.md``).
+* ``cache info | clear`` — inspect or empty the trained-preset and
+  attack-profile caches.
 
 Reproduction checks run after each scenario; failures are reported (and
 recorded in the artifact) but only fail the process under ``--strict``.
@@ -15,10 +20,15 @@ recorded in the artifact) but only fail the process under ``--strict``.
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
 
-from repro.experiments.artifacts import default_results_dir, write_artifact
-from repro.experiments.cache import PresetCache
+from repro.experiments.artifacts import (
+    default_results_dir,
+    write_artifact,
+    write_bench_artifact,
+)
+from repro.experiments.cache import PresetCache, ProfileCache
 from repro.experiments.registry import get_scenario, iter_scenarios
 from repro.experiments.runner import run_scenario
 from repro.presets import preset_spec
@@ -57,8 +67,30 @@ def build_parser() -> argparse.ArgumentParser:
                          help="exit non-zero if reproduction checks fail")
     run_cmd.add_argument("--quiet", action="store_true",
                          help="suppress the report table and progress")
+    run_cmd.add_argument("--stream", action="store_true",
+                         help="append per-trial JSONL results as trials "
+                              "complete (<results>/<scenario>.trials.jsonl)")
+    run_cmd.add_argument("--resume", action="store_true",
+                         help="replay completed trials from the stream "
+                              "file and run only the missing ones "
+                              "(implies --stream)")
 
-    cache_cmd = sub.add_parser("cache", help="trained-preset cache tools")
+    bench_cmd = sub.add_parser(
+        "bench", help="hot-path perf microbenchmarks (BENCH_hotpaths.json)"
+    )
+    bench_cmd.add_argument("--quick", action="store_true",
+                           help="fewer repetitions (CI smoke budget)")
+    bench_cmd.add_argument("--paths", default=None,
+                           help="comma-separated subset of bench paths "
+                                "(default: all)")
+    bench_cmd.add_argument("--out", default=None,
+                           help="artifact directory (default: repo root)")
+    bench_cmd.add_argument("--no-artifact", action="store_true",
+                           help="skip writing BENCH_hotpaths.json")
+
+    cache_cmd = sub.add_parser(
+        "cache", help="trained-preset / attack-profile cache tools"
+    )
     cache_cmd.add_argument("action", choices=("info", "clear"))
 
     return parser
@@ -125,6 +157,12 @@ def _cmd_run(args) -> int:
                 f"{trials} trial(s), {args.jobs} job(s), seed {args.seed}"
                 + (f"; cold presets: {', '.join(cold)}" if cold else "")
             )
+        stream_path = None
+        if args.stream or args.resume:
+            stream_dir = (
+                pathlib.Path(args.out) if args.out else default_results_dir()
+            )
+            stream_path = stream_dir / f"{name}.trials.jsonl"
         result = run_scenario(
             name,
             trials=args.trials,
@@ -133,7 +171,11 @@ def _cmd_run(args) -> int:
             params=params,
             cache=cache,
             progress=None if args.quiet else progress,
+            stream_path=stream_path,
+            resume=args.resume,
         )
+        if stream_path is not None and not args.quiet:
+            print(f"trial stream: {stream_path}")
         try:
             spec.run_checks(result)
         except AssertionError as exc:
@@ -157,23 +199,54 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from repro.bench import format_suite, run_hotpath_suite
+
+    paths = args.paths.split(",") if args.paths else None
+
+    def progress(name: str) -> None:
+        print(f"  [bench] {name} ...", file=sys.stderr)
+
+    payload = run_hotpath_suite(
+        quick=args.quick, paths=paths, progress=progress
+    )
+    print(format_suite(payload))
+    if not args.no_artifact:
+        path = write_bench_artifact(payload, directory=args.out)
+        print(f"artifact: {path}")
+    mismatches = [
+        name for name, entry in payload["summary"].items()
+        if not entry["parity"]
+    ]
+    if mismatches:
+        print(
+            f"error: parity MISMATCH in {', '.join(mismatches)} — fast and "
+            "slow paths disagree",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_cache(args) -> int:
-    cache = PresetCache()
+    caches = (("presets", PresetCache()), ("profiles", ProfileCache()))
     if args.action == "clear":
-        removed = cache.clear()
-        print(f"removed {removed} cached preset(s) from {cache.root}")
+        for kind, cache in caches:
+            removed = cache.clear()
+            print(f"removed {removed} cached {kind[:-1]}(s) from {cache.root}")
         return 0
-    entries = cache.entries()
-    print(f"cache root: {cache.root}")
-    if not entries:
-        print("(empty)")
-        return 0
-    total = 0
-    for path in entries:
-        size = path.stat().st_size
-        total += size
-        print(f"  {path.name}  {size / 1024:.0f} KiB")
-    print(f"{len(entries)} entries, {total / 1024:.0f} KiB total")
+    for kind, cache in caches:
+        entries = cache.entries()
+        print(f"{kind} cache root: {cache.root}")
+        if not entries:
+            print("  (empty)")
+            continue
+        total = 0
+        for path in entries:
+            size = path.stat().st_size
+            total += size
+            print(f"  {path.name}  {size / 1024:.0f} KiB")
+        print(f"  {len(entries)} entries, {total / 1024:.0f} KiB total")
     return 0
 
 
@@ -189,6 +262,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_list(args)
         if args.command == "run":
             return _cmd_run(args)
+        if args.command == "bench":
+            return _cmd_bench(args)
         if args.command == "cache":
             return _cmd_cache(args)
     except (KeyError, ValueError) as exc:

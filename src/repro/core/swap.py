@@ -68,9 +68,20 @@ class SwapEngine:
         self.reserved_rows = reserved_rows
         self.actor = actor
         self._states: dict[tuple[int, int], _SubarrayState] = {}
+        # Data-region row addresses per sub-array, built once per
+        # (geometry, reserved_rows) and shared across engines: step 1
+        # picks from the same fixed pool every swap, so rebuilding the
+        # address objects per call (or per engine) was pure overhead.
+        key = (controller.device.geometry, reserved_rows)
+        pools = SwapEngine._shared_pools.get(key)
+        if pools is None:
+            pools = SwapEngine._shared_pools[key] = {}
+        self._row_pools: dict[tuple[int, int], list[RowAddress]] = pools
         self.total_aaps = 0
         self.total_swaps = 0
         self.rng_draws = 0
+
+    _shared_pools: dict[tuple, dict[tuple[int, int], list[RowAddress]]] = {}
 
     # ------------------------------------------------------------------ #
     # Sub-array state
@@ -90,6 +101,16 @@ class SwapEngine:
     def data_region_end(self, subarray_rows: int) -> int:
         return subarray_rows - self.reserved_rows
 
+    def _row_pool(self, bank: int, subarray: int) -> list[RowAddress]:
+        key = (bank, subarray)
+        pool = self._row_pools.get(key)
+        if pool is None:
+            geometry = self.controller.device.geometry
+            end = self.data_region_end(geometry.rows_per_subarray)
+            pool = [RowAddress(bank, subarray, row) for row in range(end)]
+            self._row_pools[key] = pool
+        return pool
+
     def _pick_random_row(
         self,
         target_physical: RowAddress,
@@ -97,13 +118,23 @@ class SwapEngine:
         rng: np.random.Generator,
     ) -> RowAddress:
         """Random same-sub-array data row for swap step 1."""
-        geometry = self.controller.device.geometry
-        end = self.data_region_end(geometry.rows_per_subarray)
+        if getattr(self.controller, "fast_path", True):
+            pool = self._row_pool(
+                target_physical.bank, target_physical.subarray
+            )
+        else:
+            # Slow-path emulation for `repro bench`: rebuild the candidate
+            # addresses per call, as the pre-optimization code did.
+            geometry = self.controller.device.geometry
+            end = self.data_region_end(geometry.rows_per_subarray)
+            pool = [
+                RowAddress(target_physical.bank, target_physical.subarray, row)
+                for row in range(end)
+            ]
         candidates = [
-            RowAddress(target_physical.bank, target_physical.subarray, row)
-            for row in range(end)
-            if RowAddress(target_physical.bank, target_physical.subarray, row)
-            not in exclude and row != target_physical.row
+            addr
+            for addr in pool
+            if addr not in exclude and addr.row != target_physical.row
         ]
         if not candidates:
             raise RuntimeError(
@@ -145,9 +176,10 @@ class SwapEngine:
         ind = self.controller.indirection
         target_physical = ind.physical(target_logical)
         state = self._state(target_physical.bank, target_physical.subarray)
-        exclude_physical = {state.reserved_physical}
-        for logical in exclude or set():
-            exclude_physical.add(ind.physical(logical))
+        exclude_physical = (
+            ind.physical_set(exclude) if exclude else set()
+        )
+        exclude_physical.add(state.reserved_physical)
 
         reused = False
         if (

@@ -42,6 +42,7 @@ class WeightReconstructionGuard:
             changed = int((clipped != values).sum())
             if changed:
                 layer.weight_int = clipped.astype(np.int8)
+                layer.version += 1  # invalidate weight-derived caches
                 layer._sync_float()
                 corrected += changed
         self.corrections += corrected

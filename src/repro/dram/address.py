@@ -24,11 +24,34 @@ __all__ = ["RowAddress", "BitAddress", "AddressMapper", "RowIndirection"]
 
 @dataclass(frozen=True, order=True)
 class RowAddress:
-    """Physical or logical position of one DRAM row."""
+    """Physical or logical position of one DRAM row.
+
+    Addresses are dictionary keys on every simulator hot path (indirection
+    lookups, adjacency caches, disturbance bookkeeping), so the hash is
+    computed once at construction and ``__eq__`` is hand-rolled with the
+    most-discriminating field first.
+    """
 
     bank: int
     subarray: int
     row: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "_hash", hash((self.bank, self.subarray, self.row))
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other) -> bool:
+        if other.__class__ is RowAddress:
+            return (
+                self.row == other.row
+                and self.subarray == other.subarray
+                and self.bank == other.bank
+            )
+        return NotImplemented
 
     def with_row(self, row: int) -> "RowAddress":
         return RowAddress(self.bank, self.subarray, row)
@@ -62,8 +85,26 @@ class AddressMapper:
     memory and keeps physically adjacent rows adjacent in flat space.
     """
 
+    # Validation and adjacency depend only on the geometry, so the memo
+    # tables are shared per-geometry across mapper instances: scenario
+    # trials that build a fresh device per trial start warm instead of
+    # re-deriving the same addresses every time.  Bounded by total_rows
+    # per distinct geometry.
+    _shared_caches: dict[
+        DramGeometry, tuple[set, dict, set]
+    ] = {}
+
     def __init__(self, geometry: DramGeometry):
         self.geometry = geometry
+        shared = AddressMapper._shared_caches.get(geometry)
+        if shared is None:
+            shared = (set(), {}, set())
+            AddressMapper._shared_caches[geometry] = shared
+        self._validated: set[RowAddress] = shared[0]
+        self._neighbors: dict[RowAddress, list[RowAddress]] = shared[1]
+        # (src, dst) pairs that passed the RowClone FPM preconditions
+        # (valid, same sub-array, distinct) — shared for the same reason.
+        self.checked_clone_pairs: set[tuple[RowAddress, RowAddress]] = shared[2]
 
     def to_flat(self, addr: RowAddress) -> int:
         g = self.geometry
@@ -81,6 +122,8 @@ class AddressMapper:
         return RowAddress(bank, subarray, row)
 
     def validate(self, addr: RowAddress) -> None:
+        if addr in self._validated:
+            return
         g = self.geometry
         if not 0 <= addr.bank < g.banks:
             raise ValueError(f"bank {addr.bank} out of range [0, {g.banks})")
@@ -92,13 +135,26 @@ class AddressMapper:
             raise ValueError(
                 f"row {addr.row} out of range [0, {g.rows_per_subarray})"
             )
+        self._validated.add(addr)
 
     def neighbors(self, addr: RowAddress) -> list[RowAddress]:
         """Physically adjacent rows in the same sub-array (blast radius 1).
 
         RowHammer coupling does not cross sub-array boundaries because
         sub-arrays have separate local bit-lines and sense amplifiers.
+        Adjacency is *physical* and independent of the controller's
+        logical indirection, so the result is memoized per address; treat
+        the returned list as read-only.
         """
+        cached = self._neighbors.get(addr)
+        if cached is None:
+            cached = self.compute_neighbors(addr)
+            self._neighbors[addr] = cached
+        return cached
+
+    def compute_neighbors(self, addr: RowAddress) -> list[RowAddress]:
+        """Uncached adjacency (the pre-memoization path, kept for the
+        ``repro bench`` before/after comparison)."""
         self.validate(addr)
         result = []
         if addr.row > 0:
@@ -126,23 +182,34 @@ class RowIndirection:
         self._mapper = mapper
         self._log_to_phys: dict[RowAddress, RowAddress] = {}
         self._phys_to_log: dict[RowAddress, RowAddress] = {}
+        # Bumped on every swap; lets hot loops (the hammer driver) cache a
+        # logical->physical resolution and re-resolve only after a remap.
+        self.version = 0
 
     def physical(self, logical: RowAddress) -> RowAddress:
         return self._log_to_phys.get(logical, logical)
+
+    def physical_set(self, logicals) -> set[RowAddress]:
+        """Resolve many logical rows in one call (hot-path bulk helper)."""
+        table = self._log_to_phys
+        return {table.get(logical, logical) for logical in logicals}
 
     def logical(self, physical: RowAddress) -> RowAddress:
         return self._phys_to_log.get(physical, physical)
 
     def swap(self, logical_a: RowAddress, logical_b: RowAddress) -> None:
         """Swap the physical locations backing two logical rows."""
+        self._mapper.validate(logical_a)
+        self._mapper.validate(logical_b)
         phys_a = self.physical(logical_a)
         phys_b = self.physical(logical_b)
         self._set(logical_a, phys_b)
         self._set(logical_b, phys_a)
+        self.version += 1
 
     def _set(self, logical: RowAddress, physical: RowAddress) -> None:
-        self._mapper.validate(logical)
-        self._mapper.validate(physical)
+        # ``swap`` validated the logicals; physicals come out of the table
+        # (or equal a validated logical), so they are valid by induction.
         if logical == physical:
             self._log_to_phys.pop(logical, None)
             self._phys_to_log.pop(physical, None)

@@ -20,6 +20,11 @@ __all__ = ["Command", "CommandStats", "command_latency_ns", "command_energy_pj"]
 class Command(enum.Enum):
     """DRAM bus commands modelled by the simulator."""
 
+    # Members are singletons with identity equality, so the C-level
+    # identity hash is equivalent to Enum's Python-level name hash — and
+    # command counts are dict-updated on every charge, making this hot.
+    __hash__ = object.__hash__
+
     ACT = "activate"
     PRE = "precharge"
     RD = "read"

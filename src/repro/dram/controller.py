@@ -21,36 +21,84 @@ refresh interval.
 
 from __future__ import annotations
 
+import os
 from collections.abc import Callable, Iterable
 
 import numpy as np
 
 from repro.dram.address import RowAddress, RowIndirection
-from repro.dram.commands import Command, CommandStats, command_latency_ns
+from repro.dram.commands import (
+    Command,
+    CommandStats,
+    command_energy_pj,
+    command_latency_ns,
+)
 from repro.dram.device import DramDevice
 from repro.dram.faults import BitFlipEvent
 from repro.dram.timing import TimingParams
 
-__all__ = ["MemoryController"]
+__all__ = ["MemoryController", "fast_path_default"]
 
 ActivateHook = Callable[[RowAddress, float, int], None]
 
 
-class MemoryController:
-    """Single-channel memory controller over one :class:`DramDevice`."""
+def fast_path_default() -> bool:
+    """Resolve the controller fast-path default (env-overridable).
 
-    def __init__(self, device: DramDevice, timing: TimingParams):
+    ``REPRO_DRAM_FAST_PATH=0`` forces the legacy per-call neighbour path;
+    anything else (including unset) enables the memoized fast path.  The
+    ``repro bench`` harness uses the toggle to measure before/after.
+    """
+    return os.environ.get("REPRO_DRAM_FAST_PATH", "1") != "0"
+
+
+class MemoryController:
+    """Single-channel memory controller over one :class:`DramDevice`.
+
+    ``fast_path`` (default on, see :func:`fast_path_default`) enables the
+    memoized neighbour/sub-array adjacency cache used by the activation
+    and RowClone hot loops; the slow path recomputes adjacency per call
+    and exists as a verifiable fallback for parity tests and the perf
+    harness.  Both paths are functionally identical.
+    """
+
+    def __init__(
+        self,
+        device: DramDevice,
+        timing: TimingParams,
+        fast_path: bool | None = None,
+    ):
         self.device = device
         self.timing = timing
+        self.fast_path = fast_path_default() if fast_path is None else fast_path
         self.indirection = RowIndirection(device.mapper)
         self.now_ns: float = 0.0
         self.refresh_epoch: int = 0
+        self._next_refresh_ns: float = timing.t_ref_ns
         self.stats = CommandStats()
         self.stats_by_actor: dict[str, CommandStats] = {}
         # Attacker-declared target bits per *physical* victim row; consulted
         # by the deterministic flip model when a threshold crossing occurs.
         self._declared_targets: dict[RowAddress, set[int]] = {}
         self._activate_hooks: list[ActivateHook] = []
+        # (src, dst) pairs whose rowclone preconditions already passed —
+        # geometry-pure, so the memo is shared across controllers and a
+        # repeated clone pair skips re-validation even on a fresh device.
+        self._clone_checked = device.mapper.checked_clone_pairs
+        # Dirty-row bookkeeping for incremental model<->DRAM sync: every
+        # content change to a *logical* row records the running version it
+        # happened at, so consumers (WeightLayout) can reload only rows
+        # touched since their last sync.
+        self.content_version: int = 0
+        self._dirty_versions: dict[RowAddress, int] = {}
+        # Per-command costs resolved once per controller: `_charge` runs on
+        # every command and the latency/energy if-chains dominate it.
+        self._latency_ns = {
+            cmd: command_latency_ns(cmd, timing) for cmd in Command
+        }
+        self._energy_pj = {
+            cmd: command_energy_pj(cmd, timing) for cmd in Command
+        }
 
     # ------------------------------------------------------------------ #
     # Time and refresh
@@ -58,17 +106,41 @@ class MemoryController:
 
     @property
     def next_refresh_ns(self) -> float:
-        return (self.refresh_epoch + 1) * self.timing.t_ref_ns
+        return self._next_refresh_ns
 
     def _charge(self, command: Command, actor: str, repeat: int = 1) -> None:
-        self.stats.record(command, self.timing, repeat)
-        actor_stats = self.stats_by_actor.setdefault(actor, CommandStats())
-        actor_stats.record(command, self.timing, repeat)
-        self.now_ns += command_latency_ns(command, self.timing) * repeat
+        if not self.fast_path:
+            # Legacy accounting path (per-command cost re-derivation), kept
+            # for the bench before/after comparison.
+            self.stats.record(command, self.timing, repeat)
+            actor_stats = self.stats_by_actor.setdefault(actor, CommandStats())
+            actor_stats.record(command, self.timing, repeat)
+            self.now_ns += command_latency_ns(command, self.timing) * repeat
+            return
+        # Pre-resolved per-command costs, recorded inline into both the
+        # global and per-actor stats: _charge runs on every command.
+        elapsed = self._latency_ns[command] * repeat
+        energy = self._energy_pj[command] * repeat
+        stats = self.stats
+        stats.counts[command] = stats.counts.get(command, 0) + repeat
+        stats.total_time_ns += elapsed
+        stats.total_energy_pj += energy
+        actor_stats = self.stats_by_actor.get(actor)
+        if actor_stats is None:
+            actor_stats = self.stats_by_actor.setdefault(actor, CommandStats())
+        actor_stats.counts[command] = (
+            actor_stats.counts.get(command, 0) + repeat
+        )
+        actor_stats.total_time_ns += elapsed
+        actor_stats.total_energy_pj += energy
+        self.now_ns += elapsed
 
     def _maybe_refresh(self) -> None:
-        while self.now_ns >= self.next_refresh_ns:
+        while self.now_ns >= self._next_refresh_ns:
             self.refresh_epoch += 1
+            self._next_refresh_ns = (
+                (self.refresh_epoch + 1) * self.timing.t_ref_ns
+            )
             self.device.refresh_all()
 
     def advance_time(self, ns: float) -> None:
@@ -80,6 +152,59 @@ class MemoryController:
 
     def ns_until_refresh(self) -> float:
         return max(0.0, self.next_refresh_ns - self.now_ns)
+
+    # ------------------------------------------------------------------ #
+    # Dirty-row tracking (incremental model sync)
+    # ------------------------------------------------------------------ #
+
+    def _mark_dirty(self, logical: RowAddress) -> None:
+        """Record a content change to a logical row (write/flip/copy)."""
+        self.content_version += 1
+        self._dirty_versions[logical] = self.content_version
+
+    def dirty_rows_since(self, version: int) -> list[RowAddress]:
+        """Logical rows whose content changed after ``version``.
+
+        ``version`` is a value previously read from
+        :attr:`content_version`; the scan is O(rows ever touched), which
+        is bounded by the weight footprint plus collateral rows — orders
+        of magnitude below re-reading every row.
+        """
+        return [
+            row for row, v in self._dirty_versions.items() if v > version
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Adjacency fast path
+    # ------------------------------------------------------------------ #
+
+    def _disturb_neighbors(
+        self, base: RowAddress, sa, rows: tuple[int, ...], count: int
+    ) -> None:
+        """Add ``count`` disturbance to physical neighbour rows of ``base``'s
+        sub-array and check thresholds.
+
+        RowHammer coupling never crosses a sub-array, so the neighbours of
+        any row live in the *same* :class:`Subarray`, and adjacency reduces
+        to row arithmetic — no address objects, validation, or lookups on
+        the per-burst path.  The victim's :class:`RowAddress` is only
+        materialised when its disturbance actually crosses the threshold.
+        """
+        disturbance = sa.disturbance
+        t_rh = self.timing.t_rh
+        for row in rows:
+            value = disturbance.item(row) + count
+            disturbance[row] = value
+            if value >= t_rh:
+                self._check_threshold(base.with_row(row), sa)
+
+    def _neighbor_rows(self, row: int) -> tuple[int, ...]:
+        last = self.device.geometry.rows_per_subarray - 1
+        if 0 < row < last:
+            return (row - 1, row + 1)
+        if row == 0:
+            return (1,) if last > 0 else ()
+        return (row - 1,)
 
     # ------------------------------------------------------------------ #
     # Attack-target declarations and hooks
@@ -134,7 +259,12 @@ class MemoryController:
     def _activate_chunk(
         self, physical: RowAddress, actor: str, count: int, hammer: bool
     ) -> None:
-        sa = self.device.subarray_at(physical)
+        if self.fast_path:
+            # activate() already validated the address; resolve the
+            # sub-array without re-validating.
+            sa = self.device.banks[physical.bank].subarrays[physical.subarray]
+        else:
+            sa = self.device.subarray_at(physical)
         # Activation restores the activated row's own charge.
         sa.reset_disturbance(physical.row)
         self.device.bank(physical.bank).activate(physical.subarray, physical.row)
@@ -146,10 +276,17 @@ class MemoryController:
             self._charge(Command.ACT, actor, count)
         for hook in self._activate_hooks:
             hook(physical, self.now_ns, count)
-        for neighbor in self.device.mapper.neighbors(physical):
-            nsa = self.device.subarray_at(neighbor)
-            nsa.add_disturbance(neighbor.row, count)
-            self._check_threshold(neighbor)
+        if self.fast_path:
+            # One batched disturbance update per neighbour for the whole
+            # chunk instead of per-call validation and address resolution.
+            self._disturb_neighbors(
+                physical, sa, self._neighbor_rows(physical.row), count
+            )
+        else:
+            for neighbor in self.device.mapper.compute_neighbors(physical):
+                nsa = self.device.subarray_at(neighbor)
+                nsa.add_disturbance(neighbor.row, count)
+                self._check_threshold(neighbor)
 
     def _charge_hammer(self, actor: str, count: int) -> None:
         self.stats.counts[Command.ACT] = self.stats.counts.get(Command.ACT, 0) + count
@@ -165,11 +302,12 @@ class MemoryController:
         actor_stats.total_energy_pj += energy
         self.now_ns += elapsed
 
-    def _check_threshold(self, victim: RowAddress) -> None:
-        sa = self.device.subarray_at(victim)
-        if sa.flipped_this_window[victim.row]:
-            return
+    def _check_threshold(self, victim: RowAddress, sa=None) -> None:
+        if sa is None:
+            sa = self.device.subarray_at(victim)
         if sa.disturbance[victim.row] < self.timing.t_rh:
+            return
+        if sa.flipped_this_window[victim.row]:
             return
         declared = self._declared_targets.get(victim, set())
         row_data = sa.rows[victim.row]
@@ -179,6 +317,7 @@ class MemoryController:
             # declared later in the same window can still flip.
             return
         sa.flipped_this_window[victim.row] = True
+        self._mark_dirty(self.indirection.logical(victim))
         for bit, old, new in sa.flip_bits(victim.row, flips):
             self.device.fault_log.record(
                 BitFlipEvent(self.now_ns, victim, bit, old, new)
@@ -198,21 +337,48 @@ class MemoryController:
         neighbours (a defense's own copies can hammer, and the model keeps
         that honest).
         """
-        self.device.mapper.validate(src)
-        self.device.mapper.validate(dst)
-        if not src.same_subarray(dst):
-            raise ValueError(
-                f"RowClone FPM requires same sub-array: {src} vs {dst}; "
-                "use rowclone_psm for inter-sub-array copies"
-            )
-        if src == dst:
-            raise ValueError("source and destination rows are identical")
+        pair = (src, dst)
+        if not (self.fast_path and pair in self._clone_checked):
+            self.device.mapper.validate(src)
+            self.device.mapper.validate(dst)
+            if not src.same_subarray(dst):
+                raise ValueError(
+                    f"RowClone FPM requires same sub-array: {src} vs {dst}; "
+                    "use rowclone_psm for inter-sub-array copies"
+                )
+            if src == dst:
+                raise ValueError("source and destination rows are identical")
+            self._clone_checked.add(pair)
+        src_row, dst_row = src.row, dst.row
+        if self.fast_path:
+            sa = self.device.banks[src.bank].subarrays[src.subarray]
+            sa.copy_row(src_row, dst_row)
+            self._mark_dirty(self.indirection.logical(dst))
+            self._charge(Command.AAP, actor)
+            # Both activations disturb their same-sub-array neighbours;
+            # src/dst themselves end the AAP fully charged.  A row adjacent
+            # to both (|src-dst| == 2) is disturbed twice, as on the slow
+            # path.
+            last = self.device.geometry.rows_per_subarray - 1
+            rows = []
+            for base in (src_row, dst_row):
+                row = base - 1
+                if row >= 0 and row != src_row and row != dst_row:
+                    rows.append(row)
+                row = base + 1
+                if row <= last and row != src_row and row != dst_row:
+                    rows.append(row)
+            self._disturb_neighbors(src, sa, rows, 1)
+            if self.now_ns >= self._next_refresh_ns:
+                self._maybe_refresh()
+            return
         sa = self.device.subarray_at(src)
-        sa.copy_row(src.row, dst.row)
+        sa.copy_row(src_row, dst_row)
+        self._mark_dirty(self.indirection.logical(dst))
         self._charge(Command.AAP, actor)
         for row in (src, dst):
-            for neighbor in self.device.mapper.neighbors(row):
-                if neighbor in (src, dst):
+            for neighbor in self.device.mapper.compute_neighbors(row):
+                if neighbor == src or neighbor == dst:
                     continue
                 nsa = self.device.subarray_at(neighbor)
                 nsa.add_disturbance(neighbor.row, 1)
@@ -226,6 +392,7 @@ class MemoryController:
         data = self.device.read_row(src)
         self.device.subarray_at(src).reset_disturbance(src.row)
         self.device.write_row(dst, data)
+        self._mark_dirty(self.indirection.logical(dst))
         # PSM streams the row through the bank I/O: one ACT per row plus a
         # transfer charged as a read+write.
         self._charge(Command.ACT, actor, 2)
@@ -254,6 +421,7 @@ class MemoryController:
         physical = self.indirection.physical(logical)
         self.activate(physical, actor=actor)
         self.device.write_row(physical, data)
+        self._mark_dirty(logical)
         self._charge(Command.WR, actor)
 
     def peek_logical(self, logical: RowAddress) -> np.ndarray:
@@ -263,6 +431,7 @@ class MemoryController:
     def poke_logical(self, logical: RowAddress, data: np.ndarray) -> None:
         """Write row contents without advancing time (test/instrumentation)."""
         self.device.write_row(self.indirection.physical(logical), data)
+        self._mark_dirty(logical)
 
     def actor_stats(self, actor: str) -> CommandStats:
         return self.stats_by_actor.setdefault(actor, CommandStats())

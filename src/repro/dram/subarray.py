@@ -58,11 +58,17 @@ class Subarray:
     def copy_row(self, src: int, dst: int) -> None:
         """In-sub-array copy (RowClone FPM). Activating the source restores
         its charge; writing the destination restores its charge too."""
-        self._check(src)
-        self._check(dst)
+        num_rows = self.num_rows
+        if not (0 <= src < num_rows and 0 <= dst < num_rows):
+            self._check(src)
+            self._check(dst)
         self.rows[dst] = self.rows[src]
-        self.reset_disturbance(src)
-        self.reset_disturbance(dst)
+        disturbance = self.disturbance
+        flipped = self.flipped_this_window
+        disturbance[src] = 0
+        disturbance[dst] = 0
+        flipped[src] = False
+        flipped[dst] = False
 
     def reset_disturbance(self, row: int) -> None:
         self._check(row)
@@ -81,16 +87,38 @@ class Subarray:
         self.flipped_this_window[:] = False
 
     def flip_bits(self, row: int, bits: list[int]) -> list[tuple[int, int, int]]:
-        """Apply RowHammer flips; returns (bit, old, new) per flip."""
+        """Apply RowHammer flips; returns (bit, old, new) per flip.
+
+        All flips are applied as one XOR against a byte mask.  Duplicate
+        bit indices cancel pairwise in the data (each occurrence toggles
+        the cell once), and the per-occurrence events alternate old/new
+        exactly as sequential application would report them.
+        """
         self._check(row)
-        results = []
-        for bit in bits:
-            if not 0 <= bit < self.row_bytes * 8:
-                raise ValueError(
-                    f"bit {bit} out of range [0, {self.row_bytes * 8})"
-                )
-            byte_index, bit_in_byte = divmod(bit, 8)
-            old = (int(self.rows[row, byte_index]) >> bit_in_byte) & 1
-            self.rows[row, byte_index] ^= np.uint8(1 << bit_in_byte)
-            results.append((bit, old, 1 - old))
-        return results
+        if not len(bits):
+            return []
+        bit_array = np.asarray(bits, dtype=np.int64)
+        if bit_array.min() < 0 or bit_array.max() >= self.row_bytes * 8:
+            bad = bit_array[
+                (bit_array < 0) | (bit_array >= self.row_bytes * 8)
+            ][0]
+            raise ValueError(
+                f"bit {int(bad)} out of range [0, {self.row_bytes * 8})"
+            )
+        byte_index = bit_array >> 3
+        shift = (bit_array & 7).astype(np.uint8)
+        row_data = self.rows[row]
+        old = (row_data[byte_index] >> shift) & 1
+        mask = np.zeros(self.row_bytes, dtype=np.uint8)
+        np.bitwise_xor.at(mask, byte_index, np.uint8(1) << shift)
+        np.bitwise_xor(row_data, mask, out=row_data)
+        events = []
+        seen: dict[int, int] = {}
+        for bit, value in zip(bit_array, old):
+            bit = int(bit)
+            occurrence = seen.get(bit, 0)
+            seen[bit] = occurrence + 1
+            # Odd occurrences observe the already-toggled cell.
+            effective_old = int(value) ^ (occurrence & 1)
+            events.append((bit, effective_old, 1 - effective_old))
+        return events

@@ -24,11 +24,18 @@ or from the shell: ``python -m repro run fig8b --trials 8 --jobs 4``.
 """
 
 from repro.experiments.artifacts import (
+    default_bench_dir,
     default_results_dir,
     load_artifact,
     write_artifact,
+    write_bench_artifact,
 )
-from repro.experiments.cache import PresetCache, default_cache_root
+from repro.experiments.cache import (
+    PresetCache,
+    ProfileCache,
+    default_cache_root,
+    default_profile_root,
+)
 from repro.experiments.registry import (
     Scenario,
     get_scenario,
@@ -42,6 +49,7 @@ from repro.experiments.runner import (
     MetricStats,
     ScenarioResult,
     TrialContext,
+    TrialStream,
     run_scenario,
     trial_seed,
 )
@@ -56,13 +64,18 @@ __all__ = [
     "scenario_names",
     "iter_scenarios",
     "TrialContext",
+    "TrialStream",
     "MetricStats",
     "ScenarioResult",
     "run_scenario",
     "trial_seed",
     "PresetCache",
+    "ProfileCache",
     "default_cache_root",
+    "default_profile_root",
     "default_results_dir",
+    "default_bench_dir",
     "write_artifact",
+    "write_bench_artifact",
     "load_artifact",
 ]

@@ -15,7 +15,13 @@ import pathlib
 
 from repro.experiments.runner import ScenarioResult
 
-__all__ = ["default_results_dir", "write_artifact", "load_artifact"]
+__all__ = [
+    "default_results_dir",
+    "default_bench_dir",
+    "write_artifact",
+    "write_bench_artifact",
+    "load_artifact",
+]
 
 _REPO_ROOT = pathlib.Path(__file__).resolve().parents[3]
 
@@ -26,6 +32,18 @@ def default_results_dir() -> pathlib.Path:
     if env:
         return pathlib.Path(env)
     return _REPO_ROOT / "benchmarks" / "results"
+
+
+def default_bench_dir() -> pathlib.Path:
+    """Resolve the perf-artifact directory (env override, then repo root).
+
+    ``BENCH_*.json`` files live at the repository root so the perf
+    trajectory is tracked in version control next to the code it measures.
+    """
+    env = os.environ.get("REPRO_BENCH_DIR")
+    if env:
+        return pathlib.Path(env)
+    return _REPO_ROOT
 
 
 def write_artifact(
@@ -41,6 +59,21 @@ def write_artifact(
     path.write_text(
         json.dumps(result.to_json(), indent=2, sort_keys=True) + "\n"
     )
+    return path
+
+
+def write_bench_artifact(
+    payload: dict,
+    name: str = "hotpaths",
+    directory: str | pathlib.Path | None = None,
+) -> pathlib.Path:
+    """Persist a perf-suite payload as ``BENCH_<name>.json``."""
+    out_dir = (
+        pathlib.Path(directory) if directory is not None else default_bench_dir()
+    )
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return path
 
 

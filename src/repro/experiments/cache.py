@@ -1,4 +1,4 @@
-"""Trained-preset disk cache: train each preset recipe once, ever.
+"""Disk caches: trained presets and attack profiles.
 
 Every experiment that needs a victim model used to retrain its preset from
 scratch at session start — by far the dominant cost of a benchmark run.
@@ -17,6 +17,14 @@ for every later trial, process, and session.
 An in-process memo sits in front of the disk layer so repeated
 ``load(...)`` calls inside one process (e.g. the three Fig. 9 panels
 sharing ResNet-34) pay the ``.npz`` read once.
+
+:class:`ProfileCache` applies the same pattern to the *other* dominant
+experiment cost: multi-round vulnerable-bit profiling
+(:func:`repro.attacks.profile.profile_vulnerable_bits`), which re-runs the
+full BFA search ``r`` times per defended trial.  Profiles are keyed by the
+preset recipe hash plus the attack configuration (rounds, search knobs,
+batch, seed), and stored as ``.npz`` under a sibling ``profiles/``
+directory; ``repro cache info`` lists both kinds.
 """
 
 from __future__ import annotations
@@ -30,7 +38,12 @@ import numpy as np
 
 from repro.presets import PresetSpec, TrainedPreset, preset_spec
 
-__all__ = ["PresetCache", "default_cache_root"]
+__all__ = [
+    "PresetCache",
+    "ProfileCache",
+    "default_cache_root",
+    "default_profile_root",
+]
 
 _STATE_PREFIX = "state/"
 _META_KEY = "__meta__"
@@ -45,6 +58,19 @@ def default_cache_root() -> pathlib.Path:
     if env:
         return pathlib.Path(env)
     return pathlib.Path.home() / ".cache" / "dnn-defender-repro" / "presets"
+
+
+def default_profile_root() -> pathlib.Path:
+    """Resolve the attack-profile cache directory.
+
+    ``REPRO_CACHE_DIR`` (the preset-cache override) nests profiles in a
+    ``profiles/`` subdirectory so tests pointing the cache at a tmp dir
+    isolate both kinds at once.
+    """
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return pathlib.Path(env) / "profiles"
+    return pathlib.Path.home() / ".cache" / "dnn-defender-repro" / "profiles"
 
 
 class PresetCache:
@@ -157,6 +183,146 @@ class PresetCache:
 
     def clear(self) -> int:
         """Delete every stored preset; returns the number removed."""
+        removed = 0
+        for path in self.entries():
+            path.unlink()
+            removed += 1
+        self._memo.clear()
+        return removed
+
+
+class ProfileCache:
+    """Content-addressed store of multi-round attack-profile results.
+
+    A profile (the per-round vulnerable-bit lists of
+    :class:`repro.attacks.profile.ProfileResult`) is fully determined by
+    the trained preset recipe and the attack configuration, so it is keyed
+    by the SHA-256 over both.  Stored as ``.npz``: one ``(n, 3)`` int64
+    array of ``(layer, index, bit)`` triples per round.
+
+    Args:
+        root: Cache directory; ``None`` uses :func:`default_profile_root`.
+
+    Attributes:
+        hits / misses: Counters (in-process memo hits count as hits).
+    """
+
+    _ROUND_PREFIX = "round/"
+
+    def __init__(self, root: str | pathlib.Path | None = None):
+        self.root = (
+            pathlib.Path(root) if root is not None else default_profile_root()
+        )
+        self.hits = 0
+        self.misses = 0
+        self._memo: dict[str, list[list]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Keys and paths
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def key_for(spec: PresetSpec, attack_config: dict) -> str:
+        """SHA-256 over the preset recipe + attack config + version."""
+        payload = json.dumps(
+            {
+                "version": CACHE_FORMAT_VERSION,
+                "preset": spec.config_dict(),
+                "attack": attack_config,
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def path_for(self, spec: PresetSpec, attack_config: dict) -> pathlib.Path:
+        return self.root / (
+            f"{spec.name}-profile-{self.key_for(spec, attack_config)[:16]}.npz"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Load / store
+    # ------------------------------------------------------------------ #
+
+    def load(self, spec: PresetSpec, attack_config: dict, compute):
+        """Return the profile for (spec, attack_config), computing on miss.
+
+        ``compute`` is a zero-argument callable returning a
+        :class:`repro.attacks.profile.ProfileResult`; its result is stored
+        and replayed bit-for-bit on later loads.
+        """
+        from repro.attacks.profile import ProfileResult
+        from repro.nn.quant import BitLocation
+
+        key = self.key_for(spec, attack_config)
+        rounds = self._memo.get(key)
+        if rounds is None:
+            path = self.path_for(spec, attack_config)
+            if path.exists():
+                rounds = self._read(path)
+                self.hits += 1
+            else:
+                self.misses += 1
+                result = compute()
+                rounds = [
+                    [(b.layer, b.index, b.bit) for b in round_bits]
+                    for round_bits in result.rounds
+                ]
+                self._write(path, spec, attack_config, rounds)
+            self._memo[key] = rounds
+        else:
+            self.hits += 1
+        restored = ProfileResult()
+        restored.rounds = [
+            [BitLocation(layer, index, bit) for layer, index, bit in round_bits]
+            for round_bits in rounds
+        ]
+        return restored
+
+    def _read(self, path: pathlib.Path) -> list[list]:
+        with np.load(path, allow_pickle=False) as archive:
+            meta = json.loads(str(archive[_META_KEY]))
+            rounds = []
+            for i in range(meta["num_rounds"]):
+                array = archive[f"{self._ROUND_PREFIX}{i}"]
+                rounds.append([tuple(int(v) for v in row) for row in array])
+        return rounds
+
+    def _write(
+        self,
+        path: pathlib.Path,
+        spec: PresetSpec,
+        attack_config: dict,
+        rounds: list[list],
+    ) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        meta = json.dumps(
+            {
+                "preset": spec.config_dict(),
+                "attack": attack_config,
+                "num_rounds": len(rounds),
+            }
+        )
+        arrays = {
+            f"{self._ROUND_PREFIX}{i}": np.asarray(
+                round_bits, dtype=np.int64
+            ).reshape(len(round_bits), 3)
+            for i, round_bits in enumerate(rounds)
+        }
+        tmp = path.with_suffix(f".{os.getpid()}.tmp.npz")
+        with open(tmp, "wb") as fh:
+            np.savez_compressed(fh, **arrays, **{_META_KEY: np.str_(meta)})
+        tmp.replace(path)
+
+    # ------------------------------------------------------------------ #
+    # Maintenance
+    # ------------------------------------------------------------------ #
+
+    def entries(self) -> list[pathlib.Path]:
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*.npz"))
+
+    def clear(self) -> int:
         removed = 0
         for path in self.entries():
             path.unlink()

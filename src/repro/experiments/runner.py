@@ -17,21 +17,25 @@ regardless of ``jobs``.
 from __future__ import annotations
 
 import concurrent.futures
+import dataclasses
+import json
 import math
 import multiprocessing
+import pathlib
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping
 
 import numpy as np
 
-from repro.experiments.cache import PresetCache
+from repro.experiments.cache import PresetCache, ProfileCache
 from repro.presets import TrainedPreset
 
 __all__ = [
     "TrialContext",
     "MetricStats",
     "ScenarioResult",
+    "TrialStream",
     "run_scenario",
     "trial_seed",
 ]
@@ -69,6 +73,7 @@ class TrialContext:
     seed: int
     params: Mapping[str, Any] = field(default_factory=dict)
     cache: PresetCache | None = None
+    profile_cache: ProfileCache | None = None
 
     def rng(self, stream: int = 0) -> np.random.Generator:
         """Independent generator for sub-component ``stream``."""
@@ -78,6 +83,45 @@ class TrialContext:
         """Load a trained preset through the (shared, on-disk) cache."""
         cache = self.cache if self.cache is not None else PresetCache()
         return cache.load(name, **overrides)
+
+    def profile(
+        self,
+        preset_name: str,
+        qmodel,
+        attack_x,
+        attack_y,
+        rounds: int,
+        config=None,
+        extra_key: dict | None = None,
+    ):
+        """Multi-round vulnerable-bit profile, via the on-disk cache.
+
+        The cache key covers the preset recipe, the round count, the
+        search configuration, and ``extra_key`` (callers must include
+        whatever determined ``attack_x``/``attack_y`` — typically the
+        trial seed and batch size).  A warm load replays the stored
+        rounds bit-for-bit instead of re-running the BFA search.
+        """
+        from repro.attacks.profile import profile_vulnerable_bits
+        from repro.presets import preset_spec
+
+        cache = (
+            self.profile_cache
+            if self.profile_cache is not None
+            else ProfileCache()
+        )
+        attack_config = {
+            "rounds": int(rounds),
+            "config": dataclasses.asdict(config) if config is not None else None,
+            "extra": extra_key or {},
+        }
+        return cache.load(
+            preset_spec(preset_name),
+            attack_config,
+            lambda: profile_vulnerable_bits(
+                qmodel, attack_x, attack_y, rounds=rounds, config=config
+            ),
+        )
 
     def param(self, key: str, default: Any = None) -> Any:
         """Scenario parameter with a default (``--param key=value``)."""
@@ -158,12 +202,91 @@ class ScenarioResult:
         }
 
 
+class TrialStream:
+    """Append-only JSONL stream of per-trial results.
+
+    Long sweeps stream each trial's payload as it completes (instead of
+    gathering everything at the end), so a run is inspectable mid-flight
+    and *resumable*: re-running with ``resume=True`` replays completed
+    trials from the file and only executes the missing ones.
+
+    File format: a ``{"type": "header", ...}`` line identifying the run
+    (scenario, base seed, params), then one ``{"type": "trial", ...}``
+    line per completed trial carrying its index, derived seed, metrics,
+    and detail payload.  Resuming against a header that does not match
+    the requested run raises instead of silently mixing results.
+    """
+
+    def __init__(
+        self,
+        path: str | pathlib.Path,
+        scenario: str,
+        seed: int,
+        params: dict,
+        resume: bool = False,
+    ):
+        self.path = pathlib.Path(path)
+        self.completed: dict[int, dict] = {}
+        header = {
+            "type": "header",
+            "scenario": scenario,
+            "seed": seed,
+            "params": params,
+        }
+        if resume and self.path.exists():
+            lines = [
+                line for line in self.path.read_text().splitlines() if line
+            ]
+            if lines:
+                existing = json.loads(lines[0])
+                for key in ("scenario", "seed", "params"):
+                    if existing.get(key) != header[key]:
+                        raise ValueError(
+                            f"cannot resume {self.path}: stored {key}="
+                            f"{existing.get(key)!r} does not match requested "
+                            f"{header[key]!r}"
+                        )
+                for line in lines[1:]:
+                    record = json.loads(line)
+                    if record.get("type") != "trial":
+                        continue
+                    self.completed[int(record["trial_index"])] = {
+                        "metrics": record["metrics"],
+                        "detail": record.get("detail", {}),
+                    }
+                self._fh = open(self.path, "a")
+                return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "w")
+        self._fh.write(json.dumps(header) + "\n")
+        self._fh.flush()
+
+    def append(self, trial_index: int, seed: int, payload: dict) -> None:
+        self._fh.write(
+            json.dumps(
+                {
+                    "type": "trial",
+                    "trial_index": trial_index,
+                    "seed": seed,
+                    "metrics": payload["metrics"],
+                    "detail": payload.get("detail", {}),
+                }
+            )
+            + "\n"
+        )
+        self._fh.flush()
+
+    def close(self) -> None:
+        self._fh.close()
+
+
 def _execute_trial(
     scenario_name: str,
     trial_index: int,
     seed: int,
     params: dict,
     cache_root: str | None,
+    profile_root: str | None,
 ) -> dict:
     """Top-level (picklable) worker: run one trial in this process."""
     from repro.experiments.registry import get_scenario
@@ -175,6 +298,7 @@ def _execute_trial(
         seed=seed,
         params=params,
         cache=PresetCache(cache_root) if cache_root is not None else PresetCache(),
+        profile_cache=ProfileCache(profile_root),
     )
     return spec.run_trial(ctx)
 
@@ -186,7 +310,10 @@ def run_scenario(
     seed: int = 0,
     params: Mapping[str, Any] | None = None,
     cache: PresetCache | None = None,
+    profile_cache: ProfileCache | None = None,
     progress: Callable[[int, int], None] | None = None,
+    stream_path: str | pathlib.Path | None = None,
+    resume: bool = False,
 ) -> ScenarioResult:
     """Run ``trials`` independent trials of scenario ``name``.
 
@@ -199,7 +326,13 @@ def run_scenario(
             :func:`trial_seed`.
         params: Scenario parameter overrides.
         cache: Preset cache override (its root is forwarded to workers).
+        profile_cache: Attack-profile cache override (root forwarded to
+            workers the same way).
         progress: Optional ``callback(done, total)`` after each trial.
+        stream_path: When set, per-trial results are appended to this
+            JSONL file as they complete (see :class:`TrialStream`).
+        resume: With ``stream_path``, replay trials already present in
+            the stream file and run only the missing ones.
 
     Returns:
         The aggregated :class:`ScenarioResult` (checks are *not* run —
@@ -216,41 +349,72 @@ def run_scenario(
     run_params = dict(params or {})
     cache = cache if cache is not None else PresetCache()
     cache_root = str(cache.root)
+    profile_cache = (
+        profile_cache if profile_cache is not None else ProfileCache()
+    )
+    profile_root = str(profile_cache.root)
     seeds = [trial_seed(seed, i) for i in range(n_trials)]
+
+    stream: TrialStream | None = None
+    if stream_path is not None:
+        stream = TrialStream(
+            stream_path, scenario=name, seed=seed, params=run_params,
+            resume=resume,
+        )
 
     start = time.perf_counter()
     payloads: list[dict] = [{} for _ in range(n_trials)]
-    if jobs == 1 or n_trials == 1:
-        for i in range(n_trials):
-            ctx = TrialContext(
-                scenario=name, trial_index=i, seed=seeds[i],
-                params=run_params, cache=cache,
-            )
-            payloads[i] = spec.run_trial(ctx)
-            if progress is not None:
-                progress(i + 1, n_trials)
-    else:
-        # Fork keeps dynamically-registered scenarios (tests) visible in
-        # workers; spawned workers re-import the built-ins by name.
-        try:
-            context = multiprocessing.get_context("fork")
-        except ValueError:  # pragma: no cover - non-POSIX fallback
-            context = multiprocessing.get_context("spawn")
-        with concurrent.futures.ProcessPoolExecutor(
-            max_workers=min(jobs, n_trials), mp_context=context
-        ) as pool:
-            futures = {
-                pool.submit(
-                    _execute_trial, name, i, seeds[i], run_params, cache_root
-                ): i
-                for i in range(n_trials)
-            }
-            done = 0
-            for future in concurrent.futures.as_completed(futures):
-                payloads[futures[future]] = future.result()
-                done += 1
-                if progress is not None:
-                    progress(done, n_trials)
+    pending = list(range(n_trials))
+    done = 0
+    if stream is not None and stream.completed:
+        pending = [i for i in pending if i not in stream.completed]
+        for i, payload in stream.completed.items():
+            if i < n_trials:
+                payloads[i] = payload
+        done = n_trials - len(pending)
+        if progress is not None and done:
+            progress(done, n_trials)
+
+    def record(index: int, payload: dict) -> None:
+        nonlocal done
+        payloads[index] = payload
+        if stream is not None:
+            stream.append(index, seeds[index], payload)
+        done += 1
+        if progress is not None:
+            progress(done, n_trials)
+
+    try:
+        if jobs == 1 or len(pending) <= 1:
+            for i in pending:
+                ctx = TrialContext(
+                    scenario=name, trial_index=i, seed=seeds[i],
+                    params=run_params, cache=cache,
+                    profile_cache=profile_cache,
+                )
+                record(i, spec.run_trial(ctx))
+        else:
+            # Fork keeps dynamically-registered scenarios (tests) visible in
+            # workers; spawned workers re-import the built-ins by name.
+            try:
+                context = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX fallback
+                context = multiprocessing.get_context("spawn")
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=min(jobs, len(pending)), mp_context=context
+            ) as pool:
+                futures = {
+                    pool.submit(
+                        _execute_trial, name, i, seeds[i], run_params,
+                        cache_root, profile_root,
+                    ): i
+                    for i in pending
+                }
+                for future in concurrent.futures.as_completed(futures):
+                    record(futures[future], future.result())
+    finally:
+        if stream is not None:
+            stream.close()
     elapsed = time.perf_counter() - start
 
     metric_values: dict[str, list[float]] = {}

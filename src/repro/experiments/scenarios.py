@@ -86,13 +86,30 @@ def _behavioral_executor(qmodel, name, rng):
 
 
 def _dnn_defender_executor(qmodel, dataset, attack_batch, rounds,
-                           profile_config, rng):
+                           profile_config, rng, ctx=None, preset_name=None,
+                           seed=None):
     """Profile vulnerable bits and secure their DRAM rows (the paper's
-    protection granularity); returns the defended flip executor."""
+    protection granularity); returns the defended flip executor.
+
+    When the trial context and preset name are supplied, the profile goes
+    through the on-disk :class:`repro.experiments.ProfileCache` keyed by
+    (preset recipe, attack config, seed) — a warm cache replays the
+    rounds instead of re-running the multi-round BFA search.
+    """
     x, y = dataset.attack_batch(attack_batch, rng)
-    profile = profile_vulnerable_bits(
-        qmodel, x, y, rounds=rounds, config=profile_config
-    )
+    if ctx is not None and preset_name is not None:
+        profile = ctx.profile(
+            preset_name, qmodel, x, y, rounds=rounds, config=profile_config,
+            extra_key={
+                "attack_batch": attack_batch,
+                "seed": seed,
+                "purpose": "dnn-defender-executor",
+            },
+        )
+    else:
+        profile = profile_vulnerable_bits(
+            qmodel, x, y, rounds=rounds, config=profile_config
+        )
     secured = expand_bits_to_rows(qmodel, profile.all_bits)
     return LogicalDefenseExecutor(qmodel, secured)
 
@@ -671,6 +688,7 @@ def table3(ctx):
         qmodel, dataset, attack_batch=int(ctx.param("attack_batch", 96)),
         rounds=6, profile_config=BfaConfig(max_iterations=10, exact_eval_top=4),
         rng=np.random.default_rng(seed),
+        ctx=ctx, preset_name="resnet20_cifar", seed=seed,
     )
     rows.append(
         evaluate_defense_row(
@@ -982,6 +1000,8 @@ def sweep_defense_grid(ctx):
                 rounds=int(ctx.param("profile_rounds", 4)),
                 profile_config=BfaConfig(max_iterations=8, exact_eval_top=4),
                 rng=np.random.default_rng(seed),
+                ctx=ctx, preset_name=str(ctx.param("model", "resnet20_cifar")),
+                seed=seed,
             )
         elif name in BEHAVIORAL_DEFENSES:
             executor = _behavioral_executor(

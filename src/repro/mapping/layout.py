@@ -21,6 +21,7 @@ rows usually hold unrelated data, as in a real co-located deployment.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 import numpy as np
@@ -67,6 +68,9 @@ class WeightLayout:
         self._slot_by_row: dict[RowAddress, RowSlot] = {}
         self._rows_by_layer: dict[int, list[RowSlot]] = {}
         self._place(np.random.default_rng(seed))
+        # Placement wrote every weight row, so model == DRAM right now;
+        # incremental sync only needs rows dirtied after this point.
+        self._synced_version = controller.content_version
 
     # ------------------------------------------------------------------ #
     # Placement
@@ -181,7 +185,40 @@ class WeightLayout:
     # Model <-> DRAM synchronisation
     # ------------------------------------------------------------------ #
 
-    def sync_model_from_dram(self) -> None:
+    def sync_model_from_dram(self, full: bool | None = None) -> None:
+        """Load DRAM weight-row contents into the model.
+
+        By default this is *incremental*: only logical rows whose DRAM
+        content changed since the last sync (RowHammer flips, defender
+        copies, explicit writes — see
+        :meth:`repro.dram.controller.MemoryController.dirty_rows_since`)
+        are re-read, and each reloads just its byte slice of its layer.
+
+        ``full=True`` (or ``REPRO_SYNC_MODE=full`` in the environment)
+        forces the original re-read-everything path — the verifiable
+        fallback the incremental path is parity-tested against.  The two
+        are equivalent as long as model weights are only mutated through
+        DRAM-consistent paths between syncs (the deployment contract);
+        callers that mutated the model directly must request ``full``.
+        """
+        if full is None:
+            full = os.environ.get("REPRO_SYNC_MODE", "") == "full"
+        if full:
+            self._sync_model_full()
+        else:
+            for logical in self.controller.dirty_rows_since(
+                self._synced_version
+            ):
+                slot = self._slot_by_row.get(logical)
+                if slot is None:
+                    continue  # collateral damage outside the weight rows
+                row_data = self.controller.peek_logical(logical)
+                self.qmodel.layer(slot.layer).load_packed_slice(
+                    slot.byte_offset, row_data[:slot.length]
+                )
+        self._synced_version = self.controller.content_version
+
+    def _sync_model_full(self) -> None:
         """Re-read every weight row and load the bytes into the model."""
         for layer_index, layer in enumerate(self.qmodel.layers):
             packed = np.empty(layer.num_weights, dtype=np.uint8)
@@ -201,6 +238,9 @@ class WeightLayout:
                 chunk = packed[slot.byte_offset:slot.byte_offset + slot.length]
                 row_data[:chunk.size] = chunk
                 self.controller.poke_logical(slot.logical_row, row_data)
+        # Every weight row was just rewritten from the model, so the two
+        # sides are in lock-step again.
+        self._synced_version = self.controller.content_version
 
 
 def place_model(

@@ -60,6 +60,10 @@ class QuantizedLayer:
         self.scale = max_abs / qmax if max_abs > 0 else 1.0
         q = np.clip(np.round(w / self.scale), -qmax, qmax)
         self.weight_int = q.astype(np.int8)
+        # Monotonic mutation counter: bumped on every integer-weight change
+        # so derived caches (e.g. the BFA's per-layer bit-delta tables) can
+        # detect staleness without hashing the weights.
+        self.version = 0
         self._sync_float()
 
     def _sync_float(self) -> None:
@@ -83,6 +87,7 @@ class QuantizedLayer:
             raise ValueError(f"int8 value out of range: {value}")
         self.weight_int.flat[index] = np.int8(value)
         self.module.weight.data.flat[index] = np.float32(value * self.scale)
+        self.version += 1
 
     def flip_bit(self, index: int, bit: int) -> float:
         """Flip one bit of one weight; returns the float weight delta."""
@@ -105,7 +110,32 @@ class QuantizedLayer:
                 f"expected {self.num_weights} bytes, got {data.size}"
             )
         self.weight_int = twos_complement_to_int8(data).reshape(self.shape)
+        self.version += 1
         self._sync_float()
+
+    def load_packed_slice(self, offset: int, data: np.ndarray) -> None:
+        """Overwrite ``data.size`` weights starting at flat index ``offset``.
+
+        The partial counterpart of :meth:`load_packed_bytes`: one DRAM
+        row's worth of bytes updates only its slice of the integer weights
+        and the dequantized float weights, so an incremental post-window
+        sync costs O(touched rows) instead of O(model).
+        """
+        data = np.asarray(data, dtype=np.uint8)
+        stop = offset + data.size
+        if offset < 0 or stop > self.num_weights:
+            raise ValueError(
+                f"byte slice [{offset}, {stop}) out of range for "
+                f"{self.num_weights} weights"
+            )
+        if data.size == 0:
+            return
+        ints = twos_complement_to_int8(data)
+        self.weight_int.flat[offset:stop] = ints
+        self.module.weight.data.flat[offset:stop] = (
+            ints.astype(np.float32) * self.scale
+        )
+        self.version += 1
 
     def grad_flat(self) -> np.ndarray:
         """Flat gradient of the loss w.r.t. this layer's (float) weights."""
@@ -193,6 +223,7 @@ class QuantizedModel:
                     f"{saved.shape} vs {layer.shape}"
                 )
             layer.weight_int = saved.copy()
+            layer.version += 1
             layer._sync_float()
 
     def hamming_distance_from(self, snapshot: list[np.ndarray]) -> int:

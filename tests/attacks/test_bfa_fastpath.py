@@ -1,0 +1,144 @@
+"""BFA fast-scoring parity: argpartition top-k vs the argsort scan.
+
+The fast path (masked scores + ``np.argpartition`` + cached bit-deltas)
+must select exactly the flips the legacy full-argsort scan selects on
+seeded models, across whole attack runs including skip sets and defended
+attempts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks import LogicalDefenseExecutor
+from repro.attacks.bfa import BfaConfig, BitFlipAttack
+from repro.nn.quant import BitLocation
+from repro.nn.train import loss_and_grads
+
+
+def _attack(qmodel, dataset, fast: bool, skip=None, executor=None):
+    rng = np.random.default_rng(11)
+    x, y = dataset.attack_batch(64, rng)
+    return BitFlipAttack(
+        qmodel, x, y,
+        config=BfaConfig(
+            max_iterations=6, exact_eval_top=3, fast_scoring=fast
+        ),
+        skip=skip, executor=executor,
+    )
+
+
+def _attempts(result):
+    return [
+        (a.iteration, a.location, a.succeeded, round(a.estimated_gain, 9))
+        for a in result.attempts
+    ]
+
+
+class TestScoringParity:
+    def test_full_runs_select_identical_flips(self, quantized_factory,
+                                              tiny_dataset):
+        fast_result = _attack(
+            quantized_factory(), tiny_dataset, fast=True
+        ).run()
+        slow_result = _attack(
+            quantized_factory(), tiny_dataset, fast=False
+        ).run()
+        assert _attempts(fast_result) == _attempts(slow_result)
+        assert fast_result.accuracy_history == slow_result.accuracy_history
+
+    def test_parity_with_skip_set_and_defense(self, quantized_factory,
+                                              tiny_dataset):
+        def build(fast):
+            qmodel = quantized_factory()
+            probe = _attack(qmodel, tiny_dataset, fast=True)
+            loss_and_grads(qmodel.model, probe.attack_x, probe.attack_y)
+            secured = {
+                probe._layer_best_candidate(i)[0]
+                for i in range(qmodel.num_layers)
+                if probe._layer_best_candidate(i) is not None
+            }
+            qmodel.zero_grad()
+            return _attack(
+                qmodel, tiny_dataset, fast=fast, skip=set(secured),
+                executor=LogicalDefenseExecutor(qmodel, secured),
+            )
+
+        fast_result = build(True).run()
+        slow_result = build(False).run()
+        assert _attempts(fast_result) == _attempts(slow_result)
+
+    def test_per_layer_candidates_match(self, fresh_quantized, tiny_dataset):
+        fast = _attack(fresh_quantized, tiny_dataset, fast=True)
+        slow = _attack(fresh_quantized, tiny_dataset, fast=False)
+        loss_and_grads(fresh_quantized.model, fast.attack_x, fast.attack_y)
+        for index in range(fresh_quantized.num_layers):
+            assert (
+                fast._layer_best_candidate(index)
+                == slow._layer_best_candidate(index)
+            )
+
+
+class TestFastPathInternals:
+    def test_bit_deltas_match_reference(self):
+        weights = np.arange(-128, 128, dtype=np.int8)
+        deltas = BitFlipAttack._bit_deltas(weights)
+        bytes_view = weights.view(np.uint8)
+        for i, byte in enumerate(bytes_view):
+            for bit in range(7):
+                expected = float(1 << bit) * (
+                    1.0 if not (byte >> bit) & 1 else -1.0
+                )
+                assert deltas[i, bit] == expected
+            expected_sign = -128.0 if not (byte >> 7) & 1 else 128.0
+            assert deltas[i, 7] == expected_sign
+
+    def test_delta_cache_invalidated_by_mutation(self, fresh_quantized,
+                                                 tiny_dataset):
+        attack = _attack(fresh_quantized, tiny_dataset, fast=True)
+        first = attack._scaled_deltas(0)
+        assert attack._scaled_deltas(0) is first  # cache hit
+        fresh_quantized.flip_bit(BitLocation(0, 0, 3))
+        second = attack._scaled_deltas(0)
+        assert second is not first  # version bump invalidated
+        np.testing.assert_array_equal(
+            second, BitFlipAttack._bit_deltas(
+                fresh_quantized.layers[0].weight_int
+            ) * fresh_quantized.layers[0].scale,
+        )
+
+    def test_mask_tracks_skip_and_tried(self, fresh_quantized, tiny_dataset):
+        skip = {BitLocation(0, 1, 4)}
+        attack = _attack(fresh_quantized, tiny_dataset, fast=True, skip=skip)
+        mask = attack._layer_mask(0)
+        assert mask[1 * 8 + 4]
+        assert mask.sum() == 1
+        attack._mark_tried(BitLocation(0, 2, 7))
+        assert attack._layer_mask(0)[2 * 8 + 7]
+        assert attack._layer_mask(0).sum() == 2
+
+    def test_reconstruction_guard_invalidates_delta_cache(
+        self, fresh_quantized, tiny_dataset
+    ):
+        """Every weight_int mutation path must bump layer.version; the
+        reconstruction defense clips weights outside the flip API."""
+        from repro.defenses.software import WeightReconstructionGuard
+
+        guard = WeightReconstructionGuard(fresh_quantized, percentile=50.0)
+        versions = [layer.version for layer in fresh_quantized.layers]
+        corrected = guard.reconstruct()
+        assert corrected > 0  # the 50th-percentile bound clips aggressively
+        bumped = [
+            layer.version > v
+            for layer, v in zip(fresh_quantized.layers, versions)
+        ]
+        assert any(bumped)
+
+    def test_top_candidates_respect_min_gain(self, fresh_quantized,
+                                             tiny_dataset):
+        attack = _attack(fresh_quantized, tiny_dataset, fast=True)
+        loss_and_grads(fresh_quantized.model, attack.attack_x,
+                       attack.attack_y)
+        top = attack._layer_top_candidates(0, 16)
+        assert all(score > 0.0 for _, score in top)
+        scores = [score for _, score in top]
+        assert scores == sorted(scores, reverse=True)

@@ -64,3 +64,17 @@ def fresh_model(trained_state):
 @pytest.fixture
 def fresh_quantized(fresh_model):
     return QuantizedModel(fresh_model)
+
+
+@pytest.fixture
+def quantized_factory(trained_state):
+    """Build any number of identical trained quantized models (parity
+    tests compare two independent copies side by side)."""
+
+    def build() -> QuantizedModel:
+        model = make_tiny_model(seed=0)
+        model.load_state_dict(trained_state)
+        model.eval()
+        return QuantizedModel(model)
+
+    return build

@@ -1,0 +1,97 @@
+"""Per-trial JSONL streaming and resume in the scenario runner."""
+
+import json
+
+import pytest
+
+from repro.experiments import run_scenario, scenario, unregister
+
+EXECUTIONS = []
+
+counting = scenario(
+    "stream-counting",
+    title="streams per-trial results",
+    tags=("test",),
+    default_trials=4,
+)(lambda ctx: (
+    EXECUTIONS.append(ctx.trial_index),
+    {"metrics": {"value": float(ctx.seed % 97)},
+     "detail": {"trial": ctx.trial_index}},
+)[1])
+
+
+@pytest.fixture(autouse=True)
+def _reset():
+    EXECUTIONS.clear()
+    yield
+    unregister("stream-counting")
+    from repro.experiments.registry import register
+    register(counting)
+
+
+# Register once at import; unregister/register dance keeps the scenario
+# available across tests in this module without double-registration.
+def setup_module(module):
+    pass
+
+
+class TestStreaming:
+    def test_stream_file_has_header_and_trials(self, tmp_path):
+        path = tmp_path / "run.trials.jsonl"
+        result = run_scenario(
+            "stream-counting", trials=3, seed=5, stream_path=path
+        )
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert lines[0]["type"] == "header"
+        assert lines[0]["scenario"] == "stream-counting"
+        assert lines[0]["seed"] == 5
+        trial_lines = [l for l in lines[1:] if l["type"] == "trial"]
+        assert sorted(l["trial_index"] for l in trial_lines) == [0, 1, 2]
+        for line in trial_lines:
+            index = line["trial_index"]
+            assert line["metrics"]["value"] == (
+                result.per_trial_metrics[index]["value"]
+            )
+            assert line["detail"] == {"trial": index}
+
+    def test_resume_skips_completed_trials(self, tmp_path):
+        path = tmp_path / "run.trials.jsonl"
+        baseline = run_scenario("stream-counting", trials=4, seed=9)
+        run_scenario("stream-counting", trials=2, seed=9, stream_path=path)
+        assert EXECUTIONS.count(0) == 2  # baseline + stream run
+        EXECUTIONS.clear()
+        resumed = run_scenario(
+            "stream-counting", trials=4, seed=9, stream_path=path,
+            resume=True,
+        )
+        # Only the two missing trials actually executed.
+        assert sorted(EXECUTIONS) == [2, 3]
+        assert resumed.per_trial_metrics == baseline.per_trial_metrics
+        assert resumed.metrics["value"].mean == baseline.metrics["value"].mean
+
+    def test_resume_preserves_detail_from_trial_zero(self, tmp_path):
+        path = tmp_path / "run.trials.jsonl"
+        run_scenario("stream-counting", trials=2, seed=3, stream_path=path)
+        EXECUTIONS.clear()
+        resumed = run_scenario(
+            "stream-counting", trials=2, seed=3, stream_path=path,
+            resume=True,
+        )
+        assert EXECUTIONS == []  # everything replayed from the stream
+        assert resumed.detail == {"trial": 0}
+
+    def test_resume_rejects_mismatched_run(self, tmp_path):
+        path = tmp_path / "run.trials.jsonl"
+        run_scenario("stream-counting", trials=2, seed=1, stream_path=path)
+        with pytest.raises(ValueError, match="does not match"):
+            run_scenario(
+                "stream-counting", trials=2, seed=2, stream_path=path,
+                resume=True,
+            )
+
+    def test_plain_rerun_truncates_stale_stream(self, tmp_path):
+        path = tmp_path / "run.trials.jsonl"
+        run_scenario("stream-counting", trials=3, seed=1, stream_path=path)
+        run_scenario("stream-counting", trials=1, seed=1, stream_path=path)
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert len([l for l in lines if l.get("type") == "trial"]) == 1
