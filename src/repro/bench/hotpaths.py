@@ -15,6 +15,9 @@ variants — the optimized fast path (``after``) and the legacy slow path
   controller with the controller fast path on vs off.
 * ``fig6_trial`` — one full ``fig6`` scenario trial (the pipelined swap
   chain) with the controller fast path on vs off.
+* ``sweep_trial`` — one full ``sweep-hammer-rate`` trial (a T_RH grid of
+  functional defender runs), fast path on vs off; tracks per-trial
+  throughput (``trials_per_s``) at sweep scale.
 * ``defended_vs_undefended`` — one hammer window with DNN-Defender
   ticking vs undefended (an overhead measurement, not a before/after).
 
@@ -31,6 +34,8 @@ trained weights.
 
 from __future__ import annotations
 
+import contextlib
+import os
 import platform
 import time
 from typing import Callable
@@ -69,6 +74,20 @@ def _stats(times_s: list[float]) -> dict:
         "median_ms": float(np.median(array)),
         "p95_ms": float(np.percentile(array, 95)),
     }
+
+
+@contextlib.contextmanager
+def _env_override(var: str, value: str):
+    """Set one environment variable for the duration of a bench variant."""
+    saved = os.environ.get(var)
+    os.environ[var] = value
+    try:
+        yield
+    finally:
+        if saved is None:
+            os.environ.pop(var, None)
+        else:
+            os.environ[var] = saved
 
 
 def _timed(fn: Callable[[], object], reps: int, warmup: int = 1) -> list[float]:
@@ -224,8 +243,6 @@ def bench_hammer_window(quick: bool) -> dict:
     legacy full post-window resync — together, the pre-optimization
     behaviour of one window.
     """
-    import os
-
     reps = 10 if quick else 40
 
     def run(fast_path: bool):
@@ -235,21 +252,15 @@ def bench_hammer_window(quick: bool) -> dict:
         targets = _hammer_targets(qmodel, reps + 1)
         outcomes = []
         times = []
-        saved = os.environ.get("REPRO_SYNC_MODE")
-        if not fast_path:
-            os.environ["REPRO_SYNC_MODE"] = "full"
-        try:
+        with _env_override(
+            "REPRO_SYNC_MODE", "incremental" if fast_path else "full"
+        ):
             for i, target in enumerate(targets):
                 start = time.perf_counter()
                 outcomes.append(attacker.attempt_flip(target, max_windows=1))
                 elapsed = time.perf_counter() - start
                 if i > 0:  # first window warms caches
                     times.append(elapsed)
-        finally:
-            if saved is None:
-                os.environ.pop("REPRO_SYNC_MODE", None)
-            else:
-                os.environ["REPRO_SYNC_MODE"] = saved
         return times, outcomes, [
             layer.packed_bytes().tobytes() for layer in qmodel.layers
         ]
@@ -274,19 +285,11 @@ def bench_fig6_trial(quick: bool) -> dict:
     reps = 100 if quick else 400
     spec = get_scenario("fig6")
     ctx = TrialContext(scenario="fig6", trial_index=0, seed=0)
-    import os
 
     def run(fast: str):
-        saved = os.environ.get("REPRO_DRAM_FAST_PATH")
-        os.environ["REPRO_DRAM_FAST_PATH"] = fast
-        try:
+        with _env_override("REPRO_DRAM_FAST_PATH", fast):
             payload = spec.run_trial(ctx)
             times = _timed(lambda: spec.run_trial(ctx), reps, warmup=10)
-        finally:
-            if saved is None:
-                os.environ.pop("REPRO_DRAM_FAST_PATH", None)
-            else:
-                os.environ["REPRO_DRAM_FAST_PATH"] = saved
         return times, payload
 
     before, payload_slow = run("0")
@@ -297,6 +300,46 @@ def bench_fig6_trial(quick: bool) -> dict:
         "full fig6 scenario trial (8-swap pipelined chain, Fig. 6)",
         reps,
         {"before": _stats(before), "after": _stats(after)},
+        parity,
+    )
+
+
+def bench_sweep_trial(quick: bool) -> dict:
+    """One sweep-scale scenario trial: per-trial throughput at grid size.
+
+    Times a full ``sweep-hammer-rate`` trial (a T_RH grid of functional
+    defender runs — the shape of work each shard of a ``--backend
+    sharded`` sweep executes per trial) with the controller fast path on
+    vs off, and reports trials/s alongside the usual latency stats so
+    ``BENCH_hotpaths.json`` tracks sweep-scale throughput over time.
+    """
+    from repro.experiments.registry import get_scenario
+    from repro.experiments.runner import TrialContext
+
+    reps = 3 if quick else 10
+    spec = get_scenario("sweep-hammer-rate")
+    ctx = TrialContext(
+        scenario="sweep-hammer-rate", trial_index=0, seed=0,
+        params={"t_rh_grid": "1000,2000", "n_targets": 32},
+    )
+
+    def run(fast: str):
+        with _env_override("REPRO_DRAM_FAST_PATH", fast):
+            payload = spec.run_trial(ctx)
+            times = _timed(lambda: spec.run_trial(ctx), reps, warmup=1)
+        return times, payload
+
+    before, payload_slow = run("0")
+    after, payload_fast = run("1")
+    parity = payload_fast == payload_slow
+    variants = {"before": _stats(before), "after": _stats(after)}
+    for stats in variants.values():
+        stats["trials_per_s"] = round(1e3 / stats["median_ms"], 3)
+    return _entry(
+        "sweep_trial",
+        "one sweep-hammer-rate trial (2-point T_RH grid, 32 target rows)",
+        reps,
+        variants,
         parity,
     )
 
@@ -342,6 +385,7 @@ HOTPATH_BENCHMARKS: dict[str, Callable[[bool], dict]] = {
     "bfa_iteration": bench_bfa_iteration,
     "hammer_window": bench_hammer_window,
     "fig6_trial": bench_fig6_trial,
+    "sweep_trial": bench_sweep_trial,
     "defended_vs_undefended": bench_defended_vs_undefended,
 }
 

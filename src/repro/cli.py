@@ -8,6 +8,12 @@ Subcommands:
   results land as JSON artifacts under ``benchmarks/results/``.
   ``--stream`` appends per-trial JSONL as trials complete and
   ``--resume`` replays completed trials from a previous stream.
+  ``--backend sharded --shards N`` fans the run out over N CLI
+  subprocesses; ``--shard i/N`` runs one shard's trials only (the worker
+  side of a multi-machine sweep), streaming JSONL for ``merge``.
+* ``merge <scenario>`` — fuse shard streams into the canonical aggregate
+  artifact (validated exactly like ``--resume``; byte-identical to a
+  single-host run).
 * ``bench`` — hot-path perf microbenchmarks; emits ``BENCH_hotpaths.json``
   (see ``docs/performance.md``).
 * ``cache info | clear`` — inspect or empty the trained-preset and
@@ -58,6 +64,11 @@ def build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument("--param", action="append", default=[],
                          metavar="KEY=VALUE",
                          help="scenario parameter override (repeatable)")
+    run_cmd.add_argument("--params-json", default=None, metavar="JSON",
+                         help="scenario parameters as one JSON object "
+                              "(lossless; used by the sharded backend to "
+                              "forward params to workers). --param "
+                              "overrides individual keys on top")
     run_cmd.add_argument("--out", default=None,
                          help="artifact directory "
                               "(default: benchmarks/results/)")
@@ -74,6 +85,36 @@ def build_parser() -> argparse.ArgumentParser:
                          help="replay completed trials from the stream "
                               "file and run only the missing ones "
                               "(implies --stream)")
+    run_cmd.add_argument("--backend", default="auto",
+                         choices=("auto", "serial", "process", "sharded"),
+                         help="execution backend (auto: serial for "
+                              "--jobs 1, process pool otherwise)")
+    run_cmd.add_argument("--shards", type=int, default=None,
+                         help="shard count for --backend sharded "
+                              "(default: --jobs)")
+    run_cmd.add_argument("--shard", default=None, metavar="I/N",
+                         help="run only shard I of N (trial indices "
+                              "I, I+N, ...), streaming JSONL to "
+                              "<out>/<scenario>.shard-IofN.trials.jsonl "
+                              "for a later 'repro merge'")
+
+    merge_cmd = sub.add_parser(
+        "merge",
+        help="fuse shard trial streams into the aggregate artifact",
+    )
+    merge_cmd.add_argument("scenario")
+    merge_cmd.add_argument("shard_files", nargs="*", metavar="shard.jsonl",
+                           help="shard stream files (default: discover "
+                                "<out>/<scenario>.shard-*of*.trials.jsonl)")
+    merge_cmd.add_argument("--out", default=None,
+                           help="artifact/shard directory "
+                                "(default: benchmarks/results/)")
+    merge_cmd.add_argument("--no-artifact", action="store_true",
+                           help="skip writing the JSON artifact")
+    merge_cmd.add_argument("--strict", action="store_true",
+                           help="exit non-zero if reproduction checks fail")
+    merge_cmd.add_argument("--quiet", action="store_true",
+                           help="suppress the report table")
 
     bench_cmd = sub.add_parser(
         "bench", help="hot-path perf microbenchmarks (BENCH_hotpaths.json)"
@@ -94,6 +135,25 @@ def build_parser() -> argparse.ArgumentParser:
     cache_cmd.add_argument("action", choices=("info", "clear"))
 
     return parser
+
+
+def _resolve_params(args) -> dict:
+    """Merge ``--params-json`` (lossless) with ``--param k=v`` overrides."""
+    import json
+
+    params: dict = {}
+    if getattr(args, "params_json", None):
+        try:
+            params = json.loads(args.params_json)
+        except json.JSONDecodeError as exc:
+            raise SystemExit(f"--params-json is not valid JSON: {exc}")
+        if not isinstance(params, dict):
+            raise SystemExit(
+                f"--params-json must be a JSON object, got "
+                f"{type(params).__name__}"
+            )
+    params.update(_parse_params(args.param))
+    return params
 
 
 def _parse_params(pairs: list[str]) -> dict:
@@ -137,8 +197,11 @@ def _cmd_list(args) -> int:
 
 
 def _cmd_run(args) -> int:
-    params = _parse_params(args.param)
+    params = _resolve_params(args)
     cache = PresetCache()
+    if args.shard is not None:
+        return _run_shards(args, params, cache)
+    backend = _resolve_backend(args)
     failed_checks: list[str] = []
     for name in args.scenarios:
         spec = get_scenario(name)  # fail fast on typos, before any work
@@ -173,30 +236,136 @@ def _cmd_run(args) -> int:
             progress=None if args.quiet else progress,
             stream_path=stream_path,
             resume=args.resume,
+            backend=backend,
         )
         if stream_path is not None and not args.quiet:
             print(f"trial stream: {stream_path}")
-        try:
-            spec.run_checks(result)
-        except AssertionError as exc:
-            result.check_error = f"{type(exc).__name__}: {exc}" or "AssertionError"
+        if not _finish_result(spec, name, result, args):
             failed_checks.append(name)
-        if not args.no_artifact:
-            path = write_artifact(result, directory=args.out)
-            if not args.quiet:
-                print(f"artifact: {path}")
         if not args.quiet:
-            print(spec.render_report(result))
             print(f"elapsed: {result.elapsed_s:.2f}s")
-        if result.check_error is not None:
-            print(
-                f"warning: reproduction checks FAILED for {name}: "
-                f"{result.check_error}",
-                file=sys.stderr,
-            )
     if failed_checks and args.strict:
         return 1
     return 0
+
+
+def _finish_result(spec, name: str, result, args) -> bool:
+    """Shared run/merge epilogue: checks, artifact, report, warning.
+
+    Returns False when the reproduction checks failed.  Keeping this in
+    one place guarantees merged and single-host runs record check errors
+    identically — the artifact byte-identity contract depends on it.
+    """
+    try:
+        spec.run_checks(result)
+    except AssertionError as exc:
+        result.check_error = f"{type(exc).__name__}: {exc}"
+    if not args.no_artifact:
+        path = write_artifact(result, directory=args.out)
+        if not args.quiet:
+            print(f"artifact: {path}")
+    if not args.quiet:
+        print(spec.render_report(result))
+    if result.check_error is not None:
+        print(
+            f"warning: reproduction checks FAILED for {name}: "
+            f"{result.check_error}",
+            file=sys.stderr,
+        )
+        return False
+    return True
+
+
+def _resolve_backend(args):
+    """Map ``--backend``/``--shards`` to a Backend (None = runner default)."""
+    from repro.experiments.backends import (
+        ProcessPoolBackend,
+        SerialBackend,
+        ShardedBackend,
+    )
+
+    if args.shards is not None and args.backend != "sharded":
+        raise SystemExit("--shards requires --backend sharded")
+    if args.backend == "serial":
+        return SerialBackend()
+    if args.backend == "process":
+        return ProcessPoolBackend(args.jobs)
+    if args.backend == "sharded":
+        shards = args.shards if args.shards is not None else args.jobs
+        workdir = (
+            pathlib.Path(args.out) if args.out else default_results_dir()
+        )
+        # Forward --resume so workers replay their existing shard streams
+        # instead of re-running completed trials.
+        return ShardedBackend(shards, workdir=workdir, resume=args.resume)
+    return None  # auto: run_scenario picks serial/process from --jobs
+
+
+def _run_shards(args, params: dict, cache: PresetCache) -> int:
+    """Worker side of a sharded run: execute one shard per scenario."""
+    from repro.experiments.backends import parse_shard, run_shard
+
+    if args.backend != "auto":
+        raise SystemExit("--shard and --backend are mutually exclusive")
+    if args.shards is not None:
+        raise SystemExit(
+            "--shards (orchestrator flag) cannot be combined with "
+            "--shard I/N (worker flag); the shard count is the N in I/N"
+        )
+    index, count = parse_shard(args.shard)
+    out_dir = pathlib.Path(args.out) if args.out else default_results_dir()
+    for name in args.scenarios:
+        get_scenario(name)  # fail fast on typos, before any work
+
+        def progress(done: int, total: int) -> None:
+            print(
+                f"  [{name} shard {index}/{count}] trial {done}/{total}",
+                file=sys.stderr,
+            )
+
+        path = run_shard(
+            name,
+            shard=(index, count),
+            trials=args.trials,
+            seed=args.seed,
+            params=params,
+            directory=out_dir,
+            cache=cache,
+            resume=args.resume,
+            jobs=args.jobs,
+            progress=None if args.quiet else progress,
+        )
+        if not args.quiet:
+            print(f"shard stream: {path}")
+    return 0
+
+
+def _cmd_merge(args) -> int:
+    """Fuse shard streams into the canonical aggregate artifact."""
+    from repro.experiments.backends import discover_shards, merge_shards
+
+    spec = get_scenario(args.scenario)
+    out_dir = pathlib.Path(args.out) if args.out else default_results_dir()
+    paths = (
+        [pathlib.Path(p) for p in args.shard_files]
+        if args.shard_files
+        else discover_shards(out_dir, args.scenario)
+    )
+    if not paths:
+        print(
+            f"error: no shard streams for {args.scenario!r} under {out_dir} "
+            f"(expected {args.scenario}.shard-*of*.trials.jsonl)",
+            file=sys.stderr,
+        )
+        return 2
+    result = merge_shards(paths, scenario=args.scenario)
+    if not args.quiet:
+        print(
+            f"merged {len(paths)} shard stream(s), "
+            f"{result.trials} trial(s)"
+        )
+    checks_ok = _finish_result(spec, args.scenario, result, args)
+    return 1 if (not checks_ok and args.strict) else 0
 
 
 def _cmd_bench(args) -> int:
@@ -262,6 +431,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_list(args)
         if args.command == "run":
             return _cmd_run(args)
+        if args.command == "merge":
+            return _cmd_merge(args)
         if args.command == "bench":
             return _cmd_bench(args)
         if args.command == "cache":

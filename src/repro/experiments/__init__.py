@@ -6,7 +6,11 @@ cacheable *scenarios* with one shared execution path:
 * :mod:`repro.experiments.registry` — ``@scenario`` specs for every paper
   figure/table plus sweep grids; resolved by name.
 * :mod:`repro.experiments.runner` — :func:`run_scenario` fans seeded
-  trials over a process pool and aggregates mean/std/95%-CI metrics.
+  trials over a pluggable backend and aggregates mean/std/95%-CI metrics.
+* :mod:`repro.experiments.backends` — the execution backends: serial,
+  local process pool, and sharded CLI subprocesses (``--shard i/N`` +
+  ``repro merge`` scale one sweep across machines with byte-identical
+  artifacts).
 * :mod:`repro.experiments.cache` — :class:`PresetCache` stores trained
   preset weights as ``.npz`` keyed by the recipe hash, so each preset
   trains once ever.
@@ -45,11 +49,24 @@ from repro.experiments.registry import (
     scenario_names,
     unregister,
 )
+from repro.experiments.backends import (
+    Backend,
+    ExecutionPlan,
+    ProcessPoolBackend,
+    SerialBackend,
+    ShardedBackend,
+    discover_shards,
+    merge_shards,
+    parse_shard,
+    run_shard,
+    shard_indices,
+)
 from repro.experiments.runner import (
     MetricStats,
     ScenarioResult,
     TrialContext,
     TrialStream,
+    aggregate_result,
     run_scenario,
     trial_seed,
 )
@@ -67,8 +84,19 @@ __all__ = [
     "TrialStream",
     "MetricStats",
     "ScenarioResult",
+    "aggregate_result",
     "run_scenario",
     "trial_seed",
+    "Backend",
+    "ExecutionPlan",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "ShardedBackend",
+    "parse_shard",
+    "shard_indices",
+    "run_shard",
+    "discover_shards",
+    "merge_shards",
     "PresetCache",
     "ProfileCache",
     "default_cache_root",

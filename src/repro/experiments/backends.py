@@ -1,0 +1,599 @@
+"""Pluggable execution backends for the scenario runner.
+
+:func:`repro.experiments.runner.run_scenario` plans a run (trial seeds,
+pending indices, caches, streaming) and hands the actual trial execution
+to a *backend*:
+
+* :class:`SerialBackend` — in-process loop, no pool.  The reference
+  implementation every other backend must match bit-for-bit.
+* :class:`ProcessPoolBackend` — ``--jobs N`` fan-out over a local
+  ``ProcessPoolExecutor`` (fork when available, so dynamically
+  registered test scenarios stay visible in workers).
+* :class:`ShardedBackend` — splits the trial indices into ``N`` shard
+  manifests and runs each shard as a separate ``python -m repro run
+  <scenario> --shard i/N`` subprocess.  Each shard streams per-trial
+  JSONL exactly like ``--stream`` does, which is what makes the scheme
+  machine-distributable: run shard ``0/2`` on one host, ``1/2`` on
+  another, copy the ``*.trials.jsonl`` files together, and fuse them
+  with ``python -m repro merge <scenario>``.
+
+Sharding contract: shard ``i`` of ``N`` owns trial indices ``i, i+N,
+i+2N, …`` (:func:`shard_indices`).  A shard stream file records the full
+run identity in its header (scenario, base seed, params, total trials,
+shard manifest); :func:`merge_shards` refuses to fuse files whose
+headers disagree, whose per-trial seeds don't re-derive from the base
+seed, or whose union doesn't cover every trial exactly once — the same
+validation :class:`repro.experiments.runner.TrialStream` applies on
+``--resume``.  Because the merged result is aggregated by the same
+:func:`repro.experiments.runner.aggregate_result` path as a single-host
+run, the merged artifact is byte-identical to the one ``--jobs N`` would
+have written.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import json
+import multiprocessing
+import os
+import pathlib
+import subprocess
+import sys
+import tempfile
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.experiments.cache import PresetCache, ProfileCache
+from repro.experiments.runner import (
+    ScenarioResult,
+    TrialContext,
+    TrialStream,
+    _execute_trial,
+    aggregate_result,
+    normalize_params,
+    trial_seed,
+)
+
+__all__ = [
+    "Backend",
+    "ExecutionPlan",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "ShardedBackend",
+    "parse_shard",
+    "shard_indices",
+    "shard_stream_path",
+    "run_shard",
+    "read_shard",
+    "discover_shards",
+    "merge_shards",
+]
+
+
+@dataclass
+class ExecutionPlan:
+    """Everything a backend needs to execute one scenario run.
+
+    Attributes:
+        scenario: Registered scenario name.
+        spec: The resolved :class:`repro.experiments.registry.Scenario`.
+        trials: Total trial count of the run.
+        seed: Base seed of the run.
+        seeds: Derived per-trial seeds, ``seeds[i] == trial_seed(seed, i)``.
+        params: Scenario parameter overrides.
+        pending: Trial indices that still need to execute (resume may
+            have replayed the rest).
+        cache / profile_cache: Shared caches; backends forward the roots
+            to worker processes.
+        record: ``record(index, payload)`` — must be called exactly once
+            per pending index, from the coordinating process.  Backends
+            may call it in any order; aggregation is order-independent
+            because payloads land in an index-addressed list.
+    """
+
+    scenario: str
+    spec: object
+    trials: int
+    seed: int
+    seeds: list[int]
+    params: dict
+    pending: list[int]
+    cache: PresetCache
+    profile_cache: ProfileCache
+    record: Callable[[int, dict], None]
+
+
+class Backend:
+    """Executes the pending trials of an :class:`ExecutionPlan`.
+
+    Subclasses implement :meth:`run`; ``name`` identifies the backend in
+    reports and result metadata.
+    """
+
+    name = "abstract"
+
+    def run(self, plan: ExecutionPlan) -> None:
+        raise NotImplementedError
+
+
+class SerialBackend(Backend):
+    """In-process, one-trial-at-a-time execution (the ``--jobs 1`` path)."""
+
+    name = "serial"
+
+    def run(self, plan: ExecutionPlan) -> None:
+        for i in plan.pending:
+            ctx = TrialContext(
+                scenario=plan.scenario, trial_index=i, seed=plan.seeds[i],
+                params=plan.params, cache=plan.cache,
+                profile_cache=plan.profile_cache,
+            )
+            plan.record(i, plan.spec.run_trial(ctx))
+
+
+class ProcessPoolBackend(Backend):
+    """Local process-pool fan-out (the ``--jobs N`` path).
+
+    Completed trials are recorded (and therefore streamed to JSONL) even
+    when another trial in the same batch raises; the first failure is
+    re-raised after the pool drains so ``--resume`` only has to re-run
+    the genuinely missing trials.
+    """
+
+    name = "process-pool"
+
+    def __init__(self, jobs: int):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+
+    def run(self, plan: ExecutionPlan) -> None:
+        if self.jobs == 1 or len(plan.pending) <= 1:
+            SerialBackend().run(plan)
+            return
+        # Fork keeps dynamically-registered scenarios (tests) visible in
+        # workers; spawned workers re-import the built-ins by name.
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            context = multiprocessing.get_context("spawn")
+        cache_root = str(plan.cache.root)
+        profile_root = str(plan.profile_cache.root)
+        first_error: BaseException | None = None
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(self.jobs, len(plan.pending)), mp_context=context
+        ) as pool:
+            futures = {
+                pool.submit(
+                    _execute_trial, plan.scenario, i, plan.seeds[i],
+                    plan.params, cache_root, profile_root,
+                ): i
+                for i in plan.pending
+            }
+            for future in concurrent.futures.as_completed(futures):
+                try:
+                    plan.record(futures[future], future.result())
+                except Exception as exc:  # re-raised below; KeyboardInterrupt
+                    if first_error is None:  # and friends propagate at once
+                        first_error = exc
+        if first_error is not None:
+            raise first_error
+
+
+# ---------------------------------------------------------------------- #
+# Shard manifests
+# ---------------------------------------------------------------------- #
+
+def parse_shard(text: str) -> tuple[int, int]:
+    """Parse a ``"i/N"`` shard designator into ``(index, count)``."""
+    try:
+        index_text, count_text = text.split("/", 1)
+        index, count = int(index_text), int(count_text)
+    except ValueError:
+        raise ValueError(
+            f"shard must look like I/N (e.g. 0/2), got {text!r}"
+        ) from None
+    if count < 1:
+        raise ValueError(f"shard count must be >= 1, got {count}")
+    if not 0 <= index < count:
+        raise ValueError(
+            f"shard index must be in [0, {count}), got {index}"
+        )
+    return index, count
+
+
+def shard_indices(trials: int, index: int, count: int) -> list[int]:
+    """Trial indices owned by shard ``index`` of ``count`` (strided).
+
+    Striding (``i, i+N, i+2N, …``) balances heterogeneous trial costs
+    better than contiguous blocks and keeps every shard non-empty while
+    ``index < trials``.
+    """
+    if not 0 <= index < count:
+        raise ValueError(f"shard index must be in [0, {count}), got {index}")
+    return list(range(index, trials, count))
+
+
+def shard_stream_path(
+    directory: str | pathlib.Path, scenario: str, index: int, count: int
+) -> pathlib.Path:
+    """Canonical JSONL location of one shard's trial stream."""
+    return pathlib.Path(directory) / (
+        f"{scenario}.shard-{index}of{count}.trials.jsonl"
+    )
+
+
+def _shard_header(trials: int, index: int, count: int) -> dict:
+    return {
+        "trials": trials,
+        "shard": {
+            "index": index,
+            "count": count,
+            "trial_indices": shard_indices(trials, index, count),
+        },
+    }
+
+
+def run_shard(
+    name: str,
+    shard: tuple[int, int],
+    trials: int | None = None,
+    seed: int = 0,
+    params: dict | None = None,
+    directory: str | pathlib.Path | None = None,
+    cache: PresetCache | None = None,
+    profile_cache: ProfileCache | None = None,
+    resume: bool = False,
+    jobs: int = 1,
+    progress: Callable[[int, int], None] | None = None,
+) -> pathlib.Path:
+    """Execute one shard of a scenario run; returns the stream path.
+
+    This is the worker side of ``python -m repro run <scenario> --shard
+    i/N``: it runs only the trial indices owned by the shard, streaming
+    each completed trial to the shard's JSONL file.  No aggregate is
+    computed — that is :func:`merge_shards`' job once every shard file is
+    available.
+    """
+    from repro.experiments.artifacts import default_results_dir
+    from repro.experiments.registry import get_scenario
+
+    index, count = shard
+    spec = get_scenario(name)
+    n_trials = spec.default_trials if trials is None else trials
+    if n_trials < 1:
+        raise ValueError(f"trials must be >= 1, got {n_trials}")
+    # Same JSON normalisation as run_scenario, so shard headers compare
+    # equal to the coordinator's params regardless of input types.
+    run_params = normalize_params(params)
+    cache = cache if cache is not None else PresetCache()
+    profile_cache = (
+        profile_cache if profile_cache is not None else ProfileCache()
+    )
+    out_dir = (
+        pathlib.Path(directory) if directory is not None
+        else default_results_dir()
+    )
+    path = shard_stream_path(out_dir, name, index, count)
+    seeds = [trial_seed(seed, i) for i in range(n_trials)]
+    owned = shard_indices(n_trials, index, count)
+    stream = TrialStream(
+        path, scenario=name, seed=seed, params=run_params, resume=resume,
+        extra_header=_shard_header(n_trials, index, count),
+    )
+    pending = [i for i in owned if i not in stream.completed]
+    done = len(owned) - len(pending)
+
+    def record(i: int, payload: dict) -> None:
+        nonlocal done
+        stream.append(i, seeds[i], payload)
+        done += 1
+        if progress is not None:
+            progress(done, len(owned))
+
+    plan = ExecutionPlan(
+        scenario=name, spec=spec, trials=n_trials, seed=seed, seeds=seeds,
+        params=run_params, pending=pending, cache=cache,
+        profile_cache=profile_cache, record=record,
+    )
+    worker = SerialBackend() if jobs == 1 else ProcessPoolBackend(jobs)
+    try:
+        worker.run(plan)
+    finally:
+        stream.close()
+    return path
+
+
+# ---------------------------------------------------------------------- #
+# Reading and merging shard streams
+# ---------------------------------------------------------------------- #
+
+def read_shard(path: str | pathlib.Path) -> tuple[dict, dict[int, dict]]:
+    """Read one shard stream: ``(header, {trial_index: record})``.
+
+    Each record keeps the trial's ``seed`` alongside ``metrics`` and
+    ``detail`` so the merge can re-validate seed derivation.
+    """
+    path = pathlib.Path(path)
+    lines = [line for line in path.read_text().splitlines() if line]
+    if not lines:
+        raise ValueError(f"shard stream {path} is empty")
+    header = json.loads(lines[0])
+    if header.get("type") != "header":
+        raise ValueError(f"shard stream {path} does not start with a header")
+    records: dict[int, dict] = {}
+    for line in lines[1:]:
+        record = json.loads(line)
+        if record.get("type") != "trial":
+            continue
+        records[int(record["trial_index"])] = {
+            "seed": record.get("seed"),
+            "metrics": record["metrics"],
+            "detail": record.get("detail", {}),
+        }
+    return header, records
+
+
+def discover_shards(
+    directory: str | pathlib.Path, scenario: str
+) -> list[pathlib.Path]:
+    """All shard stream files for ``scenario`` under ``directory``."""
+    return sorted(
+        pathlib.Path(directory).glob(f"{scenario}.shard-*of*.trials.jsonl")
+    )
+
+
+def merge_shards(
+    paths: list[str | pathlib.Path],
+    scenario: str | None = None,
+    elapsed_s: float = 0.0,
+) -> ScenarioResult:
+    """Fuse shard stream files into the canonical aggregate result.
+
+    Validation mirrors ``TrialStream`` resume, extended across files:
+
+    * every header must agree on scenario, base seed, params, total
+      trials, and shard count;
+    * shard indices must be distinct (no double-submitted shard);
+    * every recorded trial must belong to its shard's manifest and carry
+      the seed :func:`repro.experiments.runner.trial_seed` derives;
+    * the union of trials must cover ``0..trials-1`` exactly once.
+
+    The aggregate goes through
+    :func:`repro.experiments.runner.aggregate_result`, so the returned
+    result — and the artifact written from it — is identical to what a
+    single-host run of the same (scenario, trials, seed, params) produces.
+    """
+    if not paths:
+        raise ValueError("merge_shards needs at least one shard file")
+    headers: list[tuple[pathlib.Path, dict]] = []
+    all_records: list[tuple[pathlib.Path, dict[int, dict]]] = []
+    for path in paths:
+        header, records = read_shard(path)
+        headers.append((pathlib.Path(path), header))
+        all_records.append((pathlib.Path(path), records))
+
+    first_path, first = headers[0]
+    if scenario is not None and first.get("scenario") != scenario:
+        raise ValueError(
+            f"{first_path} holds scenario {first.get('scenario')!r}, "
+            f"expected {scenario!r}"
+        )
+    for key in ("scenario", "seed", "params", "trials"):
+        if key not in first:
+            raise ValueError(f"{first_path} header is missing {key!r}")
+        for path, header in headers[1:]:
+            if header.get(key) != first[key]:
+                raise ValueError(
+                    f"cannot merge {path}: stored {key}="
+                    f"{header.get(key)!r} does not match "
+                    f"{first_path}'s {first[key]!r}"
+                )
+    counts = {h.get("shard", {}).get("count") for _, h in headers}
+    if len(counts) != 1 or None in counts:
+        raise ValueError(
+            f"shard headers disagree on shard count: {sorted(map(str, counts))}"
+        )
+    seen_shards: set[int] = set()
+    for path, header in headers:
+        index = header["shard"]["index"]
+        if index in seen_shards:
+            raise ValueError(f"duplicate shard index {index} (at {path})")
+        seen_shards.add(index)
+
+    n_trials = int(first["trials"])
+    base_seed = int(first["seed"])
+    payloads: list[dict | None] = [None] * n_trials
+    for (path, header), (_, records) in zip(headers, all_records):
+        owned = set(header["shard"].get("trial_indices", range(n_trials)))
+        for index, record in records.items():
+            if index not in owned:
+                raise ValueError(
+                    f"{path}: trial {index} does not belong to shard "
+                    f"{header['shard']['index']}/{header['shard']['count']}"
+                )
+            expected_seed = trial_seed(base_seed, index)
+            if record["seed"] != expected_seed:
+                raise ValueError(
+                    f"{path}: trial {index} recorded seed {record['seed']}, "
+                    f"but base seed {base_seed} derives {expected_seed}"
+                )
+            if payloads[index] is not None:
+                raise ValueError(f"trial {index} appears in multiple shards")
+            payloads[index] = {
+                "metrics": record["metrics"], "detail": record["detail"],
+            }
+    missing = [i for i, p in enumerate(payloads) if p is None]
+    if missing:
+        raise ValueError(
+            f"merge is incomplete: missing trial(s) {missing} "
+            f"({len(seen_shards)} of {first['shard']['count']} shard files "
+            "present)"
+        )
+    return aggregate_result(
+        str(first["scenario"]), payloads, seed=base_seed,
+        params=dict(first["params"]), elapsed_s=elapsed_s,
+        jobs=len(seen_shards), backend="sharded-merge",
+    )
+
+
+class ShardedBackend(Backend):
+    """Run a scenario as N ``repro run --shard i/N`` subprocesses.
+
+    The single-host orchestration of the sharded workflow: the backend
+    writes each shard's JSONL stream into a working directory, launches
+    one CLI subprocess per shard, then reads the shard files back
+    (re-validating headers and seeds exactly like ``repro merge``) and
+    records every trial with the coordinating runner.
+
+    Because the shard worker is the public CLI, anything this backend
+    does locally can be reproduced across machines by hand — the
+    cross-backend determinism tests pin serial, process-pool, and sharded
+    execution to byte-identical artifacts.
+
+    Args:
+        shards: Number of shard subprocesses.
+        python: Interpreter for the workers (default: ``sys.executable``).
+        workdir: Where shard streams land; ``None`` uses a temporary
+            directory deleted after the run.
+        env: Extra environment variables for the workers (merged over a
+            copy of ``os.environ``; ``PYTHONPATH`` is always extended so
+            workers can import ``repro`` from this checkout).
+        resume: Pass ``--resume`` to the shard workers so trials already
+            present in the workdir's shard streams are replayed, not
+            re-run.  Only meaningful with a persistent ``workdir``.
+    """
+
+    name = "sharded"
+
+    def __init__(
+        self,
+        shards: int,
+        python: str | None = None,
+        workdir: str | pathlib.Path | None = None,
+        env: dict[str, str] | None = None,
+        resume: bool = False,
+    ):
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.shards = shards
+        self.python = python or sys.executable
+        self.workdir = pathlib.Path(workdir) if workdir is not None else None
+        self.env = dict(env or {})
+        self.resume = resume
+
+    def _worker_env(self, plan: ExecutionPlan) -> dict[str, str]:
+        import repro
+
+        env = dict(os.environ)
+        env.update(self.env)
+        package_root = str(pathlib.Path(repro.__file__).resolve().parents[1])
+        existing = env.get("PYTHONPATH", "")
+        entries = [p for p in existing.split(os.pathsep) if p]
+        if package_root not in entries:
+            entries.insert(0, package_root)
+        env["PYTHONPATH"] = os.pathsep.join(entries)
+        # Shard workers must resolve the exact same caches as this
+        # process, whatever roots the caller passed programmatically.
+        env["REPRO_CACHE_DIR"] = str(plan.cache.root)
+        env["REPRO_PROFILE_DIR"] = str(plan.profile_cache.root)
+        return env
+
+    def _shard_command(
+        self, plan: ExecutionPlan, directory: pathlib.Path, index: int
+    ) -> list[str]:
+        command = [
+            self.python, "-m", "repro", "run", plan.scenario,
+            "--shard", f"{index}/{self.shards}",
+            "--trials", str(plan.trials),
+            "--seed", str(plan.seed),
+            "--out", str(directory),
+            "--quiet",
+        ]
+        if self.resume:
+            command.append("--resume")
+        if plan.params:
+            # JSON transport keeps every value type intact; ``--param``
+            # pairs would lossily re-coerce strings/lists on the worker.
+            command += ["--params-json", json.dumps(plan.params)]
+        return command
+
+    def run(self, plan: ExecutionPlan) -> None:
+        pending = set(plan.pending)
+        if not pending:
+            return
+        directory = self.workdir
+        cleanup: tempfile.TemporaryDirectory | None = None
+        if directory is None:
+            cleanup = tempfile.TemporaryDirectory(prefix="repro-shards-")
+            directory = pathlib.Path(cleanup.name)
+        directory.mkdir(parents=True, exist_ok=True)
+        env = self._worker_env(plan)
+        try:
+            procs = []
+            for index in range(self.shards):
+                owned = shard_indices(plan.trials, index, self.shards)
+                if not owned:
+                    continue  # more shards than trials: nothing to own
+                if not pending.intersection(owned):
+                    continue  # every owned trial already replayed upstream
+                procs.append((
+                    index,
+                    subprocess.Popen(
+                        self._shard_command(plan, directory, index),
+                        env=env,
+                        stdout=subprocess.PIPE,
+                        stderr=subprocess.PIPE,
+                        text=True,
+                    ),
+                ))
+            failures = []
+            for index, proc in procs:
+                _, stderr = proc.communicate()
+                if proc.returncode != 0:
+                    tail = "\n".join(stderr.strip().splitlines()[-8:])
+                    failures.append(
+                        f"shard {index}/{self.shards} exited "
+                        f"{proc.returncode}:\n{tail}"
+                    )
+            if failures:
+                raise RuntimeError(
+                    "sharded execution failed:\n" + "\n".join(failures)
+                )
+            for index, _ in procs:
+                path = shard_stream_path(
+                    directory, plan.scenario, index, self.shards
+                )
+                header, records = read_shard(path)
+                for key, want in (
+                    ("scenario", plan.scenario),
+                    ("seed", plan.seed),
+                    ("params", plan.params),
+                    ("trials", plan.trials),
+                ):
+                    if header.get(key) != want:
+                        raise ValueError(
+                            f"{path}: header {key}={header.get(key)!r} does "
+                            f"not match requested {want!r}"
+                        )
+                for i in sorted(records):
+                    record = records[i]
+                    if record["seed"] != plan.seeds[i]:
+                        raise ValueError(
+                            f"{path}: trial {i} recorded seed "
+                            f"{record['seed']}, expected {plan.seeds[i]}"
+                        )
+                    if i in pending:
+                        plan.record(i, {
+                            "metrics": record["metrics"],
+                            "detail": record["detail"],
+                        })
+                        pending.discard(i)
+            if pending:
+                raise RuntimeError(
+                    f"shard workers never reported trial(s) "
+                    f"{sorted(pending)}"
+                )
+        finally:
+            if cleanup is not None:
+                cleanup.cleanup()

@@ -49,7 +49,9 @@ _STATE_PREFIX = "state/"
 _META_KEY = "__meta__"
 # Bump when TrainedPreset/fit semantics change in a way that invalidates
 # previously stored weights.
-CACHE_FORMAT_VERSION = 1
+# v2: SGD stopped applying weight decay to biases and BatchNorm
+# gamma/beta (the standard recipe), which changes every trained preset.
+CACHE_FORMAT_VERSION = 2
 
 
 def default_cache_root() -> pathlib.Path:
@@ -63,10 +65,15 @@ def default_cache_root() -> pathlib.Path:
 def default_profile_root() -> pathlib.Path:
     """Resolve the attack-profile cache directory.
 
-    ``REPRO_CACHE_DIR`` (the preset-cache override) nests profiles in a
-    ``profiles/`` subdirectory so tests pointing the cache at a tmp dir
-    isolate both kinds at once.
+    ``REPRO_PROFILE_DIR`` pins the profile cache exactly (the sharded
+    backend uses it to point workers at the coordinator's cache root);
+    otherwise ``REPRO_CACHE_DIR`` (the preset-cache override) nests
+    profiles in a ``profiles/`` subdirectory so tests pointing the cache
+    at a tmp dir isolate both kinds at once.
     """
+    env = os.environ.get("REPRO_PROFILE_DIR")
+    if env:
+        return pathlib.Path(env)
     env = os.environ.get("REPRO_CACHE_DIR")
     if env:
         return pathlib.Path(env) / "profiles"

@@ -205,5 +205,19 @@ def _ensure_builtins() -> None:
     Lets ``registry`` be imported standalone (e.g. by worker processes or
     tests) while still guaranteeing the paper scenarios are present
     whenever the registry is queried.
+
+    ``REPRO_SCENARIO_MODULES`` (comma-separated module names) names extra
+    modules to import for their registration side effects.  Shard worker
+    subprocesses (``repro run --shard i/N``) start from a fresh
+    interpreter, so scenarios registered dynamically by the coordinating
+    process are invisible to them unless they live in an importable
+    module named here.
     """
+    import importlib
+    import os
+
     import repro.experiments.scenarios  # noqa: F401  (registers on import)
+
+    extra = os.environ.get("REPRO_SCENARIO_MODULES", "")
+    for module in filter(None, (m.strip() for m in extra.split(","))):
+        importlib.import_module(module)

@@ -2,25 +2,28 @@
 
 :func:`run_scenario` is the single execution path shared by the pytest
 benchmarks, the ``python -m repro`` CLI, and library callers.  It fans the
-requested number of independent trials out over a process pool
-(``--jobs``), aggregates the per-trial metrics into mean/std/95%-CI
-statistics, and (optionally) persists the aggregate as a JSON artifact
-under ``benchmarks/results/``.
+requested number of independent trials out over a pluggable execution
+*backend* (see :mod:`repro.experiments.backends`), aggregates the
+per-trial metrics into mean/std/95%-CI statistics, and (optionally)
+persists the aggregate as a JSON artifact under ``benchmarks/results/``.
 
 Determinism contract: trial *i* derives its seed purely from the base
 seed and *i* (trial 0 uses the base seed itself, so a single-trial run
 reproduces the historical single-seed benchmarks bit-for-bit), and
 aggregation always happens in trial order — so the aggregate is identical
-regardless of ``jobs``.
+regardless of the backend (serial, process pool, or sharded
+subprocesses).  The JSON artifact contains only deterministic content
+(wall-clock and worker counts live on the in-memory result, not in
+``to_json``), so the *same bytes* land on disk no matter how the trials
+were executed — the property the sharded ``repro merge`` workflow relies
+on.
 """
 
 from __future__ import annotations
 
-import concurrent.futures
 import dataclasses
 import json
 import math
-import multiprocessing
 import pathlib
 import time
 from dataclasses import dataclass, field
@@ -36,9 +39,33 @@ __all__ = [
     "MetricStats",
     "ScenarioResult",
     "TrialStream",
+    "aggregate_result",
+    "normalize_params",
     "run_scenario",
     "trial_seed",
 ]
+
+
+def normalize_params(params: Mapping[str, Any] | None) -> dict:
+    """JSON-normalise scenario params (shared by runner and shards).
+
+    Tuples become lists, keys become strings, and numpy scalars/arrays
+    are coerced via ``tolist()`` — so the values a trial sees are
+    identical whether they arrived from a library call, a stream-file
+    replay, or a shard worker, and the stream/shard header comparisons
+    can rely on plain equality.
+    """
+
+    def coerce(value):
+        tolist = getattr(value, "tolist", None)
+        if tolist is not None:  # numpy scalars and arrays
+            return tolist()
+        raise TypeError(
+            f"scenario param value {value!r} ({type(value).__name__}) is "
+            "not JSON-serializable"
+        )
+
+    return json.loads(json.dumps(dict(params or {}), default=coerce))
 
 
 def trial_seed(base_seed: int, trial_index: int) -> int:
@@ -169,6 +196,12 @@ class ScenarioResult:
     ``detail`` carries trial 0's rich payload (series, tables) for
     reporting; ``per_trial_metrics`` preserves the raw per-trial values in
     trial order.
+
+    ``elapsed_s``, ``jobs``, and ``backend`` describe *how* the run
+    executed; they are available for reporting but deliberately excluded
+    from :meth:`to_json` so the persisted artifact is byte-identical for
+    the same (scenario, trials, seed, params) no matter which backend ran
+    the trials.
     """
 
     scenario: str
@@ -181,20 +214,25 @@ class ScenarioResult:
     detail: dict
     per_trial_metrics: list[dict]
     check_error: str | None = None
+    backend: str = "serial"
 
     def metric(self, name: str) -> float:
         """Mean value of one metric (the common access path in checks)."""
         return self.metrics[name].mean
 
     def to_json(self) -> dict:
-        """JSON-artifact form (see ``repro.experiments.artifacts``)."""
+        """JSON-artifact form (deterministic content only).
+
+        See ``repro.experiments.artifacts``; runtime facts (``elapsed_s``,
+        ``jobs``, ``backend``) stay off the artifact so that serial,
+        process-pool, and shard-merged runs of the same scenario/seed
+        write the same bytes.
+        """
         return {
             "scenario": self.scenario,
             "trials": self.trials,
-            "jobs": self.jobs,
             "seed": self.seed,
             "params": self.params,
-            "elapsed_s": self.elapsed_s,
             "metrics": {k: v.to_json() for k, v in sorted(self.metrics.items())},
             "detail": self.detail,
             "per_trial_metrics": self.per_trial_metrics,
@@ -211,10 +249,12 @@ class TrialStream:
     trials from the file and only executes the missing ones.
 
     File format: a ``{"type": "header", ...}`` line identifying the run
-    (scenario, base seed, params), then one ``{"type": "trial", ...}``
-    line per completed trial carrying its index, derived seed, metrics,
-    and detail payload.  Resuming against a header that does not match
-    the requested run raises instead of silently mixing results.
+    (scenario, base seed, params, plus any ``extra_header`` fields such
+    as the shard manifest written by ``repro run --shard i/N``), then one
+    ``{"type": "trial", ...}`` line per completed trial carrying its
+    index, derived seed, metrics, and detail payload.  Resuming against a
+    header that does not match the requested run raises instead of
+    silently mixing results.
     """
 
     def __init__(
@@ -224,6 +264,7 @@ class TrialStream:
         seed: int,
         params: dict,
         resume: bool = False,
+        extra_header: dict | None = None,
     ):
         self.path = pathlib.Path(path)
         self.completed: dict[int, dict] = {}
@@ -233,13 +274,17 @@ class TrialStream:
             "seed": seed,
             "params": params,
         }
+        if extra_header:
+            header.update(extra_header)
         if resume and self.path.exists():
             lines = [
                 line for line in self.path.read_text().splitlines() if line
             ]
             if lines:
                 existing = json.loads(lines[0])
-                for key in ("scenario", "seed", "params"):
+                for key in header:
+                    if key == "type":
+                        continue
                     if existing.get(key) != header[key]:
                         raise ValueError(
                             f"cannot resume {self.path}: stored {key}="
@@ -303,6 +348,51 @@ def _execute_trial(
     return spec.run_trial(ctx)
 
 
+def aggregate_result(
+    name: str,
+    payloads: list[dict],
+    seed: int,
+    params: dict,
+    elapsed_s: float = 0.0,
+    jobs: int = 1,
+    backend: str = "serial",
+) -> ScenarioResult:
+    """Aggregate per-trial payloads (in trial order) into a result.
+
+    This is the single aggregation path shared by :func:`run_scenario`
+    and the sharded ``repro merge`` workflow — both produce their
+    :class:`ScenarioResult` here, which is what guarantees a merged
+    multi-host run serialises to the same artifact bytes as a single-host
+    run.
+    """
+    n_trials = len(payloads)
+    metric_values: dict[str, list[float]] = {}
+    for payload in payloads:
+        for key, value in payload["metrics"].items():
+            metric_values.setdefault(key, []).append(float(value))
+    for key, values in metric_values.items():
+        if len(values) != n_trials:
+            raise ValueError(
+                f"metric {key!r} reported by {len(values)}/{n_trials} "
+                "trials; metrics must be present in every trial"
+            )
+    return ScenarioResult(
+        scenario=name,
+        trials=n_trials,
+        jobs=jobs,
+        seed=seed,
+        params=params,
+        elapsed_s=elapsed_s,
+        metrics={
+            key: MetricStats.from_values(values)
+            for key, values in metric_values.items()
+        },
+        detail=payloads[0].get("detail", {}),
+        per_trial_metrics=[p["metrics"] for p in payloads],
+        backend=backend,
+    )
+
+
 def run_scenario(
     name: str,
     trials: int | None = None,
@@ -314,6 +404,7 @@ def run_scenario(
     progress: Callable[[int, int], None] | None = None,
     stream_path: str | pathlib.Path | None = None,
     resume: bool = False,
+    backend: "Backend | None" = None,
 ) -> ScenarioResult:
     """Run ``trials`` independent trials of scenario ``name``.
 
@@ -322,6 +413,7 @@ def run_scenario(
         trials: Trial count; ``None`` uses the scenario's default.
         jobs: Worker processes.  ``1`` runs in-process (no pool); the
             aggregate is identical for any value by construction.
+            Ignored when an explicit ``backend`` is supplied.
         seed: Base seed; trial seeds derive from it via
             :func:`trial_seed`.
         params: Scenario parameter overrides.
@@ -333,11 +425,20 @@ def run_scenario(
             JSONL file as they complete (see :class:`TrialStream`).
         resume: With ``stream_path``, replay trials already present in
             the stream file and run only the missing ones.
+        backend: Execution backend (see
+            :mod:`repro.experiments.backends`).  ``None`` selects
+            :class:`SerialBackend` for ``jobs == 1`` and
+            :class:`ProcessPoolBackend` otherwise.
 
     Returns:
         The aggregated :class:`ScenarioResult` (checks are *not* run —
         callers decide whether check failures are fatal).
     """
+    from repro.experiments.backends import (
+        ExecutionPlan,
+        ProcessPoolBackend,
+        SerialBackend,
+    )
     from repro.experiments.registry import get_scenario
 
     spec = get_scenario(name)
@@ -346,13 +447,13 @@ def run_scenario(
         raise ValueError(f"trials must be >= 1, got {n_trials}")
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
-    run_params = dict(params or {})
+    if backend is None:
+        backend = SerialBackend() if jobs == 1 else ProcessPoolBackend(jobs)
+    run_params = normalize_params(params)
     cache = cache if cache is not None else PresetCache()
-    cache_root = str(cache.root)
     profile_cache = (
         profile_cache if profile_cache is not None else ProfileCache()
     )
-    profile_root = str(profile_cache.root)
     seeds = [trial_seed(seed, i) for i in range(n_trials)]
 
     stream: TrialStream | None = None
@@ -384,60 +485,28 @@ def run_scenario(
         if progress is not None:
             progress(done, n_trials)
 
+    plan = ExecutionPlan(
+        scenario=name,
+        spec=spec,
+        trials=n_trials,
+        seed=seed,
+        seeds=seeds,
+        params=run_params,
+        pending=pending,
+        cache=cache,
+        profile_cache=profile_cache,
+        record=record,
+    )
     try:
-        if jobs == 1 or len(pending) <= 1:
-            for i in pending:
-                ctx = TrialContext(
-                    scenario=name, trial_index=i, seed=seeds[i],
-                    params=run_params, cache=cache,
-                    profile_cache=profile_cache,
-                )
-                record(i, spec.run_trial(ctx))
-        else:
-            # Fork keeps dynamically-registered scenarios (tests) visible in
-            # workers; spawned workers re-import the built-ins by name.
-            try:
-                context = multiprocessing.get_context("fork")
-            except ValueError:  # pragma: no cover - non-POSIX fallback
-                context = multiprocessing.get_context("spawn")
-            with concurrent.futures.ProcessPoolExecutor(
-                max_workers=min(jobs, len(pending)), mp_context=context
-            ) as pool:
-                futures = {
-                    pool.submit(
-                        _execute_trial, name, i, seeds[i], run_params,
-                        cache_root, profile_root,
-                    ): i
-                    for i in pending
-                }
-                for future in concurrent.futures.as_completed(futures):
-                    record(futures[future], future.result())
+        backend.run(plan)
     finally:
+        # Completed trials are flushed (appended + fsynced per line) even
+        # when a later trial crashes mid-sweep, so --resume can pick up
+        # from the stream file afterwards.
         if stream is not None:
             stream.close()
     elapsed = time.perf_counter() - start
-
-    metric_values: dict[str, list[float]] = {}
-    for payload in payloads:
-        for key, value in payload["metrics"].items():
-            metric_values.setdefault(key, []).append(float(value))
-    for key, values in metric_values.items():
-        if len(values) != n_trials:
-            raise ValueError(
-                f"metric {key!r} reported by {len(values)}/{n_trials} "
-                "trials; metrics must be present in every trial"
-            )
-    return ScenarioResult(
-        scenario=name,
-        trials=n_trials,
-        jobs=jobs,
-        seed=seed,
-        params=run_params,
-        elapsed_s=elapsed,
-        metrics={
-            key: MetricStats.from_values(values)
-            for key, values in metric_values.items()
-        },
-        detail=payloads[0].get("detail", {}),
-        per_trial_metrics=[p["metrics"] for p in payloads],
+    return aggregate_result(
+        name, payloads, seed=seed, params=run_params, elapsed_s=elapsed,
+        jobs=jobs, backend=backend.name,
     )

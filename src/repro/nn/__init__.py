@@ -31,7 +31,8 @@ from repro.nn.models import (
     make_vgg11,
 )
 from repro.nn.module import Module, Sequential
-from repro.nn.optim import SGD
+from repro.nn.optim import SGD, default_decay_filter
+from repro.nn.seeding import UnseededRngWarning, fallback_rng
 from repro.nn.quant import BitLocation, QuantizedLayer, QuantizedModel
 from repro.nn.tensor import Parameter, Tensor, no_grad
 from repro.nn.train import evaluate, fit, loss_and_grads, predict_logits
@@ -63,6 +64,9 @@ __all__ = [
     "Module",
     "Sequential",
     "SGD",
+    "default_decay_filter",
+    "UnseededRngWarning",
+    "fallback_rng",
     "BitLocation",
     "QuantizedLayer",
     "QuantizedModel",

@@ -295,12 +295,19 @@ def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
 
 def dropout(x: Tensor, p: float, training: bool,
             rng: np.random.Generator | None = None) -> Tensor:
-    """Inverted dropout; identity when evaluating or ``p == 0``."""
+    """Inverted dropout; identity when evaluating or ``p == 0``.
+
+    Pass a seeded ``rng`` for reproducible masks; omitting it falls back
+    to OS entropy with an :class:`repro.nn.seeding.UnseededRngWarning`
+    (trial determinism depends on every random draw being seeded).
+    """
+    from repro.nn.seeding import fallback_rng
+
     if not 0.0 <= p < 1.0:
         raise ValueError(f"dropout probability must be in [0, 1), got {p}")
     if not training or p == 0.0:
         return x
-    rng = rng or np.random.default_rng()
+    rng = fallback_rng("functional.dropout", rng)
     mask = (rng.random(x.shape) >= p).astype(x.dtype) / (1.0 - p)
 
     def backward_fn(grad: np.ndarray) -> None:

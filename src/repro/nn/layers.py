@@ -12,6 +12,7 @@ import numpy as np
 
 from repro.nn import functional as F
 from repro.nn.module import Module
+from repro.nn.seeding import fallback_rng
 from repro.nn.tensor import Parameter, Tensor
 
 __all__ = [
@@ -49,7 +50,7 @@ class Conv2d(Module):
         rng: np.random.Generator | None = None,
     ):
         super().__init__()
-        rng = rng or np.random.default_rng()
+        rng = fallback_rng("Conv2d.__init__", rng)
         self.in_channels = in_channels
         self.out_channels = out_channels
         self.kernel_size = int(kernel_size)
@@ -93,7 +94,7 @@ class Linear(Module):
         rng: np.random.Generator | None = None,
     ):
         super().__init__()
-        rng = rng or np.random.default_rng()
+        rng = fallback_rng("Linear.__init__", rng)
         self.in_features = in_features
         self.out_features = out_features
         self.weight = Parameter(
@@ -194,10 +195,22 @@ class Identity(Module):
 
 
 class Dropout(Module):
+    """Inverted dropout.
+
+    Thread a seeded ``rng`` (e.g. ``TrialContext.rng()``) for
+    reproducible masks; an unseeded instance only falls back — loudly,
+    via :class:`repro.nn.seeding.UnseededRngWarning` — when a training
+    forward pass actually needs randomness, so eval-only use never warns.
+    """
+
     def __init__(self, p: float = 0.5, rng: np.random.Generator | None = None):
         super().__init__()
         self.p = p
-        self.rng = rng or np.random.default_rng()
+        self.rng = rng
 
     def forward(self, x: Tensor) -> Tensor:
-        return F.dropout(x, self.p, training=self.training, rng=self.rng)
+        if not self.training or self.p == 0.0:
+            return F.dropout(x, self.p, training=False)
+        if self.rng is None:
+            self.rng = fallback_rng("Dropout.forward")
+        return F.dropout(x, self.p, training=True, rng=self.rng)

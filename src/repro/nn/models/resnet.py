@@ -20,6 +20,7 @@ from repro.nn.layers import (
     ReLU,
 )
 from repro.nn.module import Module, Sequential
+from repro.nn.seeding import fallback_rng
 
 __all__ = ["BasicBlock", "ResNet", "make_resnet20", "make_resnet18", "make_resnet34"]
 
@@ -40,7 +41,7 @@ class BasicBlock(Module):
         activation_factory=ReLU,
     ):
         super().__init__()
-        rng = rng or np.random.default_rng()
+        rng = fallback_rng("BasicBlock.__init__", rng)
         self.conv1 = Conv2d(
             in_channels, out_channels, 3, stride=stride, padding=1,
             bias=False, rng=rng,
@@ -82,7 +83,7 @@ class ResNet(Module):
         activation_factory=ReLU,
     ):
         super().__init__()
-        rng = rng or np.random.default_rng()
+        rng = fallback_rng("ResNet.__init__", rng)
         if len(stage_blocks) != len(stage_channels):
             raise ValueError(
                 f"{len(stage_blocks)} stages but {len(stage_channels)} widths"

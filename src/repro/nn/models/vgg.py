@@ -20,6 +20,7 @@ from repro.nn.layers import (
     ReLU,
 )
 from repro.nn.module import Module, Sequential
+from repro.nn.seeding import fallback_rng
 
 __all__ = ["VGG", "make_vgg11", "VGG11_CONFIG"]
 
@@ -48,7 +49,7 @@ class VGG(Module):
         rng: np.random.Generator | None = None,
     ):
         super().__init__()
-        rng = rng or np.random.default_rng()
+        rng = fallback_rng("VGG.__init__", rng)
         if input_size < 4:
             raise ValueError(f"input_size must be >= 4, got {input_size}")
         hidden_scale = width_scale if hidden_scale is None else hidden_scale

@@ -2,17 +2,38 @@
 
 from __future__ import annotations
 
+from typing import Callable
+
 import numpy as np
 
 from repro.nn.tensor import Parameter
 
-__all__ = ["SGD"]
+__all__ = ["SGD", "default_decay_filter"]
+
+
+def default_decay_filter(parameter: Parameter) -> bool:
+    """Standard recipe: decay weight matrices/kernels only.
+
+    Biases and normalisation parameters (BatchNorm ``gamma``/``beta``)
+    are 1-D; L2-regularising them is a classic training bug — shrinking
+    ``gamma`` toward zero fights the normalisation itself and measurably
+    hurts the small VGG/ResNet baselines the paper assumes.  Conv and
+    linear weights are the only ``ndim >= 2`` parameters in this
+    framework, so the rank is a reliable discriminator.
+    """
+    return parameter.data.ndim >= 2
 
 
 class SGD:
     """Stochastic gradient descent with classical momentum.
 
     Update: ``v = momentum * v + (grad + weight_decay * w); w -= lr * v``.
+
+    ``weight_decay`` is applied only to parameters selected by
+    ``decay_filter`` (default: :func:`default_decay_filter`, which
+    exempts biases and BatchNorm ``gamma``/``beta``).  Pass
+    ``decay_filter=lambda p: True`` to recover the legacy
+    decay-everything behaviour.
     """
 
     def __init__(
@@ -21,6 +42,7 @@ class SGD:
         lr: float = 0.1,
         momentum: float = 0.9,
         weight_decay: float = 0.0,
+        decay_filter: Callable[[Parameter], bool] | None = None,
     ):
         self.parameters: list[Parameter] = list(parameters)
         if not self.parameters:
@@ -30,6 +52,10 @@ class SGD:
         self.lr = lr
         self.momentum = momentum
         self.weight_decay = weight_decay
+        decay_filter = (
+            decay_filter if decay_filter is not None else default_decay_filter
+        )
+        self._decays = [bool(decay_filter(p)) for p in self.parameters]
         self._velocity = [np.zeros_like(p.data) for p in self.parameters]
 
     def zero_grad(self) -> None:
@@ -37,11 +63,13 @@ class SGD:
             p.zero_grad()
 
     def step(self) -> None:
-        for p, v in zip(self.parameters, self._velocity):
+        for p, v, decays in zip(
+            self.parameters, self._velocity, self._decays
+        ):
             if p.grad is None:
                 continue
             grad = p.grad
-            if self.weight_decay:
+            if self.weight_decay and decays:
                 grad = grad + self.weight_decay * p.data
             v *= self.momentum
             v += grad

@@ -1,0 +1,54 @@
+"""Loud fallbacks for unseeded randomness.
+
+Every stochastic component in :mod:`repro.nn` (layer initialisation,
+dropout) accepts an ``rng`` argument so experiment trials stay
+bit-for-bit reproducible: the scenario runner derives one seed per trial
+and :meth:`repro.experiments.runner.TrialContext.rng` fans it out to
+sub-components.  Historically a caller who forgot to thread the rng got
+a silent ``np.random.default_rng()`` — fresh OS entropy that breaks the
+runner's determinism contract without any signal.
+
+:func:`fallback_rng` keeps the fallback working but makes it *loud*: it
+emits an :class:`UnseededRngWarning` naming the call site, unless the
+caller has explicitly opted in by setting ``REPRO_ALLOW_UNSEEDED_RNG=1``
+(e.g. throwaway notebooks where reproducibility genuinely does not
+matter).
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+
+import numpy as np
+
+__all__ = ["UnseededRngWarning", "fallback_rng"]
+
+
+class UnseededRngWarning(RuntimeWarning):
+    """A stochastic component fell back to OS-entropy randomness."""
+
+
+def fallback_rng(
+    site: str, rng: np.random.Generator | None = None
+) -> np.random.Generator:
+    """Return ``rng``, or a fresh unseeded generator with a loud warning.
+
+    Args:
+        site: Human-readable call site for the warning message, e.g.
+            ``"Conv2d.__init__"``.
+        rng: The caller-threaded generator; returned as-is when present.
+    """
+    if rng is not None:
+        return rng
+    if os.environ.get("REPRO_ALLOW_UNSEEDED_RNG") != "1":
+        warnings.warn(
+            f"{site}: no rng was supplied, falling back to OS-entropy "
+            "randomness — results will not be reproducible. Thread a "
+            "seeded np.random.Generator (e.g. TrialContext.rng()) "
+            "through, or set REPRO_ALLOW_UNSEEDED_RNG=1 to silence this "
+            "warning.",
+            UnseededRngWarning,
+            stacklevel=3,
+        )
+    return np.random.default_rng()

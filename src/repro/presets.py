@@ -220,26 +220,30 @@ class PresetSpec:
         )
 
 
+# min_accuracy floors re-pinned after SGD stopped weight-decaying biases
+# and BatchNorm gamma/beta (the standard recipe); measured seed-0
+# accuracies are 0.974 / 0.950 / 0.896 / 0.760 respectively, so each
+# floor keeps ~8-10 points of margin.
 _BASE_SPECS: dict[str, PresetSpec] = {
     "resnet20_cifar": PresetSpec(
         name="resnet20_cifar", arch="resnet20", dataset_family="cifar10",
         num_classes=10, width_scale=0.5, image_hw=8, n_train=1024,
-        n_test=384, epochs=6, lr=0.08, seed=0, min_accuracy=0.6,
+        n_test=384, epochs=6, lr=0.08, seed=0, min_accuracy=0.9,
     ),
     "vgg11_cifar": PresetSpec(
         name="vgg11_cifar", arch="vgg11", dataset_family="cifar10",
         num_classes=10, width_scale=0.125, image_hw=8, n_train=1024,
-        n_test=384, epochs=6, lr=0.05, seed=0, min_accuracy=0.6,
+        n_test=384, epochs=6, lr=0.05, seed=0, min_accuracy=0.85,
     ),
     "resnet18_imagenet": PresetSpec(
         name="resnet18_imagenet", arch="resnet18", dataset_family="imagenet",
         num_classes=20, width_scale=0.0625, image_hw=8, n_train=1536,
-        n_test=512, epochs=6, lr=0.08, seed=0, min_accuracy=0.5,
+        n_test=512, epochs=6, lr=0.08, seed=0, min_accuracy=0.75,
     ),
     "resnet34_imagenet": PresetSpec(
         name="resnet34_imagenet", arch="resnet34", dataset_family="imagenet",
         num_classes=20, width_scale=0.0625, image_hw=8, n_train=1536,
-        n_test=512, epochs=6, lr=0.08, seed=0, min_accuracy=0.5,
+        n_test=512, epochs=6, lr=0.08, seed=0, min_accuracy=0.65,
     ),
 }
 

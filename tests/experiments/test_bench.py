@@ -43,7 +43,8 @@ class TestSuite:
     def test_all_paths_registered(self):
         assert set(HOTPATH_BENCHMARKS) == {
             "sync_post_window", "bfa_scoring", "bfa_iteration",
-            "hammer_window", "fig6_trial", "defended_vs_undefended",
+            "hammer_window", "fig6_trial", "sweep_trial",
+            "defended_vs_undefended",
         }
 
     def test_format_suite_renders(self, sync_suite):

@@ -87,6 +87,55 @@ class TestProfileCache:
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
         assert default_profile_root() == tmp_path / "profiles"
 
+    def test_profile_dir_env_pins_root_exactly(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_PROFILE_DIR", str(tmp_path / "pinned"))
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "ignored"))
+        assert default_profile_root() == tmp_path / "pinned"
+
+
+class TestFastScoringAudit:
+    """A cached profile computed with the fast scorer must replay
+    identically under the legacy scorer — and the cache key must
+    distinguish the two configs, so nothing silently mixes them if the
+    scorers ever diverge."""
+
+    def _profile(self, qmodel, dataset, fast_scoring):
+        rng = np.random.default_rng(5)
+        x, y = dataset.attack_batch(48, rng)
+        return profile_vulnerable_bits(
+            qmodel, x, y, rounds=2,
+            config=BfaConfig(
+                max_iterations=3, exact_eval_top=2, fast_scoring=fast_scoring,
+            ),
+        )
+
+    def test_fast_profile_replays_identically_under_legacy_scorer(
+        self, quantized_factory, tiny_dataset
+    ):
+        fast = self._profile(quantized_factory(), tiny_dataset, True)
+        slow = self._profile(quantized_factory(), tiny_dataset, False)
+        assert fast.rounds == slow.rounds
+        assert fast.all_bits == slow.all_bits
+
+    def test_cache_key_distinguishes_scoring_modes(self, tmp_path):
+        import dataclasses
+
+        cache = ProfileCache(tmp_path)
+
+        def config_for(fast_scoring):
+            return {
+                "rounds": 2,
+                "config": dataclasses.asdict(
+                    BfaConfig(max_iterations=3, fast_scoring=fast_scoring)
+                ),
+                "extra": {},
+            }
+
+        assert (
+            cache.key_for(SPEC, config_for(True))
+            != cache.key_for(SPEC, config_for(False))
+        )
+
 
 class TestTrialContextIntegration:
     def test_context_uses_provided_cache_memo(self, tmp_path, monkeypatch):

@@ -1,12 +1,33 @@
 """Per-trial JSONL streaming and resume in the scenario runner."""
 
 import json
+import pathlib
 
 import pytest
 
 from repro.experiments import run_scenario, scenario, unregister
 
 EXECUTIONS = []
+
+
+def _crashing_trial(ctx):
+    """Dies on trial 2 while the ``fail_flag`` file exists."""
+    flag = ctx.param("fail_flag")
+    if flag and ctx.trial_index == 2 and pathlib.Path(flag).exists():
+        raise RuntimeError("trial killed mid-sweep")
+    return {
+        "metrics": {"value": float(ctx.seed % 97)},
+        "detail": {"trial": ctx.trial_index},
+    }
+
+
+# Registered at module import so forked pool workers inherit it.
+crashing = scenario(
+    "stream-crashing",
+    title="crashes mid-sweep on demand",
+    tags=("test",),
+    default_trials=4,
+)(_crashing_trial)
 
 counting = scenario(
     "stream-counting",
@@ -33,6 +54,10 @@ def _reset():
 # available across tests in this module without double-registration.
 def setup_module(module):
     pass
+
+
+def teardown_module(module):
+    unregister("stream-crashing")
 
 
 class TestStreaming:
@@ -95,3 +120,61 @@ class TestStreaming:
         run_scenario("stream-counting", trials=1, seed=1, stream_path=path)
         lines = [json.loads(l) for l in path.read_text().splitlines()]
         assert len([l for l in lines if l.get("type") == "trial"]) == 1
+
+
+class TestCrashResume:
+    """A trial dying mid-sweep must not lose completed trials: the stream
+    keeps them, and --resume finishes only the missing ones."""
+
+    def _streamed_indices(self, path):
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        return sorted(
+            l["trial_index"] for l in lines if l.get("type") == "trial"
+        )
+
+    def test_serial_crash_flushes_completed_then_resumes(self, tmp_path):
+        path = tmp_path / "run.trials.jsonl"
+        flag = tmp_path / "fail"
+        flag.touch()
+        params = {"fail_flag": str(flag)}
+        with pytest.raises(RuntimeError, match="killed mid-sweep"):
+            run_scenario(
+                "stream-crashing", trials=4, seed=7, params=params,
+                stream_path=path,
+            )
+        # Trials 0 and 1 completed before the crash and were flushed.
+        assert self._streamed_indices(path) == [0, 1]
+        flag.unlink()
+        resumed = run_scenario(
+            "stream-crashing", trials=4, seed=7, params=params,
+            stream_path=path, resume=True,
+        )
+        baseline = run_scenario(
+            "stream-crashing", trials=4, seed=7, params=params,
+        )
+        assert self._streamed_indices(path) == [0, 1, 2, 3]
+        assert resumed.per_trial_metrics == baseline.per_trial_metrics
+        assert resumed.to_json() == baseline.to_json()
+
+    def test_pool_crash_flushes_other_workers_trials(self, tmp_path):
+        path = tmp_path / "run.trials.jsonl"
+        flag = tmp_path / "fail"
+        flag.touch()
+        params = {"fail_flag": str(flag)}
+        with pytest.raises(RuntimeError, match="killed mid-sweep"):
+            run_scenario(
+                "stream-crashing", trials=4, seed=7, params=params,
+                jobs=2, stream_path=path,
+            )
+        # The pool drains before re-raising: every non-crashing trial is
+        # recorded even though trial 2 died.
+        assert self._streamed_indices(path) == [0, 1, 3]
+        flag.unlink()
+        resumed = run_scenario(
+            "stream-crashing", trials=4, seed=7, params=params,
+            stream_path=path, resume=True,
+        )
+        baseline = run_scenario(
+            "stream-crashing", trials=4, seed=7, params=params,
+        )
+        assert resumed.to_json() == baseline.to_json()

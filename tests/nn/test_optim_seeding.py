@@ -1,0 +1,125 @@
+"""SGD weight-decay exemptions and loud unseeded-RNG fallbacks."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Linear,
+    SGD,
+    Tensor,
+    UnseededRngWarning,
+    default_decay_filter,
+)
+from repro.nn import functional as F
+from repro.nn.tensor import Parameter
+
+
+def _param(shape):
+    p = Parameter(np.ones(shape, dtype=np.float32))
+    p.grad = np.zeros(shape, dtype=np.float32)
+    return p
+
+
+class TestWeightDecayExemption:
+    def test_default_filter_decays_matrices_only(self):
+        weight = _param((4, 4))
+        bias = _param((4,))
+        assert default_decay_filter(weight)
+        assert not default_decay_filter(bias)
+
+    def test_step_skips_bias_and_batchnorm_parameters(self):
+        weight, bias = _param((4, 4)), _param((4,))
+        optimizer = SGD([weight, bias], lr=0.1, momentum=0.0,
+                        weight_decay=0.1)
+        optimizer.step()
+        # Zero grad + decay: only the matrix shrinks.
+        assert np.all(weight.data < 1.0)
+        assert np.array_equal(bias.data, np.ones(4, dtype=np.float32))
+
+    def test_batchnorm_gamma_beta_are_exempt(self):
+        bn = BatchNorm2d(3)
+        for p in (bn.gamma, bn.beta):
+            p.grad = np.zeros_like(p.data)
+        gamma_before = bn.gamma.data.copy()
+        SGD([bn.gamma, bn.beta], lr=0.1, momentum=0.0,
+            weight_decay=0.5).step()
+        assert np.array_equal(bn.gamma.data, gamma_before)
+
+    def test_custom_filter_recovers_legacy_behaviour(self):
+        bias = _param((4,))
+        SGD([bias], lr=0.1, momentum=0.0, weight_decay=0.1,
+            decay_filter=lambda p: True).step()
+        assert np.all(bias.data < 1.0)
+
+    def test_momentum_update_unchanged_for_weights(self):
+        weight = _param((2, 2))
+        weight.grad = np.full((2, 2), 0.5, dtype=np.float32)
+        SGD([weight], lr=0.1, momentum=0.0, weight_decay=0.0).step()
+        assert np.allclose(weight.data, 1.0 - 0.1 * 0.5)
+
+
+class TestUnseededRngWarnings:
+    def test_conv_and_linear_warn_without_rng(self):
+        with pytest.warns(UnseededRngWarning):
+            Conv2d(3, 4, 3)
+        with pytest.warns(UnseededRngWarning):
+            Linear(4, 2)
+
+    def test_seeded_layers_do_not_warn(self, recwarn):
+        rng = np.random.default_rng(0)
+        Conv2d(3, 4, 3, rng=rng)
+        Linear(4, 2, rng=rng)
+        assert not [
+            w for w in recwarn.list
+            if issubclass(w.category, UnseededRngWarning)
+        ]
+
+    def test_functional_dropout_warns_only_when_randomness_is_used(
+        self, recwarn
+    ):
+        x = Tensor(np.ones((2, 8), dtype=np.float32))
+        F.dropout(x, 0.5, training=False)  # identity: no rng needed
+        F.dropout(x, 0.0, training=True)
+        assert not [
+            w for w in recwarn.list
+            if issubclass(w.category, UnseededRngWarning)
+        ]
+        with pytest.warns(UnseededRngWarning):
+            F.dropout(x, 0.5, training=True)
+
+    def test_dropout_module_eval_never_warns(self, recwarn):
+        layer = Dropout(0.5)
+        layer.eval()
+        layer(Tensor(np.ones((2, 8), dtype=np.float32)))
+        assert not [
+            w for w in recwarn.list
+            if issubclass(w.category, UnseededRngWarning)
+        ]
+
+    def test_dropout_module_training_warns_once_then_reuses_rng(self):
+        layer = Dropout(0.5)
+        layer.train()
+        x = Tensor(np.ones((2, 8), dtype=np.float32))
+        with pytest.warns(UnseededRngWarning):
+            layer(x)
+        assert layer.rng is not None  # fallback adopted; no second warning
+
+    def test_seeded_dropout_is_reproducible(self):
+        x = Tensor(np.ones((4, 16), dtype=np.float32))
+        masks = []
+        for _ in range(2):
+            layer = Dropout(0.5, rng=np.random.default_rng(3))
+            layer.train()
+            masks.append(layer(x).data.copy())
+        assert np.array_equal(masks[0], masks[1])
+
+    def test_env_opt_in_silences_warning(self, monkeypatch, recwarn):
+        monkeypatch.setenv("REPRO_ALLOW_UNSEEDED_RNG", "1")
+        Conv2d(3, 4, 3)
+        assert not [
+            w for w in recwarn.list
+            if issubclass(w.category, UnseededRngWarning)
+        ]
