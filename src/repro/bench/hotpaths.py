@@ -18,6 +18,13 @@ variants — the optimized fast path (``after``) and the legacy slow path
 * ``sweep_trial`` — one full ``sweep-hammer-rate`` trial (a T_RH grid of
   functional defender runs), fast path on vs off; tracks per-trial
   throughput (``trials_per_s``) at sweep scale.
+* ``straggler_sweep`` — wall-clock of a sharded sweep whose expensive
+  trials all sit on one stride residue (the placement that made the old
+  static strided manifests hand every straggler to the same worker),
+  scheduled as the faithfully reproduced legacy static schedule
+  (``ShardedBackend(static=True)``) vs small work-stealing leases;
+  tracks end-to-end sweep throughput (``trials_per_s``) under load
+  imbalance.
 * ``defended_vs_undefended`` — one hammer window with DNN-Defender
   ticking vs undefended (an overhead measurement, not a before/after).
 
@@ -37,6 +44,7 @@ from __future__ import annotations
 import contextlib
 import os
 import platform
+import sys
 import time
 from typing import Callable
 
@@ -344,6 +352,132 @@ def bench_sweep_trial(quick: bool) -> dict:
     )
 
 
+_STRAGGLER_MODULE = "repro_bench_straggler_scenarios"
+_STRAGGLER_SCENARIO = "bench-straggler"
+_STRAGGLER_SOURCE = '''\
+"""Sleep-calibrated sweep scenario for the straggler_sweep benchmark.
+
+Heavy trials sit on stride residue 0 (``trial_index % stride == 0``),
+the placement that concentrates every straggler on one shard of the
+legacy static strided schedule.
+"""
+import os
+import time
+
+from repro.experiments import scenario
+
+
+@scenario(
+    "bench-straggler",
+    title="sleep-calibrated straggler sweep workload",
+    tags=("bench",),
+    default_trials=8,
+)
+def bench_straggler(ctx):
+    heavy_s = float(os.environ["REPRO_BENCH_STRAGGLER_HEAVY_S"])
+    light_s = float(os.environ["REPRO_BENCH_STRAGGLER_LIGHT_S"])
+    stride = int(os.environ["REPRO_BENCH_STRAGGLER_STRIDE"])
+    time.sleep(heavy_s if ctx.trial_index % stride == 0 else light_s)
+    return {"metrics": {"trial": float(ctx.trial_index)}, "detail": {}}
+'''
+
+
+def bench_straggler_sweep(quick: bool) -> dict:
+    """Sharded-sweep wall-clock: legacy static schedule vs work-stealing.
+
+    Runs a sleep-calibrated scenario whose heavy trials (~20x the rest)
+    all sit on one stride residue — the placement under which the old
+    static strided manifests handed *every* straggler to the same
+    worker, so sweep wall-clock was the serial sum of all heavy trials.
+    ``before`` reproduces that exact schedule
+    (``ShardedBackend(static=True)``: one strided lease per worker, no
+    stealing); ``after`` is the default work-stealing scheduler, whose
+    contiguous leases spread the heavy residue across workers and whose
+    idle workers steal the cheap tail.  Worker-subprocess spawn cost
+    (~0.5s per lease) bounds how small a lease can profitably be, which
+    is why the auto chunk size targets ~4 leases per worker rather
+    than 1.
+    """
+    import importlib
+    import pathlib
+    import shutil
+    import tempfile
+
+    from repro.experiments import run_scenario, unregister
+    from repro.experiments.backends import ShardedBackend
+
+    reps = 1 if quick else 2
+    trials, shards = 8, 2
+    # The stragglers must dominate worker-spawn cost (~0.5-1s per
+    # lease) or scheduling differences drown in process startup.
+    heavy_s, light_s = (1.2, 0.05) if quick else (2.0, 0.1)
+    stealing_size = 2
+    tmp = pathlib.Path(tempfile.mkdtemp(prefix="repro-straggler-bench-"))
+    try:
+        (tmp / f"{_STRAGGLER_MODULE}.py").write_text(_STRAGGLER_SOURCE)
+        worker_env = {
+            # Workers import the scenario module from the temp dir; the
+            # ShardedBackend prepends this checkout's package root itself.
+            "PYTHONPATH": os.pathsep.join(
+                filter(None, [str(tmp), os.environ.get("PYTHONPATH", "")])
+            ),
+            "REPRO_SCENARIO_MODULES": _STRAGGLER_MODULE,
+            "REPRO_BENCH_STRAGGLER_HEAVY_S": str(heavy_s),
+            "REPRO_BENCH_STRAGGLER_LIGHT_S": str(light_s),
+            "REPRO_BENCH_STRAGGLER_STRIDE": str(shards),
+        }
+        sys.path.insert(0, str(tmp))
+        importlib.import_module(_STRAGGLER_MODULE)  # register in-process too
+        run_id = 0
+
+        def run(**backend_kwargs):
+            nonlocal run_id
+            run_id += 1
+            backend = ShardedBackend(
+                shards,
+                workdir=tmp / f"work-{run_id}",
+                env=worker_env,
+                **backend_kwargs,
+            )
+            return run_scenario(
+                _STRAGGLER_SCENARIO, trials=trials, seed=0, backend=backend,
+            )
+
+        before, after = [], []
+        results = {}
+        for _ in range(reps):
+            start = time.perf_counter()
+            results["static"] = run(static=True)
+            before.append(time.perf_counter() - start)
+            start = time.perf_counter()
+            results["stealing"] = run(chunk_size=stealing_size)
+            after.append(time.perf_counter() - start)
+        parity = (
+            results["static"].to_json() == results["stealing"].to_json()
+        )
+    finally:
+        # Setup may have failed partway: every teardown step must cope
+        # with its counterpart never having happened.
+        unregister(_STRAGGLER_SCENARIO)
+        sys.modules.pop(_STRAGGLER_MODULE, None)
+        with contextlib.suppress(ValueError):
+            sys.path.remove(str(tmp))
+        shutil.rmtree(tmp, ignore_errors=True)
+    variants = {"before": _stats(before), "after": _stats(after)}
+    for stats in variants.values():
+        stats["trials_per_s"] = round(trials * 1e3 / stats["median_ms"], 3)
+    return _entry(
+        "straggler_sweep",
+        f"{trials}-trial sharded sweep, {trials // shards} stride-aliased "
+        f"straggler trial(s) ({heavy_s:g}s vs {light_s:g}s), {shards} "
+        "workers: legacy static strided schedule vs work-stealing "
+        f"(chunk size {stealing_size})",
+        reps,
+        variants,
+        parity,
+    )
+
+
 def bench_defended_vs_undefended(quick: bool) -> dict:
     """Hammer-window cost with DNN-Defender ticking vs undefended."""
     reps = 6 if quick else 20
@@ -386,6 +520,7 @@ HOTPATH_BENCHMARKS: dict[str, Callable[[bool], dict]] = {
     "hammer_window": bench_hammer_window,
     "fig6_trial": bench_fig6_trial,
     "sweep_trial": bench_sweep_trial,
+    "straggler_sweep": bench_straggler_sweep,
     "defended_vs_undefended": bench_defended_vs_undefended,
 }
 

@@ -8,12 +8,16 @@ Subcommands:
   results land as JSON artifacts under ``benchmarks/results/``.
   ``--stream`` appends per-trial JSONL as trials complete and
   ``--resume`` replays completed trials from a previous stream.
-  ``--backend sharded --shards N`` fans the run out over N CLI
-  subprocesses; ``--shard i/N`` runs one shard's trials only (the worker
-  side of a multi-machine sweep), streaming JSONL for ``merge``.
-* ``merge <scenario>`` — fuse shard streams into the canonical aggregate
-  artifact (validated exactly like ``--resume``; byte-identical to a
-  single-host run).
+  ``--backend sharded --shards N`` fans the run out over N CLI worker
+  subprocesses through a work-stealing chunk scheduler with a fault
+  policy (``--shard-timeout``, ``--retries``, ``--chunk-size``);
+  ``--shard i/N`` runs one static shard's trials only (the worker side
+  of a manual multi-machine sweep) and ``--chunk K --trial-indices …``
+  runs one chunk lease (the worker side of the scheduler), both
+  streaming JSONL for ``merge``.
+* ``merge <scenario>`` — fuse shard and/or chunk streams into the
+  canonical aggregate artifact (validated exactly like ``--resume``;
+  byte-identical to a single-host run).
 * ``bench`` — hot-path perf microbenchmarks; emits ``BENCH_hotpaths.json``
   (see ``docs/performance.md``).
 * ``cache info | clear`` — inspect or empty the trained-preset and
@@ -97,15 +101,36 @@ def build_parser() -> argparse.ArgumentParser:
                               "I, I+N, ...), streaming JSONL to "
                               "<out>/<scenario>.shard-IofN.trials.jsonl "
                               "for a later 'repro merge'")
+    run_cmd.add_argument("--shard-timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="--backend sharded: kill a chunk worker "
+                              "exceeding this wall-clock budget and "
+                              "requeue its unfinished trials")
+    run_cmd.add_argument("--retries", type=int, default=None, metavar="N",
+                         help="--backend sharded: re-dispatch a failed or "
+                              "timed-out chunk up to N times, salvaging "
+                              "its completed trials first (default: 1)")
+    run_cmd.add_argument("--chunk-size", type=int, default=None, metavar="N",
+                         help="--backend sharded: trials per work-stealing "
+                              "chunk lease (default: pending/(4*shards))")
+    run_cmd.add_argument("--chunk", type=int, default=None, metavar="K",
+                         help="worker side of the sharded scheduler: run "
+                              "one chunk lease, streaming JSONL to "
+                              "<out>/<scenario>.chunk-K.trials.jsonl "
+                              "(requires --trial-indices)")
+    run_cmd.add_argument("--trial-indices", default=None, metavar="I,J,...",
+                         help="comma-separated trial indices owned by the "
+                              "--chunk lease")
 
     merge_cmd = sub.add_parser(
         "merge",
-        help="fuse shard trial streams into the aggregate artifact",
+        help="fuse shard/chunk trial streams into the aggregate artifact",
     )
     merge_cmd.add_argument("scenario")
-    merge_cmd.add_argument("shard_files", nargs="*", metavar="shard.jsonl",
-                           help="shard stream files (default: discover "
-                                "<out>/<scenario>.shard-*of*.trials.jsonl)")
+    merge_cmd.add_argument("shard_files", nargs="*", metavar="stream.jsonl",
+                           help="shard/chunk stream files (default: discover "
+                                "<out>/<scenario>.shard-*of*.trials.jsonl "
+                                "and <out>/<scenario>.chunk-*.trials.jsonl)")
     merge_cmd.add_argument("--out", default=None,
                            help="artifact/shard directory "
                                 "(default: benchmarks/results/)")
@@ -199,8 +224,17 @@ def _cmd_list(args) -> int:
 def _cmd_run(args) -> int:
     params = _resolve_params(args)
     cache = PresetCache()
+    if args.shard is not None and (
+        args.chunk is not None or args.trial_indices is not None
+    ):
+        raise SystemExit(
+            "--shard and --chunk/--trial-indices are mutually exclusive "
+            "worker flags"
+        )
     if args.shard is not None:
         return _run_shards(args, params, cache)
+    if args.chunk is not None or args.trial_indices is not None:
+        return _run_chunks(args, params, cache)
     backend = _resolve_backend(args)
     failed_checks: list[str] = []
     for name in args.scenarios:
@@ -276,6 +310,18 @@ def _finish_result(spec, name: str, result, args) -> bool:
     return True
 
 
+def _reject_scheduler_flags(args, context: str) -> None:
+    """Fail fast when sharded-scheduler flags reach a non-sharded path."""
+    for flag, value in (
+        ("--shards", args.shards),
+        ("--shard-timeout", args.shard_timeout),
+        ("--retries", args.retries),
+        ("--chunk-size", args.chunk_size),
+    ):
+        if value is not None:
+            raise SystemExit(f"{flag} requires {context}")
+
+
 def _resolve_backend(args):
     """Map ``--backend``/``--shards`` to a Backend (None = runner default)."""
     from repro.experiments.backends import (
@@ -284,8 +330,8 @@ def _resolve_backend(args):
         ShardedBackend,
     )
 
-    if args.shards is not None and args.backend != "sharded":
-        raise SystemExit("--shards requires --backend sharded")
+    if args.backend != "sharded":
+        _reject_scheduler_flags(args, "--backend sharded")
     if args.backend == "serial":
         return SerialBackend()
     if args.backend == "process":
@@ -295,10 +341,69 @@ def _resolve_backend(args):
         workdir = (
             pathlib.Path(args.out) if args.out else default_results_dir()
         )
-        # Forward --resume so workers replay their existing shard streams
-        # instead of re-running completed trials.
-        return ShardedBackend(shards, workdir=workdir, resume=args.resume)
+        # Forward --resume so completed trials in existing workdir
+        # streams are salvaged instead of re-run.
+        return ShardedBackend(
+            shards,
+            workdir=workdir,
+            resume=args.resume,
+            timeout=args.shard_timeout,
+            retries=1 if args.retries is None else args.retries,
+            chunk_size=args.chunk_size,
+        )
     return None  # auto: run_scenario picks serial/process from --jobs
+
+
+def _run_chunks(args, params: dict, cache: PresetCache) -> int:
+    """Worker side of the chunk scheduler: execute one lease per scenario."""
+    from repro.experiments.backends import run_chunk
+
+    if args.chunk is None or args.trial_indices is None:
+        raise SystemExit("--chunk and --trial-indices must be used together")
+    if args.backend != "auto":
+        raise SystemExit("--chunk and --backend are mutually exclusive")
+    _reject_scheduler_flags(
+        args, "--backend sharded (they are orchestrator flags, not valid "
+        "on the --chunk worker)"
+    )
+    try:
+        indices = [
+            int(text) for text in args.trial_indices.split(",") if text.strip()
+        ]
+    except ValueError:
+        raise SystemExit(
+            "--trial-indices expects comma-separated integers, got "
+            f"{args.trial_indices!r}"
+        ) from None
+    if not indices:
+        raise SystemExit("--trial-indices is empty")
+    out_dir = pathlib.Path(args.out) if args.out else default_results_dir()
+    for name in args.scenarios:
+        get_scenario(name)  # fail fast on typos, before any work
+
+        def progress(done: int, total: int) -> None:
+            print(
+                f"  [{name} chunk {args.chunk}] trial {done}/{total}",
+                file=sys.stderr,
+            )
+
+        path = run_chunk(
+            name,
+            chunk_id=args.chunk,
+            indices=indices,
+            trials=args.trials,
+            seed=args.seed,
+            params=params,
+            directory=out_dir,
+            cache=cache,
+            # A retried lease replays its previous attempt's stream.
+            resume=True,
+            jobs=args.jobs,
+            progress=None if args.quiet else progress,
+        )
+        if not args.quiet:
+            print(f"chunk stream: {path}")
+    return 0
 
 
 def _run_shards(args, params: dict, cache: PresetCache) -> int:
@@ -307,11 +412,10 @@ def _run_shards(args, params: dict, cache: PresetCache) -> int:
 
     if args.backend != "auto":
         raise SystemExit("--shard and --backend are mutually exclusive")
-    if args.shards is not None:
-        raise SystemExit(
-            "--shards (orchestrator flag) cannot be combined with "
-            "--shard I/N (worker flag); the shard count is the N in I/N"
-        )
+    _reject_scheduler_flags(
+        args, "--backend sharded (they are orchestrator flags, not valid "
+        "on the --shard worker; the shard count is the N in I/N)"
+    )
     index, count = parse_shard(args.shard)
     out_dir = pathlib.Path(args.out) if args.out else default_results_dir()
     for name in args.scenarios:
@@ -341,20 +445,21 @@ def _run_shards(args, params: dict, cache: PresetCache) -> int:
 
 
 def _cmd_merge(args) -> int:
-    """Fuse shard streams into the canonical aggregate artifact."""
-    from repro.experiments.backends import discover_shards, merge_shards
+    """Fuse shard/chunk streams into the canonical aggregate artifact."""
+    from repro.experiments.backends import discover_streams, merge_shards
 
     spec = get_scenario(args.scenario)
     out_dir = pathlib.Path(args.out) if args.out else default_results_dir()
     paths = (
         [pathlib.Path(p) for p in args.shard_files]
         if args.shard_files
-        else discover_shards(out_dir, args.scenario)
+        else discover_streams(out_dir, args.scenario)
     )
     if not paths:
         print(
-            f"error: no shard streams for {args.scenario!r} under {out_dir} "
-            f"(expected {args.scenario}.shard-*of*.trials.jsonl)",
+            f"error: no trial streams for {args.scenario!r} under {out_dir} "
+            f"(expected {args.scenario}.shard-*of*.trials.jsonl or "
+            f"{args.scenario}.chunk-*.trials.jsonl)",
             file=sys.stderr,
         )
         return 2

@@ -55,9 +55,13 @@ from repro.experiments.backends import (
     ProcessPoolBackend,
     SerialBackend,
     ShardedBackend,
+    discover_chunks,
     discover_shards,
+    discover_streams,
     merge_shards,
     parse_shard,
+    read_stream,
+    run_chunk,
     run_shard,
     shard_indices,
 )
@@ -95,7 +99,11 @@ __all__ = [
     "parse_shard",
     "shard_indices",
     "run_shard",
+    "run_chunk",
+    "read_stream",
     "discover_shards",
+    "discover_chunks",
+    "discover_streams",
     "merge_shards",
     "PresetCache",
     "ProfileCache",

@@ -9,9 +9,11 @@ then ``benchmarks/results/`` relative to the repository root.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import pathlib
+import threading
 
 from repro.experiments.runner import ScenarioResult
 
@@ -46,18 +48,42 @@ def default_bench_dir() -> pathlib.Path:
     return _REPO_ROOT
 
 
+def _atomic_write_text(path: pathlib.Path, text: str) -> None:
+    """Write ``text`` to ``path`` via tmp file + ``os.replace``.
+
+    The same pattern ``cache.py`` uses for ``.npz`` stores: a crash (or
+    kill) mid-write can never leave a truncated artifact behind, and
+    concurrent writers are last-writer-wins with every observable file
+    state a complete document.  The tmp name carries pid and thread id
+    so concurrent writers never clobber each other's partial output.
+    """
+    tmp = path.with_name(
+        f"{path.name}.{os.getpid()}-{threading.get_ident()}.tmp"
+    )
+    try:
+        tmp.write_text(text)
+        os.replace(tmp, path)
+    finally:
+        with contextlib.suppress(FileNotFoundError):
+            tmp.unlink()
+
+
 def write_artifact(
     result: ScenarioResult,
     directory: str | pathlib.Path | None = None,
 ) -> pathlib.Path:
-    """Persist an aggregate result as ``<scenario>.json``; returns the path."""
+    """Persist an aggregate result as ``<scenario>.json``; returns the path.
+
+    The write is atomic (tmp file + rename), so a reader — or a ``cmp``
+    in CI — can never observe a half-written artifact.
+    """
     out_dir = (
         pathlib.Path(directory) if directory is not None else default_results_dir()
     )
     out_dir.mkdir(parents=True, exist_ok=True)
     path = out_dir / f"{result.scenario}.json"
-    path.write_text(
-        json.dumps(result.to_json(), indent=2, sort_keys=True) + "\n"
+    _atomic_write_text(
+        path, json.dumps(result.to_json(), indent=2, sort_keys=True) + "\n"
     )
     return path
 
@@ -67,13 +93,15 @@ def write_bench_artifact(
     name: str = "hotpaths",
     directory: str | pathlib.Path | None = None,
 ) -> pathlib.Path:
-    """Persist a perf-suite payload as ``BENCH_<name>.json``."""
+    """Persist a perf-suite payload as ``BENCH_<name>.json`` (atomically)."""
     out_dir = (
         pathlib.Path(directory) if directory is not None else default_bench_dir()
     )
     out_dir.mkdir(parents=True, exist_ok=True)
     path = out_dir / f"BENCH_{name}.json"
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    _atomic_write_text(
+        path, json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
     return path
 
 

@@ -9,22 +9,37 @@ to a *backend*:
 * :class:`ProcessPoolBackend` — ``--jobs N`` fan-out over a local
   ``ProcessPoolExecutor`` (fork when available, so dynamically
   registered test scenarios stay visible in workers).
-* :class:`ShardedBackend` — splits the trial indices into ``N`` shard
-  manifests and runs each shard as a separate ``python -m repro run
-  <scenario> --shard i/N`` subprocess.  Each shard streams per-trial
-  JSONL exactly like ``--stream`` does, which is what makes the scheme
-  machine-distributable: run shard ``0/2`` on one host, ``1/2`` on
-  another, copy the ``*.trials.jsonl`` files together, and fuse them
-  with ``python -m repro merge <scenario>``.
+* :class:`ShardedBackend` — a dynamic chunk-lease scheduler over ``N``
+  CLI worker subprocesses.  Pending trial indices are split into small
+  *chunks* on a work queue; each worker leases the next chunk, runs it
+  as ``python -m repro run <scenario> --chunk K --trial-indices i,j,…``
+  (streaming per-trial JSONL), and steals the next chunk as soon as it
+  finishes — so sweep wall-clock is bounded by the total work, not by
+  the slowest static shard.  A first-class fault policy rides on top:
+  per-chunk timeouts (a hung worker is killed and its remaining trials
+  requeued), bounded retries with the failing worker's error tail
+  preserved, and salvage-on-failure (completed trials are harvested
+  from every worker's stream and recorded before any raise, so
+  ``--resume`` re-runs only genuinely missing trials).
 
-Sharding contract: shard ``i`` of ``N`` owns trial indices ``i, i+N,
-i+2N, …`` (:func:`shard_indices`).  A shard stream file records the full
-run identity in its header (scenario, base seed, params, total trials,
-shard manifest); :func:`merge_shards` refuses to fuse files whose
-headers disagree, whose per-trial seeds don't re-derive from the base
-seed, or whose union doesn't cover every trial exactly once — the same
-validation :class:`repro.experiments.runner.TrialStream` applies on
-``--resume``.  Because the merged result is aggregated by the same
+Two stream-file flavours exist, and both carry the full run identity
+(scenario, base seed, params, total trials) plus a manifest in their
+header:
+
+* shard streams (``<scenario>.shard-IofN.trials.jsonl``) — the static
+  ``--shard I/N`` worker used for *manual* multi-machine fan-out: shard
+  ``I`` of ``N`` owns trial indices ``I, I+N, I+2N, …``
+  (:func:`shard_indices`).  Run shard ``0/2`` on one host, ``1/2`` on
+  another, copy the files together, fuse with ``repro merge``.
+* chunk streams (``<scenario>.chunk-K.trials.jsonl``) — written by the
+  scheduler's chunk workers; the header's ``chunk.trial_indices`` lists
+  exactly the indices the lease owned.
+
+:func:`merge_shards` fuses any mix of the two (plus plain ``--stream``
+files): headers must agree on the run identity, every per-trial seed
+must re-derive from the base seed, and the union must cover every trial
+— duplicates are tolerated only when the duplicate records are
+identical.  Because the merged result is aggregated by the same
 :func:`repro.experiments.runner.aggregate_result` path as a single-host
 run, the merged artifact is byte-identical to the one ``--jobs N`` would
 have written.
@@ -32,14 +47,21 @@ have written.
 
 from __future__ import annotations
 
+import collections
 import concurrent.futures
+import contextlib
 import json
+import math
 import multiprocessing
 import os
 import pathlib
+import re
+import shutil
 import subprocess
 import sys
 import tempfile
+import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -51,6 +73,7 @@ from repro.experiments.runner import (
     _execute_trial,
     aggregate_result,
     normalize_params,
+    scan_stream_lines,
     trial_seed,
 )
 
@@ -63,9 +86,14 @@ __all__ = [
     "parse_shard",
     "shard_indices",
     "shard_stream_path",
+    "chunk_stream_path",
     "run_shard",
+    "run_chunk",
     "read_shard",
+    "read_stream",
     "discover_shards",
+    "discover_chunks",
+    "discover_streams",
     "merge_shards",
 ]
 
@@ -181,7 +209,47 @@ class ProcessPoolBackend(Backend):
 
 
 # ---------------------------------------------------------------------- #
-# Shard manifests
+# Fault injection (tests and the CI chaos-smoke job)
+# ---------------------------------------------------------------------- #
+
+def _maybe_inject_chaos(directory: pathlib.Path, stage: str) -> None:
+    """Env-triggered worker faults, for exercising the fault policy.
+
+    ``REPRO_CHAOS`` is a comma-separated list of modes, consulted only
+    by chunk *worker* processes (never by the coordinator):
+
+    * ``crash`` — after recording a trial, exit hard (``os._exit``),
+      leaving the stream file behind for salvage.  Fires once per
+      stream directory: the first worker to claim the marker file dies.
+    * ``hang`` — after recording a trial, sleep forever (until the
+      scheduler's ``--shard-timeout`` kills the worker).  Once per
+      directory, like ``crash``.
+    * ``crash-start`` — exit hard before running any trial, on *every*
+      lease; used to exhaust the retry budget deterministically.
+    """
+    spec = os.environ.get("REPRO_CHAOS", "")
+    if not spec:
+        return
+    for mode in filter(None, (m.strip() for m in spec.split(","))):
+        if mode == "crash-start" and stage == "start":
+            print("chaos: injected worker crash at chunk start",
+                  file=sys.stderr, flush=True)
+            os._exit(23)
+        if mode in ("crash", "hang") and stage == "trial":
+            marker = pathlib.Path(directory) / f".repro-chaos-{mode}"
+            try:
+                marker.touch(exist_ok=False)  # atomic once-per-dir claim
+            except FileExistsError:
+                continue
+            print(f"chaos: injected worker {mode} after a recorded trial",
+                  file=sys.stderr, flush=True)
+            if mode == "crash":
+                os._exit(23)
+            time.sleep(3600)  # a timeout kill is the only way out
+
+
+# ---------------------------------------------------------------------- #
+# Shard and chunk manifests
 # ---------------------------------------------------------------------- #
 
 def parse_shard(text: str) -> tuple[int, int]:
@@ -223,6 +291,18 @@ def shard_stream_path(
     )
 
 
+def chunk_stream_path(
+    directory: str | pathlib.Path, scenario: str, chunk_id: int
+) -> pathlib.Path:
+    """Canonical JSONL location of one chunk lease's trial stream."""
+    return pathlib.Path(directory) / (
+        f"{scenario}.chunk-{chunk_id:04d}.trials.jsonl"
+    )
+
+
+_CHUNK_ID_RE = re.compile(r"\.chunk-(\d+)\.trials\.jsonl$")
+
+
 def _shard_header(trials: int, index: int, count: int) -> dict:
     return {
         "trials": trials,
@@ -231,6 +311,13 @@ def _shard_header(trials: int, index: int, count: int) -> dict:
             "count": count,
             "trial_indices": shard_indices(trials, index, count),
         },
+    }
+
+
+def _chunk_header(trials: int, chunk_id: int, indices: list[int]) -> dict:
+    return {
+        "trials": trials,
+        "chunk": {"id": chunk_id, "trial_indices": list(indices)},
     }
 
 
@@ -255,15 +342,92 @@ def run_shard(
     computed — that is :func:`merge_shards`' job once every shard file is
     available.
     """
-    from repro.experiments.artifacts import default_results_dir
+    index, count = shard
+    n_trials = _resolved_trials(name, trials)
+    owned = shard_indices(n_trials, index, count)
+    path, _ = _run_stream_worker(
+        name, n_trials, owned, seed, params, directory, cache, profile_cache,
+        resume=resume, jobs=jobs, progress=progress,
+        stream_path_for=lambda d: shard_stream_path(d, name, index, count),
+        extra_header=_shard_header(n_trials, index, count),
+    )
+    return path
+
+
+def run_chunk(
+    name: str,
+    chunk_id: int,
+    indices: list[int],
+    trials: int | None = None,
+    seed: int = 0,
+    params: dict | None = None,
+    directory: str | pathlib.Path | None = None,
+    cache: PresetCache | None = None,
+    profile_cache: ProfileCache | None = None,
+    resume: bool = True,
+    jobs: int = 1,
+    progress: Callable[[int, int], None] | None = None,
+) -> pathlib.Path:
+    """Execute one chunk lease (an explicit trial-index list).
+
+    The worker side of ``python -m repro run <scenario> --chunk K
+    --trial-indices i,j,…``, dispatched by :class:`ShardedBackend`.
+    Resume defaults to on: a retried lease replays whatever its previous
+    attempt managed to stream and runs only the still-missing trials.
+    """
+    if chunk_id < 0:
+        raise ValueError(f"chunk id must be >= 0, got {chunk_id}")
+    n_trials = _resolved_trials(name, trials)
+    owned = list(dict.fromkeys(int(i) for i in indices))
+    if not owned:
+        raise ValueError("chunk owns no trial indices")
+    bad = [i for i in owned if not 0 <= i < n_trials]
+    if bad:
+        raise ValueError(
+            f"chunk trial indices {bad} out of range for {n_trials} trial(s)"
+        )
+    path, out_dir = _run_stream_worker(
+        name, n_trials, owned, seed, params, directory, cache, profile_cache,
+        resume=resume, jobs=jobs, progress=progress,
+        stream_path_for=lambda d: chunk_stream_path(d, name, chunk_id),
+        extra_header=_chunk_header(n_trials, chunk_id, owned),
+        chaos=True,
+    )
+    return path
+
+
+def _resolved_trials(name: str, trials: int | None) -> int:
     from repro.experiments.registry import get_scenario
 
-    index, count = shard
     spec = get_scenario(name)
     n_trials = spec.default_trials if trials is None else trials
     if n_trials < 1:
         raise ValueError(f"trials must be >= 1, got {n_trials}")
-    # Same JSON normalisation as run_scenario, so shard headers compare
+    return n_trials
+
+
+def _run_stream_worker(
+    name: str,
+    n_trials: int,
+    owned: list[int],
+    seed: int,
+    params: dict | None,
+    directory: str | pathlib.Path | None,
+    cache: PresetCache | None,
+    profile_cache: ProfileCache | None,
+    resume: bool,
+    jobs: int,
+    progress: Callable[[int, int], None] | None,
+    stream_path_for: Callable[[pathlib.Path], pathlib.Path],
+    extra_header: dict,
+    chaos: bool = False,
+) -> tuple[pathlib.Path, pathlib.Path]:
+    """Shared shard/chunk worker: stream ``owned`` trials to JSONL."""
+    from repro.experiments.artifacts import default_results_dir
+    from repro.experiments.registry import get_scenario
+
+    spec = get_scenario(name)
+    # Same JSON normalisation as run_scenario, so stream headers compare
     # equal to the coordinator's params regardless of input types.
     run_params = normalize_params(params)
     cache = cache if cache is not None else PresetCache()
@@ -274,12 +438,13 @@ def run_shard(
         pathlib.Path(directory) if directory is not None
         else default_results_dir()
     )
-    path = shard_stream_path(out_dir, name, index, count)
+    path = stream_path_for(out_dir)
+    if chaos:
+        _maybe_inject_chaos(out_dir, "start")
     seeds = [trial_seed(seed, i) for i in range(n_trials)]
-    owned = shard_indices(n_trials, index, count)
     stream = TrialStream(
         path, scenario=name, seed=seed, params=run_params, resume=resume,
-        extra_header=_shard_header(n_trials, index, count),
+        extra_header=extra_header,
     )
     pending = [i for i in owned if i not in stream.completed]
     done = len(owned) - len(pending)
@@ -290,6 +455,8 @@ def run_shard(
         done += 1
         if progress is not None:
             progress(done, len(owned))
+        if chaos:
+            _maybe_inject_chaos(out_dir, "trial")
 
     plan = ExecutionPlan(
         scenario=name, spec=spec, trials=n_trials, seed=seed, seeds=seeds,
@@ -301,37 +468,66 @@ def run_shard(
         worker.run(plan)
     finally:
         stream.close()
-    return path
+    return path, out_dir
 
 
 # ---------------------------------------------------------------------- #
-# Reading and merging shard streams
+# Reading and merging trial streams
 # ---------------------------------------------------------------------- #
 
-def read_shard(path: str | pathlib.Path) -> tuple[dict, dict[int, dict]]:
-    """Read one shard stream: ``(header, {trial_index: record})``.
+def _scan_stream_file(
+    path: pathlib.Path,
+) -> tuple[dict | None, dict[int, dict]]:
+    """Parse one stream file into ``(header, {trial_index: record})``.
 
-    Each record keeps the trial's ``seed`` alongside ``metrics`` and
-    ``detail`` so the merge can re-validate seed derivation.
+    ``(None, {})`` means the file holds nothing recoverable — it is
+    empty, absent, or a lone torn header line (the writer died before
+    recording anything).  Mid-file corruption still raises ``ValueError``
+    loudly (see :func:`repro.experiments.runner.scan_stream_lines`):
+    silently skipping a file that *does* hold intact records would
+    re-run — or, at merge time, double-count — salvageable trials.
     """
-    path = pathlib.Path(path)
-    lines = [line for line in path.read_text().splitlines() if line]
+    lines = [line for line in path.read_text().splitlines() if line.strip()]
     if not lines:
-        raise ValueError(f"shard stream {path} is empty")
-    header = json.loads(lines[0])
+        return None, {}
+    header, _, raw_records, _ = scan_stream_lines(path, lines)
+    if header is None:
+        return None, {}
     if header.get("type") != "header":
-        raise ValueError(f"shard stream {path} does not start with a header")
+        raise ValueError(
+            f"trial stream {path} does not start with a valid header"
+        )
     records: dict[int, dict] = {}
-    for line in lines[1:]:
-        record = json.loads(line)
-        if record.get("type") != "trial":
-            continue
+    for record in raw_records:
         records[int(record["trial_index"])] = {
             "seed": record.get("seed"),
             "metrics": record["metrics"],
             "detail": record.get("detail", {}),
         }
     return header, records
+
+
+def read_stream(path: str | pathlib.Path) -> tuple[dict, dict[int, dict]]:
+    """Read one trial stream: ``(header, {trial_index: record})``.
+
+    Each record keeps the trial's ``seed`` alongside ``metrics`` and
+    ``detail`` so merging can re-validate seed derivation.  A torn
+    *trailing* line — the signature of an interrupted ``append`` (worker
+    killed or crashed mid-write) — is dropped with a warning, so the
+    completed records above it stay salvageable; a corrupt line anywhere
+    else is a hard error.
+    """
+    path = pathlib.Path(path)
+    header, records = _scan_stream_file(path)
+    if header is None:
+        raise ValueError(
+            f"trial stream {path} is empty (or holds only a torn header)"
+        )
+    return header, records
+
+
+#: Back-compat alias — shard streams are read exactly like chunk streams.
+read_shard = read_stream
 
 
 def discover_shards(
@@ -343,21 +539,55 @@ def discover_shards(
     )
 
 
+def discover_chunks(
+    directory: str | pathlib.Path, scenario: str
+) -> list[pathlib.Path]:
+    """All chunk stream files for ``scenario`` under ``directory``."""
+    return sorted(
+        pathlib.Path(directory).glob(f"{scenario}.chunk-*.trials.jsonl")
+    )
+
+
+def discover_streams(
+    directory: str | pathlib.Path, scenario: str
+) -> list[pathlib.Path]:
+    """Shard *and* chunk stream files for ``scenario`` (merge input)."""
+    return discover_shards(directory, scenario) + discover_chunks(
+        directory, scenario
+    )
+
+
+def _stream_owned(header: dict, n_trials: int) -> tuple[str, set[int]]:
+    """Stream kind and the trial indices its manifest owns."""
+    shard = header.get("shard")
+    if shard is not None:
+        return "shard", set(shard.get("trial_indices", range(n_trials)))
+    chunk = header.get("chunk")
+    if chunk is not None:
+        return "chunk", set(chunk.get("trial_indices", ()))
+    # A plain --stream file (no manifest) may hold any trial of the run.
+    return "stream", set(range(n_trials))
+
+
 def merge_shards(
     paths: list[str | pathlib.Path],
     scenario: str | None = None,
     elapsed_s: float = 0.0,
 ) -> ScenarioResult:
-    """Fuse shard stream files into the canonical aggregate result.
+    """Fuse shard/chunk stream files into the canonical aggregate result.
 
     Validation mirrors ``TrialStream`` resume, extended across files:
 
-    * every header must agree on scenario, base seed, params, total
-      trials, and shard count;
-    * shard indices must be distinct (no double-submitted shard);
-    * every recorded trial must belong to its shard's manifest and carry
-      the seed :func:`repro.experiments.runner.trial_seed` derives;
-    * the union of trials must cover ``0..trials-1`` exactly once.
+    * every header must agree on scenario, base seed, params, and total
+      trials;
+    * shard files must agree on the shard count, with distinct indices
+      (no double-submitted shard);
+    * every recorded trial must belong to its file's manifest (shard
+      stride or chunk index list) and carry the seed
+      :func:`repro.experiments.runner.trial_seed` derives;
+    * the union of trials must cover ``0..trials-1``; a trial recorded
+      by more than one file (e.g. a salvaged chunk attempt plus its
+      retry) is accepted only when the duplicate records are identical.
 
     The aggregate goes through
     :func:`repro.experiments.runner.aggregate_result`, so the returned
@@ -369,7 +599,7 @@ def merge_shards(
     headers: list[tuple[pathlib.Path, dict]] = []
     all_records: list[tuple[pathlib.Path, dict[int, dict]]] = []
     for path in paths:
-        header, records = read_shard(path)
+        header, records = read_stream(path)
         headers.append((pathlib.Path(path), header))
         all_records.append((pathlib.Path(path), records))
 
@@ -389,13 +619,17 @@ def merge_shards(
                     f"{header.get(key)!r} does not match "
                     f"{first_path}'s {first[key]!r}"
                 )
-    counts = {h.get("shard", {}).get("count") for _, h in headers}
-    if len(counts) != 1 or None in counts:
+    counts = {
+        h["shard"].get("count") for _, h in headers if "shard" in h
+    }
+    if len(counts) > 1:
         raise ValueError(
             f"shard headers disagree on shard count: {sorted(map(str, counts))}"
         )
     seen_shards: set[int] = set()
     for path, header in headers:
+        if "shard" not in header:
+            continue
         index = header["shard"]["index"]
         if index in seen_shards:
             raise ValueError(f"duplicate shard index {index} (at {path})")
@@ -405,12 +639,12 @@ def merge_shards(
     base_seed = int(first["seed"])
     payloads: list[dict | None] = [None] * n_trials
     for (path, header), (_, records) in zip(headers, all_records):
-        owned = set(header["shard"].get("trial_indices", range(n_trials)))
+        kind, owned = _stream_owned(header, n_trials)
         for index, record in records.items():
             if index not in owned:
                 raise ValueError(
-                    f"{path}: trial {index} does not belong to shard "
-                    f"{header['shard']['index']}/{header['shard']['count']}"
+                    f"{path}: trial {index} does not belong to this "
+                    f"{kind}'s manifest"
                 )
             expected_seed = trial_seed(base_seed, index)
             if record["seed"] != expected_seed:
@@ -418,50 +652,120 @@ def merge_shards(
                     f"{path}: trial {index} recorded seed {record['seed']}, "
                     f"but base seed {base_seed} derives {expected_seed}"
                 )
-            if payloads[index] is not None:
-                raise ValueError(f"trial {index} appears in multiple shards")
-            payloads[index] = {
+            payload = {
                 "metrics": record["metrics"], "detail": record["detail"],
             }
+            if payloads[index] is not None:
+                if payloads[index] != payload:
+                    raise ValueError(
+                        f"trial {index} appears in multiple streams with "
+                        f"conflicting records (at {path})"
+                    )
+                continue  # identical duplicate (salvaged attempt + retry)
+            payloads[index] = payload
     missing = [i for i, p in enumerate(payloads) if p is None]
     if missing:
         raise ValueError(
             f"merge is incomplete: missing trial(s) {missing} "
-            f"({len(seen_shards)} of {first['shard']['count']} shard files "
-            "present)"
+            f"({len(paths)} stream file(s) present)"
         )
     return aggregate_result(
         str(first["scenario"]), payloads, seed=base_seed,
         params=dict(first["params"]), elapsed_s=elapsed_s,
-        jobs=len(seen_shards), backend="sharded-merge",
+        jobs=len(paths), backend="sharded-merge",
     )
 
 
+# ---------------------------------------------------------------------- #
+# The work-stealing chunk scheduler
+# ---------------------------------------------------------------------- #
+
+#: Scheduler poll cadence.  Low enough that a finished worker's slot is
+#: re-leased almost immediately; high enough to stay invisible in profiles.
+_POLL_INTERVAL_S = 0.05
+_ERROR_TAIL_LINES = 8
+
+
+@dataclass
+class _Lease:
+    """One running chunk worker: process, log, and timeout bookkeeping."""
+
+    chunk_id: int
+    indices: list[int]
+    attempt: int
+    proc: subprocess.Popen
+    log_path: pathlib.Path
+    log_file: object
+    deadline: float | None
+
+
+def _log_tail(path: pathlib.Path, lines: int = _ERROR_TAIL_LINES) -> str:
+    try:
+        text = path.read_text().strip()
+    except OSError:
+        return ""
+    return "\n".join(text.splitlines()[-lines:])
+
+
 class ShardedBackend(Backend):
-    """Run a scenario as N ``repro run --shard i/N`` subprocesses.
+    """Run a scenario as a work-stealing pool of CLI chunk workers.
 
-    The single-host orchestration of the sharded workflow: the backend
-    writes each shard's JSONL stream into a working directory, launches
-    one CLI subprocess per shard, then reads the shard files back
-    (re-validating headers and seeds exactly like ``repro merge``) and
-    records every trial with the coordinating runner.
+    The single-host orchestration of the sharded workflow: pending trial
+    indices are partitioned into chunks on a work queue; up to
+    ``shards`` worker subprocesses (``python -m repro run <scenario>
+    --chunk K --trial-indices …``) hold one chunk lease each, and an
+    idle worker slot immediately leases the next queued chunk instead of
+    idling behind a straggler.  Worker stdout/stderr goes to a per-lease
+    log file — never a pipe — so a chatty worker can't fill a pipe and
+    deadlock the join, and the scheduler's poll loop never blocks on any
+    single worker.
 
-    Because the shard worker is the public CLI, anything this backend
+    Fault policy:
+
+    * ``timeout`` — a lease running longer than this many seconds is
+      killed; completed trials are harvested from its stream and only
+      the remainder is requeued.
+    * ``retries`` — a failed or timed-out chunk is re-dispatched at most
+      this many times (the retried lease *resumes* its stream file, so
+      prior completed trials replay instead of re-running).  When the
+      budget is exhausted the error tail of every failed attempt is
+      preserved in the raised ``RuntimeError``.
+    * salvage-on-failure — before any raise, every worker stream is
+      harvested and its completed trials recorded with the coordinator,
+      so a coordinator-level ``--resume`` re-runs only genuinely
+      missing trials.  An ephemeral workdir is kept (and its path
+      reported) instead of being destroyed on failure.
+
+    Because the chunk worker is the public CLI, anything this backend
     does locally can be reproduced across machines by hand — the
     cross-backend determinism tests pin serial, process-pool, and sharded
     execution to byte-identical artifacts.
 
     Args:
-        shards: Number of shard subprocesses.
+        shards: Maximum concurrent worker subprocesses.
         python: Interpreter for the workers (default: ``sys.executable``).
-        workdir: Where shard streams land; ``None`` uses a temporary
-            directory deleted after the run.
+        workdir: Where chunk streams land; ``None`` uses a temporary
+            directory (deleted after a clean run, kept on failure).
         env: Extra environment variables for the workers (merged over a
             copy of ``os.environ``; ``PYTHONPATH`` is always extended so
             workers can import ``repro`` from this checkout).
-        resume: Pass ``--resume`` to the shard workers so trials already
-            present in the workdir's shard streams are replayed, not
-            re-run.  Only meaningful with a persistent ``workdir``.
+        resume: Salvage completed trials from existing shard/chunk
+            streams in ``workdir`` before dispatching any worker.  Only
+            meaningful with a persistent ``workdir``.
+        timeout: Per-chunk lease timeout in seconds (``None`` = never
+            kill a worker).
+        retries: Re-dispatch budget per chunk after its first failure.
+        chunk_size: Trials per chunk lease; ``None`` auto-sizes to
+            ``ceil(pending / (4 * shards))`` so each worker sees ~4
+            leases and stealing has room to balance stragglers.
+        static: Emulate the legacy static schedule instead of stealing:
+            exactly one lease per worker, holding that worker's strided
+            slice of the pending indices (``pending[k::shards]``) —
+            wall-clock is then bounded by the slowest shard.  The fault
+            policy still applies.  Kept as the measurable baseline for
+            the ``straggler_sweep`` benchmark and as a scheduling
+            control for debugging; mutually exclusive with
+            ``chunk_size``.
     """
 
     name = "sharded"
@@ -473,14 +777,37 @@ class ShardedBackend(Backend):
         workdir: str | pathlib.Path | None = None,
         env: dict[str, str] | None = None,
         resume: bool = False,
+        timeout: float | None = None,
+        retries: int = 1,
+        chunk_size: int | None = None,
+        static: bool = False,
     ):
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be > 0 seconds, got {timeout}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk size must be >= 1, got {chunk_size}")
+        if static and chunk_size is not None:
+            raise ValueError(
+                "static scheduling fixes one strided lease per worker; "
+                "chunk_size does not apply"
+            )
         self.shards = shards
         self.python = python or sys.executable
         self.workdir = pathlib.Path(workdir) if workdir is not None else None
         self.env = dict(env or {})
         self.resume = resume
+        self.timeout = timeout
+        self.retries = retries
+        self.chunk_size = chunk_size
+        self.static = static
+
+    # ------------------------------------------------------------------ #
+    # Worker plumbing
+    # ------------------------------------------------------------------ #
 
     def _worker_env(self, plan: ExecutionPlan) -> dict[str, str]:
         import repro
@@ -493,107 +820,340 @@ class ShardedBackend(Backend):
         if package_root not in entries:
             entries.insert(0, package_root)
         env["PYTHONPATH"] = os.pathsep.join(entries)
-        # Shard workers must resolve the exact same caches as this
+        # Chunk workers must resolve the exact same caches as this
         # process, whatever roots the caller passed programmatically.
         env["REPRO_CACHE_DIR"] = str(plan.cache.root)
         env["REPRO_PROFILE_DIR"] = str(plan.profile_cache.root)
         return env
 
-    def _shard_command(
-        self, plan: ExecutionPlan, directory: pathlib.Path, index: int
+    def _chunk_command(
+        self,
+        plan: ExecutionPlan,
+        directory: pathlib.Path,
+        chunk_id: int,
+        indices: list[int],
     ) -> list[str]:
         command = [
             self.python, "-m", "repro", "run", plan.scenario,
-            "--shard", f"{index}/{self.shards}",
+            "--chunk", str(chunk_id),
+            "--trial-indices", ",".join(str(i) for i in indices),
             "--trials", str(plan.trials),
             "--seed", str(plan.seed),
             "--out", str(directory),
             "--quiet",
         ]
-        if self.resume:
-            command.append("--resume")
         if plan.params:
             # JSON transport keeps every value type intact; ``--param``
             # pairs would lossily re-coerce strings/lists on the worker.
             command += ["--params-json", json.dumps(plan.params)]
         return command
 
+    def _partition(self, pending: list[int], first_id: int) -> list[tuple[int, list[int]]]:
+        """Split pending indices into (chunk_id, indices) leases."""
+        if self.static:
+            # Legacy schedule: one strided lease per worker, no stealing.
+            slices = [pending[k::self.shards] for k in range(self.shards)]
+            return [
+                (first_id + k, indices)
+                for k, indices in enumerate(s for s in slices if s)
+            ]
+        size = self.chunk_size
+        if size is None:
+            size = max(1, math.ceil(len(pending) / (4 * self.shards)))
+        return [
+            (first_id + k, pending[offset:offset + size])
+            for k, offset in enumerate(range(0, len(pending), size))
+        ]
+
+    def _launch(
+        self,
+        plan: ExecutionPlan,
+        directory: pathlib.Path,
+        chunk_id: int,
+        indices: list[int],
+        attempt: int,
+        env: dict[str, str],
+    ) -> _Lease:
+        log_path = directory / (
+            f"{plan.scenario}.chunk-{chunk_id:04d}.attempt-{attempt}.log"
+        )
+        log_file = open(log_path, "w")
+        try:
+            proc = subprocess.Popen(
+                self._chunk_command(plan, directory, chunk_id, indices),
+                env=env,
+                stdin=subprocess.DEVNULL,
+                stdout=log_file,
+                stderr=subprocess.STDOUT,
+                text=True,
+            )
+        except BaseException:
+            # Not yet wrapped in a _Lease, so no cleanup path would
+            # ever close this handle.
+            log_file.close()
+            raise
+        deadline = (
+            time.monotonic() + self.timeout if self.timeout is not None
+            else None
+        )
+        return _Lease(
+            chunk_id=chunk_id, indices=list(indices), attempt=attempt,
+            proc=proc, log_path=log_path, log_file=log_file,
+            deadline=deadline,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Harvesting streams back into the coordinator
+    # ------------------------------------------------------------------ #
+
+    def _header_matches(self, plan: ExecutionPlan, header: dict) -> bool:
+        return (
+            header.get("scenario") == plan.scenario
+            and header.get("seed") == plan.seed
+            and header.get("params") == plan.params
+            and header.get("trials") == plan.trials
+        )
+
+    def _record_stream(
+        self,
+        plan: ExecutionPlan,
+        pending: set[int],
+        path: pathlib.Path,
+        records: dict[int, dict],
+    ) -> None:
+        for i in sorted(records):
+            if i not in pending:
+                continue
+            record = records[i]
+            if record["seed"] != plan.seeds[i]:
+                raise ValueError(
+                    f"{path}: trial {i} recorded seed {record['seed']}, "
+                    f"expected {plan.seeds[i]}"
+                )
+            plan.record(i, {
+                "metrics": record["metrics"], "detail": record["detail"],
+            })
+            pending.discard(i)
+
+    def _harvest_chunk(
+        self,
+        plan: ExecutionPlan,
+        pending: set[int],
+        directory: pathlib.Path,
+        chunk_id: int,
+    ) -> None:
+        """Record whatever a (possibly dead) chunk worker streamed.
+
+        An empty or torn-header-only file salvages nothing (the worker
+        died before recording anything); mid-file corruption propagates
+        loudly rather than being mistaken for "nothing to salvage".
+        """
+        path = chunk_stream_path(directory, plan.scenario, chunk_id)
+        if not path.exists():
+            return
+        header, records = _scan_stream_file(path)
+        if header is None:
+            return
+        if not self._header_matches(plan, header):
+            raise ValueError(
+                f"{path}: chunk stream header does not match the "
+                "coordinating run"
+            )
+        self._record_stream(plan, pending, path, records)
+
+    def _salvage_existing(
+        self, plan: ExecutionPlan, pending: set[int], directory: pathlib.Path
+    ) -> None:
+        """Resume path: harvest shard/chunk streams left by earlier runs.
+
+        Empty or torn-header-only files are skipped (nothing to
+        salvage); a stream with mid-file corruption raises loudly so the
+        operator sees the corruption instead of a silent full re-run.
+        """
+        for path in discover_streams(directory, plan.scenario):
+            header, records = _scan_stream_file(path)
+            if header is None:
+                continue
+            if not self._header_matches(plan, header):
+                warnings.warn(
+                    f"{path}: stream header belongs to a different run; "
+                    "ignoring it",
+                    RuntimeWarning,
+                )
+                continue
+            self._record_stream(plan, pending, path, records)
+
+    # ------------------------------------------------------------------ #
+    # The scheduler loop
+    # ------------------------------------------------------------------ #
+
     def run(self, plan: ExecutionPlan) -> None:
         pending = set(plan.pending)
         if not pending:
             return
-        directory = self.workdir
-        cleanup: tempfile.TemporaryDirectory | None = None
-        if directory is None:
-            cleanup = tempfile.TemporaryDirectory(prefix="repro-shards-")
-            directory = pathlib.Path(cleanup.name)
-        directory.mkdir(parents=True, exist_ok=True)
-        env = self._worker_env(plan)
+        if self.workdir is not None:
+            directory, ephemeral = self.workdir, False
+            directory.mkdir(parents=True, exist_ok=True)
+        else:
+            directory = pathlib.Path(
+                tempfile.mkdtemp(prefix="repro-shards-")
+            )
+            ephemeral = True
+        first_id = 0
+        if self.resume:
+            self._salvage_existing(plan, pending, directory)
+            if not pending:
+                if ephemeral:
+                    shutil.rmtree(directory, ignore_errors=True)
+                return
+            # Leave salvaged streams on disk (they are the crash-safe
+            # record) and number new chunks after the highest existing id
+            # so a retried run never collides with an old manifest.
+            existing = [
+                int(m.group(1))
+                for m in map(
+                    _CHUNK_ID_RE.search,
+                    map(str, discover_chunks(directory, plan.scenario)),
+                )
+                if m
+            ]
+            first_id = max(existing, default=-1) + 1
+        else:
+            # A fresh run in a persistent workdir must not inherit chunk
+            # streams (or logs) from an earlier run of the same
+            # scenario, nor spent chaos markers that would silently
+            # disarm a requested fault injection.
+            for stale in discover_chunks(directory, plan.scenario):
+                stale.unlink()
+            for stale in directory.glob(f"{plan.scenario}.chunk-*.log"):
+                stale.unlink()
+            for stale in directory.glob(".repro-chaos-*"):
+                stale.unlink()
         try:
-            procs = []
-            for index in range(self.shards):
-                owned = shard_indices(plan.trials, index, self.shards)
-                if not owned:
-                    continue  # more shards than trials: nothing to own
-                if not pending.intersection(owned):
-                    continue  # every owned trial already replayed upstream
-                procs.append((
-                    index,
-                    subprocess.Popen(
-                        self._shard_command(plan, directory, index),
-                        env=env,
-                        stdout=subprocess.PIPE,
-                        stderr=subprocess.PIPE,
-                        text=True,
-                    ),
-                ))
-            failures = []
-            for index, proc in procs:
-                _, stderr = proc.communicate()
-                if proc.returncode != 0:
-                    tail = "\n".join(stderr.strip().splitlines()[-8:])
-                    failures.append(
-                        f"shard {index}/{self.shards} exited "
-                        f"{proc.returncode}:\n{tail}"
-                    )
-            if failures:
-                raise RuntimeError(
-                    "sharded execution failed:\n" + "\n".join(failures)
-                )
-            for index, _ in procs:
-                path = shard_stream_path(
-                    directory, plan.scenario, index, self.shards
-                )
-                header, records = read_shard(path)
-                for key, want in (
-                    ("scenario", plan.scenario),
-                    ("seed", plan.seed),
-                    ("params", plan.params),
-                    ("trials", plan.trials),
-                ):
-                    if header.get(key) != want:
-                        raise ValueError(
-                            f"{path}: header {key}={header.get(key)!r} does "
-                            f"not match requested {want!r}"
-                        )
-                for i in sorted(records):
-                    record = records[i]
-                    if record["seed"] != plan.seeds[i]:
-                        raise ValueError(
-                            f"{path}: trial {i} recorded seed "
-                            f"{record['seed']}, expected {plan.seeds[i]}"
-                        )
-                    if i in pending:
-                        plan.record(i, {
-                            "metrics": record["metrics"],
-                            "detail": record["detail"],
-                        })
-                        pending.discard(i)
+            self._schedule(plan, pending, directory, first_id)
             if pending:
                 raise RuntimeError(
-                    f"shard workers never reported trial(s) "
-                    f"{sorted(pending)}"
+                    f"chunk workers never reported trial(s) {sorted(pending)}"
                 )
+        except BaseException:
+            if ephemeral:
+                warnings.warn(
+                    "sharded run failed; partial chunk streams kept for "
+                    f"inspection at {directory}",
+                    RuntimeWarning,
+                )
+            raise
+        if ephemeral:
+            shutil.rmtree(directory, ignore_errors=True)
+
+    def _schedule(
+        self,
+        plan: ExecutionPlan,
+        pending: set[int],
+        directory: pathlib.Path,
+        first_id: int,
+    ) -> None:
+        env = self._worker_env(plan)
+        queue: collections.deque[tuple[int, list[int]]] = collections.deque(
+            self._partition(sorted(pending), first_id)
+        )
+        attempts: dict[int, int] = {chunk_id: 0 for chunk_id, _ in queue}
+        failures: dict[int, list[str]] = {}
+        fatal: list[str] = []
+        running: list[_Lease] = []
+        try:
+            while queue or running:
+                while queue and len(running) < self.shards:
+                    chunk_id, indices = queue.popleft()
+                    attempts[chunk_id] += 1
+                    running.append(self._launch(
+                        plan, directory, chunk_id, indices,
+                        attempts[chunk_id], env,
+                    ))
+                time.sleep(_POLL_INTERVAL_S)
+                still_running: list[_Lease] = []
+                for lease in running:
+                    code = lease.proc.poll()
+                    timed_out = (
+                        code is None
+                        and lease.deadline is not None
+                        and time.monotonic() > lease.deadline
+                    )
+                    if code is None and not timed_out:
+                        still_running.append(lease)
+                        continue
+                    if timed_out:
+                        lease.proc.kill()
+                        lease.proc.wait()
+                    lease.log_file.close()
+                    # Salvage first: whatever the worker streamed before
+                    # dying is recorded, and only the remainder retries.
+                    self._harvest_chunk(
+                        plan, pending, directory, lease.chunk_id
+                    )
+                    missing = [i for i in lease.indices if i in pending]
+                    if not missing:
+                        if code not in (0, None) or timed_out:
+                            warnings.warn(
+                                f"chunk {lease.chunk_id} worker "
+                                f"{'timed out' if timed_out else f'exited {code}'}"
+                                " but every owned trial was salvaged from "
+                                "its stream",
+                                RuntimeWarning,
+                            )
+                        continue
+                    if timed_out:
+                        reason = f"timed out after {self.timeout:g}s (killed)"
+                    elif code == 0:
+                        reason = "exited 0 without recording them"
+                    else:
+                        reason = f"exited {code}"
+                    tail = _log_tail(lease.log_path)
+                    detail = (
+                        f"chunk {lease.chunk_id} attempt {lease.attempt} "
+                        f"({len(missing)} missing trial(s) {missing}) "
+                        f"{reason}" + (f":\n{tail}" if tail else "")
+                    )
+                    failures.setdefault(lease.chunk_id, []).append(detail)
+                    if attempts[lease.chunk_id] > self.retries:
+                        fatal.append(detail)
+                    else:
+                        # Requeue the chunk under its original manifest:
+                        # the retried lease resumes its stream file, so
+                        # salvaged trials replay and only the missing
+                        # ones actually run.
+                        queue.append((lease.chunk_id, lease.indices))
+                running = still_running
+                if fatal:
+                    # Kill the survivors promptly, but harvest their
+                    # streams so every completed trial is recorded before
+                    # the raise (--resume then re-runs only the rest).
+                    for lease in running:
+                        lease.proc.kill()
+                        lease.proc.wait()
+                        lease.log_file.close()
+                        self._harvest_chunk(
+                            plan, pending, directory, lease.chunk_id
+                        )
+                    running = []
+                    break
         finally:
-            if cleanup is not None:
-                cleanup.cleanup()
+            for lease in running:  # interrupt path: no orphaned workers
+                with contextlib.suppress(OSError):
+                    lease.proc.kill()
+                    lease.proc.wait()
+                lease.log_file.close()
+        if fatal:
+            history = [
+                entry
+                for chunk_id in sorted(failures)
+                for entry in failures[chunk_id]
+            ]
+            raise RuntimeError(
+                "sharded execution failed: retry budget exhausted "
+                f"(--retries {self.retries}) with trial(s) {sorted(pending)} "
+                "still missing; completed trials were salvaged into the "
+                "coordinating run (use --resume to re-run only the missing "
+                f"ones; chunk streams under {directory}).\n"
+                + "\n".join(history)
+            )

@@ -24,8 +24,10 @@ from __future__ import annotations
 import dataclasses
 import json
 import math
+import os
 import pathlib
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping
 
@@ -42,6 +44,7 @@ __all__ = [
     "aggregate_result",
     "normalize_params",
     "run_scenario",
+    "scan_stream_lines",
     "trial_seed",
 ]
 
@@ -240,6 +243,66 @@ class ScenarioResult:
         }
 
 
+def scan_stream_lines(
+    path: pathlib.Path, lines: list[str]
+) -> tuple[dict | None, list[str], list[dict], bool]:
+    """Torn-tolerant parse of trial-stream JSONL lines.
+
+    The single parser behind both :class:`TrialStream` resume and
+    :func:`repro.experiments.backends.read_stream` (the harvest/merge
+    path), so torn-line semantics cannot fork between them.  Returns
+    ``(header, intact_lines, records, torn_tail)``:
+
+    * ``header`` — the parsed header line, or ``None`` when the file
+      holds nothing but a torn header (the writer died mid-first-write;
+      nothing is recoverable).
+    * ``intact_lines`` — the raw lines up to (excluding) a torn tail,
+      for callers that truncate before appending.
+    * ``records`` — the parsed ``type == "trial"`` records, in file
+      order.
+    * ``torn_tail`` — True when a torn trailing line was dropped (the
+      signature of a write interrupted by a crash or kill).  Because
+      appends are sequential, an interrupted write can only ever be the
+      *last* line — so an unparseable line with records after it (a
+      corrupt header included) raises ``ValueError``: that is
+      corruption, not an interrupted write, and silently dropping it
+      would discard salvageable trials.
+    """
+    if not lines:
+        return None, [], [], False
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError:
+        if len(lines) == 1:
+            return None, [], [], True
+        raise ValueError(
+            f"{path}: header line is corrupt (not valid JSON) but trial "
+            "records follow — corruption, not an interrupted write"
+        ) from None
+    intact = [lines[0]]
+    records: list[dict] = []
+    torn = False
+    for lineno, line in enumerate(lines[1:], start=2):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            if lineno == len(lines):
+                warnings.warn(
+                    f"{path}: dropping torn trailing record (interrupted "
+                    "write); its trial counts as missing and will re-run",
+                    RuntimeWarning,
+                )
+                torn = True
+                break
+            raise ValueError(
+                f"{path}: line {lineno} is corrupt (not valid JSON)"
+            ) from None
+        intact.append(line)
+        if record.get("type") == "trial":
+            records.append(record)
+    return header, intact, records, torn
+
+
 class TrialStream:
     """Append-only JSONL stream of per-trial results.
 
@@ -255,6 +318,13 @@ class TrialStream:
     index, derived seed, metrics, and detail payload.  Resuming against a
     header that does not match the requested run raises instead of
     silently mixing results.
+
+    Crash tolerance on resume: a torn *trailing* line — the signature of
+    an ``append`` interrupted by a crash or a kill — is dropped with a
+    warning (and the file truncated back to its last complete record, so
+    later appends stay parseable); its trial simply re-runs.  A torn
+    header means the run died before recording anything, so the stream
+    starts over.  Corruption anywhere else is a hard error.
     """
 
     def __init__(
@@ -277,34 +347,53 @@ class TrialStream:
         if extra_header:
             header.update(extra_header)
         if resume and self.path.exists():
-            lines = [
-                line for line in self.path.read_text().splitlines() if line
-            ]
-            if lines:
-                existing = json.loads(lines[0])
-                for key in header:
-                    if key == "type":
-                        continue
-                    if existing.get(key) != header[key]:
-                        raise ValueError(
-                            f"cannot resume {self.path}: stored {key}="
-                            f"{existing.get(key)!r} does not match requested "
-                            f"{header[key]!r}"
-                        )
-                for line in lines[1:]:
-                    record = json.loads(line)
-                    if record.get("type") != "trial":
-                        continue
-                    self.completed[int(record["trial_index"])] = {
-                        "metrics": record["metrics"],
-                        "detail": record.get("detail", {}),
-                    }
-                self._fh = open(self.path, "a")
+            if self._resume_existing(header):
                 return
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._fh = open(self.path, "w")
         self._fh.write(json.dumps(header) + "\n")
         self._fh.flush()
+
+    def _resume_existing(self, header: dict) -> bool:
+        """Replay an existing stream file; False = start the file over."""
+        lines = [
+            line for line in self.path.read_text().splitlines()
+            if line.strip()
+        ]
+        if not lines:
+            return False
+        existing, intact, records, torn = scan_stream_lines(self.path, lines)
+        if existing is None:
+            warnings.warn(
+                f"{self.path}: stream header is torn (interrupted write); "
+                "starting the stream over",
+                RuntimeWarning,
+            )
+            return False
+        for key in header:
+            if key == "type":
+                continue
+            if existing.get(key) != header[key]:
+                raise ValueError(
+                    f"cannot resume {self.path}: stored {key}="
+                    f"{existing.get(key)!r} does not match requested "
+                    f"{header[key]!r}"
+                )
+        for record in records:
+            self.completed[int(record["trial_index"])] = {
+                "metrics": record["metrics"],
+                "detail": record.get("detail", {}),
+            }
+        if torn:
+            # Truncate the torn tail before appending, or the next
+            # record would concatenate onto the partial line.  Atomic
+            # (tmp + replace): a crash mid-rewrite must not lose the
+            # intact records this rewrite exists to preserve.
+            tmp = self.path.with_name(f"{self.path.name}.{os.getpid()}.tmp")
+            tmp.write_text("\n".join(intact) + "\n")
+            os.replace(tmp, self.path)
+        self._fh = open(self.path, "a")
+        return True
 
     def append(self, trial_index: int, seed: int, payload: dict) -> None:
         self._fh.write(

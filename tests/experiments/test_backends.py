@@ -15,6 +15,7 @@ from repro.experiments import (
     ShardedBackend,
     merge_shards,
     parse_shard,
+    run_chunk,
     run_scenario,
     run_shard,
     scenario,
@@ -24,8 +25,12 @@ from repro.experiments import (
     write_artifact,
 )
 from repro.experiments.backends import (
+    chunk_stream_path,
+    discover_chunks,
     discover_shards,
+    discover_streams,
     read_shard,
+    read_stream,
     shard_stream_path,
 )
 
@@ -161,6 +166,114 @@ class TestRunShardAndMerge:
         )
         assert again == path
         assert path.read_text() == before  # nothing re-ran, nothing appended
+
+
+class TestRunChunkAndMerge:
+    """Chunk leases stream like shards and merge interchangeably."""
+
+    def test_chunk_stream_header_and_records(self, tmp_path):
+        path = run_chunk(
+            "backend-toy", chunk_id=0, indices=[0, 2], trials=4, seed=9,
+            directory=tmp_path,
+        )
+        assert path == chunk_stream_path(tmp_path, "backend-toy", 0)
+        header, records = read_stream(path)
+        assert header["scenario"] == "backend-toy"
+        assert header["seed"] == 9
+        assert header["trials"] == 4
+        assert header["chunk"] == {"id": 0, "trial_indices": [0, 2]}
+        assert sorted(records) == [0, 2]
+        assert records[0]["seed"] == trial_seed(9, 0)
+
+    def test_chunk_rejects_out_of_range_indices(self, tmp_path):
+        with pytest.raises(ValueError, match="out of range"):
+            run_chunk(
+                "backend-toy", chunk_id=0, indices=[0, 4], trials=4,
+                directory=tmp_path,
+            )
+
+    def test_chunk_resume_skips_completed_trials(self, tmp_path):
+        path = run_chunk(
+            "backend-toy", chunk_id=3, indices=[1, 3], trials=4, seed=9,
+            directory=tmp_path,
+        )
+        before = path.read_text()
+        again = run_chunk(
+            "backend-toy", chunk_id=3, indices=[1, 3], trials=4, seed=9,
+            directory=tmp_path, resume=True,
+        )
+        assert again == path
+        assert path.read_text() == before  # replayed, nothing re-ran
+
+    def test_merge_fuses_chunk_streams(self, tmp_path):
+        paths = [
+            run_chunk("backend-toy", chunk_id=k, indices=indices, trials=4,
+                      seed=9, directory=tmp_path)
+            for k, indices in enumerate([[0, 1], [2, 3]])
+        ]
+        merged = merge_shards(paths, scenario="backend-toy")
+        serial = run_scenario("backend-toy", trials=4, seed=9)
+        assert merged.to_json() == serial.to_json()
+
+    def test_merge_mixes_shard_and_chunk_streams(self, tmp_path):
+        shard = run_shard(
+            "backend-toy", shard=(0, 2), trials=4, seed=9,
+            directory=tmp_path,
+        )  # owns 0, 2
+        chunk = run_chunk(
+            "backend-toy", chunk_id=7, indices=[1, 3], trials=4, seed=9,
+            directory=tmp_path,
+        )
+        merged = merge_shards([shard, chunk], scenario="backend-toy")
+        serial = run_scenario("backend-toy", trials=4, seed=9)
+        assert merged.to_json() == serial.to_json()
+
+    def test_merge_tolerates_identical_duplicates(self, tmp_path):
+        """A salvaged attempt plus its retry may both record a trial;
+        identical duplicate records merge cleanly."""
+        a = run_chunk("backend-toy", chunk_id=0, indices=[0, 1, 2, 3],
+                      trials=4, seed=9, directory=tmp_path)
+        b = run_chunk("backend-toy", chunk_id=1, indices=[1, 3], trials=4,
+                      seed=9, directory=tmp_path)
+        merged = merge_shards([a, b], scenario="backend-toy")
+        assert merged.to_json() == run_scenario(
+            "backend-toy", trials=4, seed=9
+        ).to_json()
+
+    def test_merge_rejects_conflicting_duplicates(self, tmp_path):
+        a = run_chunk("backend-toy", chunk_id=0, indices=[0, 1, 2, 3],
+                      trials=4, seed=9, directory=tmp_path)
+        b = run_chunk("backend-toy", chunk_id=1, indices=[1], trials=4,
+                      seed=9, directory=tmp_path)
+        lines = b.read_text().splitlines()
+        record = json.loads(lines[1])
+        record["metrics"]["draw"] += 1.0
+        lines[1] = json.dumps(record)
+        b.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="conflicting"):
+            merge_shards([a, b])
+
+    def test_merge_rejects_foreign_chunk_trial(self, tmp_path):
+        path = run_chunk("backend-toy", chunk_id=0, indices=[0, 1],
+                         trials=4, seed=9, directory=tmp_path)
+        lines = path.read_text().splitlines()
+        record = json.loads(lines[1])
+        record["trial_index"] = 2  # not in the chunk manifest
+        record["seed"] = trial_seed(9, 2)
+        lines[1] = json.dumps(record)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="does not belong"):
+            merge_shards([path], scenario="backend-toy")
+
+    def test_discover_streams_finds_both_kinds(self, tmp_path):
+        run_shard("backend-toy", shard=(0, 2), trials=4, seed=9,
+                  directory=tmp_path)
+        run_chunk("backend-toy", chunk_id=0, indices=[1, 3], trials=4,
+                  seed=9, directory=tmp_path)
+        assert len(discover_shards(tmp_path, "backend-toy")) == 1
+        assert len(discover_chunks(tmp_path, "backend-toy")) == 1
+        merged = merge_shards(discover_streams(tmp_path, "backend-toy"))
+        assert merged.trials == 4
 
 
 class TestCrossBackendDeterminism:

@@ -44,7 +44,7 @@ class TestSuite:
         assert set(HOTPATH_BENCHMARKS) == {
             "sync_post_window", "bfa_scoring", "bfa_iteration",
             "hammer_window", "fig6_trial", "sweep_trial",
-            "defended_vs_undefended",
+            "straggler_sweep", "defended_vs_undefended",
         }
 
     def test_format_suite_renders(self, sync_suite):

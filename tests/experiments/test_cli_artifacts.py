@@ -65,3 +65,121 @@ class TestArtifacts:
     def test_results_dir_env_override(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "override"))
         assert default_results_dir() == tmp_path / "override"
+
+
+class TestAtomicArtifacts:
+    """Artifact writes go through tmp-file + os.replace: no reader (or
+    crash) can ever observe a truncated JSON document."""
+
+    def test_concurrent_writers_never_expose_partial_json(self, tmp_path):
+        import threading
+
+        from repro.experiments.artifacts import _atomic_write_text
+
+        path = tmp_path / "artifact.json"
+        payloads = [
+            json.dumps({"writer": w, "blob": "x" * 20000}) + "\n"
+            for w in range(4)
+        ]
+        _atomic_write_text(path, payloads[0])
+        stop = threading.Event()
+        bad: list[str] = []
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    json.loads(path.read_text())
+                except json.JSONDecodeError as exc:  # pragma: no cover
+                    bad.append(str(exc))
+
+        def writer(payload: str):
+            for _ in range(40):
+                _atomic_write_text(path, payload)
+
+        threads = [threading.Thread(target=reader)] + [
+            threading.Thread(target=writer, args=(p,)) for p in payloads
+        ]
+        for t in threads:
+            t.start()
+        for t in threads[1:]:
+            t.join()
+        stop.set()
+        threads[0].join()
+        assert not bad, f"reader saw partial JSON: {bad[0]}"
+        assert json.loads(path.read_text())["blob"].startswith("x")
+        # No tmp litter left behind.
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_failed_write_preserves_existing_artifact(self, tmp_path,
+                                                      monkeypatch):
+        import os as _os
+
+        from repro.experiments import artifacts
+
+        result = run_scenario("fig1a", trials=1)
+        path = write_artifact(result, directory=tmp_path)
+        before = path.read_bytes()
+
+        def boom(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(artifacts.os, "replace", boom)
+        with pytest.raises(OSError, match="disk full"):
+            write_artifact(result, directory=tmp_path)
+        monkeypatch.undo()
+        assert path.read_bytes() == before  # old artifact untouched
+        assert list(tmp_path.glob("*.tmp")) == []  # tmp cleaned up
+
+
+class TestSchedulerFlags:
+    """CLI validation of the sharded-scheduler and chunk-worker flags."""
+
+    @pytest.mark.parametrize("argv", [
+        ["run", "fig1a", "--shards", "2"],
+        ["run", "fig1a", "--shard-timeout", "5"],
+        ["run", "fig1a", "--retries", "2"],
+        ["run", "fig1a", "--chunk-size", "2"],
+        ["run", "fig1a", "--backend", "process", "--shards", "2"],
+    ])
+    def test_scheduler_flags_require_sharded_backend(self, argv, tmp_path):
+        with pytest.raises(SystemExit):
+            main(argv + ["--out", str(tmp_path)])
+
+    @pytest.mark.parametrize("argv", [
+        ["run", "fig1a", "--chunk", "0"],
+        ["run", "fig1a", "--trial-indices", "0,1"],
+        ["run", "fig1a", "--chunk", "0", "--trial-indices", "0,1",
+         "--shard", "0/2"],
+        ["run", "fig1a", "--chunk", "0", "--trial-indices", "0,1",
+         "--backend", "serial"],
+        ["run", "fig1a", "--chunk", "0", "--trial-indices", "0,1",
+         "--retries", "1"],
+        ["run", "fig1a", "--chunk", "0", "--trial-indices", "nope"],
+        ["run", "fig1a", "--chunk", "0", "--trial-indices", ","],
+    ])
+    def test_chunk_worker_flag_validation(self, argv, tmp_path):
+        with pytest.raises(SystemExit):
+            main(argv + ["--out", str(tmp_path)])
+
+    def test_chunk_worker_streams_and_merge_discovers_chunks(
+        self, tmp_path, capsys
+    ):
+        for chunk_id, indices in enumerate(["0,1", "2,3"]):
+            code = main([
+                "run", "fig1a", "--trials", "4", "--seed", "2",
+                "--chunk", str(chunk_id), "--trial-indices", indices,
+                "--out", str(tmp_path), "--quiet",
+            ])
+            assert code == 0
+        assert len(list(tmp_path.glob("fig1a.chunk-*.trials.jsonl"))) == 2
+        assert main([
+            "merge", "fig1a", "--out", str(tmp_path), "--quiet",
+        ]) == 0
+        merged = json.loads((tmp_path / "fig1a.json").read_text())
+        serial_dir = tmp_path / "serial"
+        assert main([
+            "run", "fig1a", "--trials", "4", "--seed", "2",
+            "--out", str(serial_dir), "--quiet",
+        ]) == 0
+        serial = json.loads((serial_dir / "fig1a.json").read_text())
+        assert merged == serial

@@ -178,3 +178,95 @@ class TestCrashResume:
             "stream-crashing", trials=4, seed=7, params=params,
         )
         assert resumed.to_json() == baseline.to_json()
+
+
+class TestTornStreams:
+    """Crash-truncated JSONL: a torn trailing line (interrupted append)
+    must not kill the resume — the torn record is dropped, its trial
+    re-runs, and the truncated file stays parseable afterwards."""
+
+    def test_resume_drops_torn_trailing_line_and_reruns_it(self, tmp_path):
+        path = tmp_path / "run.trials.jsonl"
+        baseline = run_scenario(
+            "stream-counting", trials=3, seed=5, stream_path=path
+        )
+        lines = path.read_text().splitlines()
+        # Simulate a crash mid-append: the last record is half-written.
+        path.write_text("\n".join(lines[:-1]) + "\n" + lines[-1][:17])
+        torn_index = json.loads(lines[-1])["trial_index"]
+        EXECUTIONS.clear()
+        with pytest.warns(RuntimeWarning, match="torn trailing record"):
+            resumed = run_scenario(
+                "stream-counting", trials=3, seed=5, stream_path=path,
+                resume=True,
+            )
+        assert EXECUTIONS == [torn_index]  # only the torn trial re-ran
+        assert resumed.to_json() == baseline.to_json()
+        # The file was truncated before the re-append: every line parses.
+        for line in path.read_text().splitlines():
+            json.loads(line)
+
+    def test_resume_rejects_corrupt_middle_line(self, tmp_path):
+        path = tmp_path / "run.trials.jsonl"
+        run_scenario("stream-counting", trials=3, seed=5, stream_path=path)
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1][:13]  # corruption *before* intact records
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="corrupt"):
+            run_scenario(
+                "stream-counting", trials=3, seed=5, stream_path=path,
+                resume=True,
+            )
+
+    def test_resume_with_torn_header_starts_over(self, tmp_path):
+        path = tmp_path / "run.trials.jsonl"
+        path.write_text('{"type": "hea')  # crash mid-header-write
+        with pytest.warns(RuntimeWarning, match="header is torn"):
+            result = run_scenario(
+                "stream-counting", trials=2, seed=5, stream_path=path,
+                resume=True,
+            )
+        assert sorted(EXECUTIONS) == [0, 1]  # nothing replayable: full run
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert lines[0]["type"] == "header"
+        assert result.trials == 2
+
+    def test_read_stream_tolerates_torn_tail(self, tmp_path):
+        from repro.experiments import read_stream
+
+        path = tmp_path / "run.trials.jsonl"
+        run_scenario("stream-counting", trials=3, seed=5, stream_path=path)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n" + lines[-1][:9])
+        with pytest.warns(RuntimeWarning, match="torn trailing record"):
+            header, records = read_stream(path)
+        assert header["scenario"] == "stream-counting"
+        assert len(records) == 2  # three trial records minus the torn one
+
+    def test_resume_rejects_corrupt_header_with_records_after(self, tmp_path):
+        """A bad header ABOVE intact records is corruption, not a torn
+        write — resume must raise, not silently wipe the records."""
+        path = tmp_path / "run.trials.jsonl"
+        run_scenario("stream-counting", trials=3, seed=5, stream_path=path)
+        lines = path.read_text().splitlines()
+        lines[0] = lines[0][:10]  # corrupt the header, keep the records
+        path.write_text("\n".join(lines) + "\n")
+        before = path.read_text()
+        with pytest.raises(ValueError, match="corrupt"):
+            run_scenario(
+                "stream-counting", trials=3, seed=5, stream_path=path,
+                resume=True,
+            )
+        assert path.read_text() == before  # nothing was wiped
+
+    def test_torn_tail_truncation_leaves_no_tmp_litter(self, tmp_path):
+        path = tmp_path / "run.trials.jsonl"
+        run_scenario("stream-counting", trials=3, seed=5, stream_path=path)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n" + lines[-1][:11])
+        with pytest.warns(RuntimeWarning, match="torn trailing record"):
+            run_scenario(
+                "stream-counting", trials=3, seed=5, stream_path=path,
+                resume=True,
+            )
+        assert list(tmp_path.glob("*.tmp")) == []
