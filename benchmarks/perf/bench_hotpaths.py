@@ -2,9 +2,11 @@
 
 Runs the quick configuration of :func:`repro.bench.run_hotpath_suite` —
 incremental sync vs full resync, argpartition vs argsort BFA scoring,
-controller fast path on vs off for the hammer window and the fig6 swap
-chain, and defended vs undefended window cost — writes the payload to the
-report sink, and asserts every before/after pair kept functional parity.
+vectorized vs legacy nn kernels (forward_backward / bfa_iteration),
+row-batched vs per-bit multi-bit hammer windows, controller fast path on
+vs off for the hammer window and the fig6 swap chain, and defended vs
+undefended window cost — writes the payload to the report sink, and
+asserts every before/after pair kept functional parity.
 
 Run directly for the command-line experience::
 

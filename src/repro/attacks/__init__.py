@@ -11,6 +11,7 @@ from repro.attacks.executor import (
     FlipExecutor,
     LogicalDefenseExecutor,
     SoftwareFlipExecutor,
+    execute_batch,
 )
 from repro.attacks.hammer import HammerExecutor, RowHammerAttacker, TickingDefense
 from repro.attacks.profile import ProfileResult, profile_vulnerable_bits
@@ -34,6 +35,7 @@ __all__ = [
     "FlipExecutor",
     "LogicalDefenseExecutor",
     "SoftwareFlipExecutor",
+    "execute_batch",
     "HammerExecutor",
     "RowHammerAttacker",
     "TickingDefense",

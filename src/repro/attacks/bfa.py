@@ -52,12 +52,19 @@ class BfaConfig:
     # rank scan per layer per iteration.  Parity-tested against the slow
     # path; keep the flag so benchmarks and tests can compare both.
     fast_scoring: bool = True
+    # Micro-batch size for the per-iteration gradient pass
+    # (:func:`repro.nn.train.loss_and_grads`): ``None`` is one full-batch
+    # pass; a smaller value accumulates grads across slices so large
+    # attack batches no longer spike peak activation memory.
+    grad_batch_size: int | None = None
 
     def __post_init__(self) -> None:
         if self.max_iterations < 1:
             raise ValueError("max_iterations must be >= 1")
         if self.exact_eval_top < 1:
             raise ValueError("exact_eval_top must be >= 1")
+        if self.grad_batch_size is not None and self.grad_batch_size < 1:
+            raise ValueError("grad_batch_size must be >= 1 or None")
 
 
 @dataclass(frozen=True)
@@ -279,7 +286,10 @@ class BitFlipAttack:
 
     def _select_flip(self) -> tuple[BitLocation, float] | None:
         """One full inter/intra-layer search step; returns (bit, est gain)."""
-        loss_and_grads(self.qmodel.model, self.attack_x, self.attack_y)
+        loss_and_grads(
+            self.qmodel.model, self.attack_x, self.attack_y,
+            batch_size=self.config.grad_batch_size,
+        )
         per_layer = []
         for layer_index in range(self.qmodel.num_layers):
             candidate = self._layer_best_candidate(layer_index)

@@ -9,10 +9,22 @@ variants — the optimized fast path (``after``) and the legacy slow path
 * ``bfa_scoring`` — one BFA candidate-selection sweep over all layers:
   masked ``argpartition`` top-k with cached bit-deltas vs full argsort
   plus a Python rank scan.
+* ``forward_backward`` — one ``loss_and_grads`` pass (the
+  gradient-dominated core of every BFA iteration) with the vectorized
+  ``nn.functional`` kernels vs the legacy per-``(kh, kw)``-loop kernels
+  (``REPRO_NN_VECTORIZED=0``); loss and every parameter gradient must be
+  byte-identical.  The full suite runs the sweep-scale attack batch.
 * ``bfa_iteration`` — one full BFA ``_select_flip`` (gradients + ranking
-  + exact evaluation) under both scoring modes.
+  + exact evaluation): legacy kernels + argsort scoring vs vectorized
+  kernels + fast scoring (the complete pre-/post-optimization stacks).
 * ``hammer_window`` — one single-bit hammer window through the memory
   controller with the controller fast path on vs off.
+* ``multi_bit_window`` — realising a multi-bit flip set (several target
+  bits per victim row, the T-BFA regime): per-bit sequential windows
+  separated by a refresh (the only schedule under which the sequential
+  path lands same-row multi-bit sets — a discharged cell cannot flip
+  again within one refresh interval) vs the row-batched
+  ``attempt_flips`` path sharing one window and one model sync per row.
 * ``fig6_trial`` — one full ``fig6`` scenario trial (the pipelined swap
   chain) with the controller fast path on vs off.
 * ``sweep_trial`` — one full ``sweep-hammer-rate`` trial (a T_RH grid of
@@ -211,11 +223,67 @@ def bench_bfa_scoring(quick: bool) -> dict:
     )
 
 
-def bench_bfa_iteration(quick: bool) -> dict:
-    """One full BFA search step (gradients + ranking + exact eval)."""
-    reps = 3 if quick else 8
+def _grad_bytes(model) -> list[bytes]:
+    """Bytes of every parameter gradient, in deterministic name order."""
+    return [
+        param.grad.tobytes()
+        for _, param in sorted(model.named_parameters())
+    ]
+
+
+def bench_forward_backward(quick: bool) -> dict:
+    """One loss_and_grads pass: vectorized vs legacy nn kernels.
+
+    The gradient pass dominates every BFA/T-BFA iteration.  ``before``
+    runs the legacy per-``(kh, kw)``-loop kernels
+    (``REPRO_NN_VECTORIZED=0``); ``after`` runs the strided
+    ``sliding_window_view`` kernels with pooled scratch buffers and the
+    fused eval-mode batch norm.  Parity demands a byte-identical loss
+    *and* byte-identical gradients for every parameter — the vectorized
+    path only changes data movement, never float evaluation order.  The
+    full suite times the sweep-scale attack batch (256), where the
+    legacy path also pays per-call large-buffer page faults.
+    """
+    reps = 5 if quick else 6
+    batch = 64 if quick else 256
     qmodel = _bench_model()
-    x, y = _attack_batch()
+    x, y = _attack_batch(batch)
+
+    def run(vectorized: str):
+        with _env_override("REPRO_NN_VECTORIZED", vectorized):
+            times = _timed(
+                lambda: loss_and_grads(qmodel.model, x, y), reps
+            )
+            loss = loss_and_grads(qmodel.model, x, y)
+        return times, loss, _grad_bytes(qmodel.model)
+
+    before, loss_slow, grads_slow = run("0")
+    after, loss_fast, grads_fast = run("1")
+    parity = loss_fast == loss_slow and grads_fast == grads_slow
+    return _entry(
+        "forward_backward",
+        f"one eval-mode loss_and_grads pass (batch {batch}, "
+        f"{qmodel.total_weights} weights), grads byte-compared",
+        reps,
+        {"before": _stats(before), "after": _stats(after)},
+        parity,
+    )
+
+
+def bench_bfa_iteration(quick: bool) -> dict:
+    """One full BFA search step (gradients + ranking + exact eval).
+
+    ``before`` is the complete pre-optimization stack — legacy nn
+    kernels (``REPRO_NN_VECTORIZED=0``) plus the argsort candidate scan;
+    ``after`` is the vectorized kernels plus argpartition fast scoring.
+    Parity compares the selected (bit, estimated gain), which requires
+    the two stacks' gradients to agree bit for bit.  The full suite
+    runs the sweep-scale attack batch.
+    """
+    reps = 3 if quick else 4
+    batch = 64 if quick else 256
+    qmodel = _bench_model()
+    x, y = _attack_batch(batch)
     config = dict(max_iterations=1, exact_eval_top=4)
     fast = BitFlipAttack(
         qmodel, x, y, config=BfaConfig(fast_scoring=True, **config)
@@ -223,12 +291,20 @@ def bench_bfa_iteration(quick: bool) -> dict:
     slow = BitFlipAttack(
         qmodel, x, y, config=BfaConfig(fast_scoring=False, **config)
     )
-    before = _timed(slow._select_flip, reps)
-    after = _timed(fast._select_flip, reps)
-    parity = fast._select_flip() == slow._select_flip()
+
+    def run(attack, vectorized: str):
+        with _env_override("REPRO_NN_VECTORIZED", vectorized):
+            times = _timed(attack._select_flip, reps)
+            selected = attack._select_flip()
+        return times, selected
+
+    before, selected_slow = run(slow, "0")
+    after, selected_fast = run(fast, "1")
+    parity = selected_fast == selected_slow
     return _entry(
         "bfa_iteration",
-        "one _select_flip (loss+grads, ranking, exact eval of top 4)",
+        f"one _select_flip (loss+grads, ranking, exact eval of top 4) at "
+        f"batch {batch}: legacy kernels + argsort vs vectorized + top-k",
         reps,
         {"before": _stats(before), "after": _stats(after)},
         parity,
@@ -279,6 +355,83 @@ def bench_hammer_window(quick: bool) -> dict:
     return _entry(
         "hammer_window",
         "attempt_flip of one weight bit (T_RH=1000, no defense) incl. sync",
+        reps,
+        {"before": _stats(before), "after": _stats(after)},
+        parity,
+    )
+
+
+def _multi_bit_targets(layout, rows: int, bits_per_row: int):
+    """Target bits on ``rows`` distinct victim rows, ``bits_per_row``
+    bits each (the first weight byte(s) of each row's slot)."""
+    targets = []
+    slots = [slot for slot in layout.slots if slot.length >= 1][:rows]
+    if len(slots) < rows:
+        raise ValueError(f"layout has only {len(slots)} usable rows")
+    for slot in slots:
+        for bit in range(bits_per_row):
+            targets.append(
+                BitLocation(
+                    slot.layer, slot.byte_offset + bit // 8, bit % 8
+                )
+            )
+    return targets
+
+
+def bench_multi_bit_window(quick: bool) -> dict:
+    """Multi-bit flip set: per-bit windows vs row-batched windows.
+
+    Realises the T-BFA / limited-budget multi-bit regime: several target
+    bits per victim row.  ``before`` is the sequential path — one
+    ``attempt_flip`` window per bit, each separated by a refresh, which
+    is the only schedule under which sequential windows land same-row
+    multi-bit sets (a discharged cell cannot flip again until the next
+    refresh recharges it).  ``after`` is the batched ``attempt_flips``
+    path: all of a row's target bits declared together, one shared
+    ``T_RH`` window and one post-window model sync per row.  Parity
+    demands identical per-bit outcomes and byte-identical final model
+    weights.  The full suite runs a sweep-scale flip set.
+    """
+    reps = 3 if quick else 6
+    rows = 2 if quick else 8
+    bits_per_row = 8
+
+    def run(batched: bool):
+        qmodel = _bench_model()
+        controller, layout = _bench_layout(qmodel, fast_path=True)
+        attacker = RowHammerAttacker(controller, layout)
+        targets = _multi_bit_targets(layout, rows, bits_per_row)
+        times, outcome_sets = [], []
+        for rep in range(reps + 1):  # first rep warms caches
+            start = time.perf_counter()
+            if batched:
+                outcomes = attacker.attempt_flips(targets, max_windows=1)
+                controller.advance_time(controller.ns_until_refresh())
+            else:
+                outcomes = []
+                for target in targets:
+                    outcomes.append(
+                        attacker.attempt_flip(target, max_windows=1)
+                    )
+                    # Recharge before the next bit: without the refresh a
+                    # second same-row flip is physically impossible.
+                    controller.advance_time(controller.ns_until_refresh())
+            elapsed = time.perf_counter() - start
+            if rep > 0:
+                times.append(elapsed)
+            outcome_sets.append(outcomes)
+        return times, outcome_sets, [
+            layer.packed_bytes().tobytes() for layer in qmodel.layers
+        ]
+
+    before, outcomes_slow, bytes_slow = run(batched=False)
+    after, outcomes_fast, bytes_fast = run(batched=True)
+    parity = outcomes_fast == outcomes_slow and bytes_fast == bytes_slow
+    return _entry(
+        "multi_bit_window",
+        f"{rows * bits_per_row}-bit flip set over {rows} victim rows "
+        f"({bits_per_row} bits/row, T_RH=1000, no defense): per-bit "
+        "windows vs row-batched attempt_flips",
         reps,
         {"before": _stats(before), "after": _stats(after)},
         parity,
@@ -516,8 +669,10 @@ def bench_defended_vs_undefended(quick: bool) -> dict:
 HOTPATH_BENCHMARKS: dict[str, Callable[[bool], dict]] = {
     "sync_post_window": bench_sync_post_window,
     "bfa_scoring": bench_bfa_scoring,
+    "forward_backward": bench_forward_backward,
     "bfa_iteration": bench_bfa_iteration,
     "hammer_window": bench_hammer_window,
+    "multi_bit_window": bench_multi_bit_window,
     "fig6_trial": bench_fig6_trial,
     "sweep_trial": bench_sweep_trial,
     "straggler_sweep": bench_straggler_sweep,

@@ -213,11 +213,22 @@ class MemoryController:
     def declare_attack_targets(
         self, victim_physical: RowAddress, bits: Iterable[int]
     ) -> None:
-        """Register the bits the attacker intends to flip in a victim row."""
+        """Register the bits the attacker intends to flip in a victim row.
+
+        ``bits`` may carry a whole multi-bit flip set at once — the
+        batched hammer path (:meth:`repro.attacks.hammer.
+        RowHammerAttacker.attempt_flips`) declares every target bit of a
+        victim row in one call, so a single threshold crossing resolves
+        the full set.
+        """
         self.device.mapper.validate(victim_physical)
         self._declared_targets.setdefault(victim_physical, set()).update(
             int(b) for b in bits
         )
+
+    def attack_targets(self, victim_physical: RowAddress) -> frozenset[int]:
+        """Currently declared target bits for a physical victim row."""
+        return frozenset(self._declared_targets.get(victim_physical, ()))
 
     def clear_attack_targets(self, victim_physical: RowAddress | None = None) -> None:
         if victim_physical is None:

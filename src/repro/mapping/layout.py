@@ -22,6 +22,7 @@ rows usually hold unrelated data, as in a real co-located deployment.
 from __future__ import annotations
 
 import os
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 import numpy as np
@@ -162,6 +163,18 @@ class WeightLayout:
         slot = slots[location.index // self.row_bytes]
         byte_in_row = location.index - slot.byte_offset
         return slot.logical_row, byte_in_row * 8 + location.bit
+
+    def locate_bits(
+        self, locations: Sequence[BitLocation]
+    ) -> list[tuple[RowAddress, int]]:
+        """Map many weight bits to (logical row, bit-in-row) pairs.
+
+        The batched counterpart of :meth:`locate_bit`, used by the
+        multi-bit hammer path (:meth:`repro.attacks.hammer.
+        RowHammerAttacker.attempt_flips`) to group targets by victim row;
+        validation matches the scalar method exactly.
+        """
+        return [self.locate_bit(location) for location in locations]
 
     def slot_for_row(self, logical_row: RowAddress) -> RowSlot | None:
         return self._slot_by_row.get(logical_row)

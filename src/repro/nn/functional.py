@@ -5,15 +5,37 @@ matrix multiply per layer; pooling supports the disjoint-window case
 (``kernel == stride``) used by the VGG/ResNet configurations in this
 reproduction; cross-entropy fuses log-softmax and NLL with the standard
 ``softmax - onehot`` gradient.
+
+Two functionally identical kernel paths exist (selected per call by
+:func:`vectorized_default`, env ``REPRO_NN_VECTORIZED``):
+
+* the **vectorized** default — ``sliding_window_view`` strided im2col,
+  pooled scratch buffers reused across calls, in-place/``out=`` matmuls,
+  a fused eval-mode batch-norm node with cached constants, and lazy
+  backward preparation (pooling argmax masks are only built when a
+  gradient can actually flow);
+* the **legacy** path — the original per-``(kh, kw)`` Python loops and
+  per-op autograd graph, kept as the verifiable parity reference for
+  ``repro bench`` (``forward_backward``) and the parity tests.
+
+Both paths produce byte-identical outputs and gradients: the vectorized
+kernels only change data movement (strided copies, buffer reuse) and
+fuse elementwise chains in the exact evaluation order of the legacy
+graph, never the floating-point reduction order.
 """
 
 from __future__ import annotations
 
-import numpy as np
+import os
 
-from repro.nn.tensor import Tensor
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from repro.nn.tensor import Tensor, _unbroadcast, is_grad_enabled
 
 __all__ = [
+    "vectorized_default",
+    "BatchNormEvalCache",
     "im2col",
     "col2im",
     "conv2d",
@@ -28,6 +50,19 @@ __all__ = [
     "dropout",
 ]
 
+_VEC_ENV = "REPRO_NN_VECTORIZED"
+
+
+def vectorized_default() -> bool:
+    """Resolve the kernel-path default (env-overridable).
+
+    ``REPRO_NN_VECTORIZED=0`` forces the legacy per-``(kh, kw)``-loop
+    kernels; anything else (including unset) enables the strided
+    vectorized path.  The ``repro bench`` harness uses the toggle to
+    measure before/after on the same process.
+    """
+    return os.environ.get(_VEC_ENV, "1") != "0"
+
 
 def _pair(value) -> tuple[int, int]:
     if isinstance(value, (tuple, list)):
@@ -38,14 +73,50 @@ def _pair(value) -> tuple[int, int]:
 
 
 # ---------------------------------------------------------------------- #
-# im2col / col2im
+# Scratch-buffer pool
 # ---------------------------------------------------------------------- #
 
-def im2col(
-    x: np.ndarray, kh: int, kw: int, stride: int, padding: int
-) -> np.ndarray:
-    """Unfold ``(N, C, H, W)`` into ``(N, C*kh*kw, OH*OW)`` patch columns."""
-    n, c, h, w = x.shape
+class _BufferPool:
+    """Free-list of scratch arrays keyed by ``(shape, dtype)``.
+
+    The convolution hot path allocates multi-megabyte column/padding
+    buffers on every call; page-faulting those in dominates im2col time.
+    The pool recycles them: ``acquire`` pops a previously released array
+    (contents are garbage — callers must overwrite or ``fill``),
+    ``release`` returns it.  Arrays handed to callers that never release
+    (e.g. a conv graph discarded before ``backward``) are simply
+    garbage-collected; the pool only ever misses, never corrupts.
+
+    Single-threaded by design, like the autograd engine itself; process
+    pools fork fresh interpreters and therefore fresh pools.
+    """
+
+    def __init__(self, max_per_key: int = 4):
+        self.max_per_key = max_per_key
+        self._free: dict[tuple, list[np.ndarray]] = {}
+
+    def acquire(self, shape: tuple[int, ...], dtype) -> np.ndarray:
+        key = (shape, np.dtype(dtype).str)
+        free = self._free.get(key)
+        if free:
+            return free.pop()
+        return np.empty(shape, dtype=dtype)
+
+    def release(self, array: np.ndarray | None) -> None:
+        if array is None or array.base is not None:
+            return  # only whole allocations are poolable, never views
+        key = (array.shape, array.dtype.str)
+        free = self._free.setdefault(key, [])
+        if len(free) < self.max_per_key:
+            free.append(array)
+
+
+_POOL = _BufferPool()
+
+
+def _conv_geometry(
+    h: int, w: int, kh: int, kw: int, stride: int, padding: int
+) -> tuple[int, int]:
     oh = (h + 2 * padding - kh) // stride + 1
     ow = (w + 2 * padding - kw) // stride + 1
     if oh <= 0 or ow <= 0:
@@ -53,6 +124,43 @@ def im2col(
             f"kernel ({kh}x{kw}, stride={stride}, padding={padding}) does not "
             f"fit input {h}x{w}"
         )
+    return oh, ow
+
+
+# ---------------------------------------------------------------------- #
+# im2col / col2im
+# ---------------------------------------------------------------------- #
+
+def _pad_pooled(x: np.ndarray, padding: int) -> np.ndarray:
+    """Zero-pad the spatial dims into a pooled scratch buffer."""
+    n, c, h, w = x.shape
+    buf = _POOL.acquire((n, c, h + 2 * padding, w + 2 * padding), x.dtype)
+    buf.fill(0)
+    buf[:, :, padding:-padding, padding:-padding] = x
+    return buf
+
+
+def _im2col_fast(
+    x: np.ndarray, kh: int, kw: int, stride: int, padding: int,
+    oh: int, ow: int, cols6: np.ndarray,
+) -> np.ndarray:
+    """Strided-view im2col into a caller-supplied ``(n,c,kh,kw,oh,ow)``
+    buffer; returns it reshaped to ``(n, c*kh*kw, oh*ow)``."""
+    n, c = x.shape[:2]
+    padded = _pad_pooled(x, padding) if padding else x
+    windows = sliding_window_view(padded, (kh, kw), axis=(2, 3))
+    windows = windows[:, :, ::stride, ::stride]       # (n, c, oh, ow, kh, kw)
+    np.copyto(cols6, windows.transpose(0, 1, 4, 5, 2, 3))
+    if padding:
+        _POOL.release(padded)
+    return cols6.reshape(n, c * kh * kw, oh * ow)
+
+
+def _im2col_legacy(
+    x: np.ndarray, kh: int, kw: int, stride: int, padding: int,
+    oh: int, ow: int,
+) -> np.ndarray:
+    n, c = x.shape[:2]
     if padding:
         x = np.pad(
             x, ((0, 0), (0, 0), (padding, padding), (padding, padding))
@@ -66,6 +174,48 @@ def im2col(
     return cols.reshape(n, c * kh * kw, oh * ow)
 
 
+def im2col(
+    x: np.ndarray, kh: int, kw: int, stride: int, padding: int
+) -> np.ndarray:
+    """Unfold ``(N, C, H, W)`` into ``(N, C*kh*kw, OH*OW)`` patch columns."""
+    n, c, h, w = x.shape
+    oh, ow = _conv_geometry(h, w, kh, kw, stride, padding)
+    if not vectorized_default():
+        return _im2col_legacy(x, kh, kw, stride, padding, oh, ow)
+    cols6 = np.empty((n, c, kh, kw, oh, ow), dtype=x.dtype)
+    return _im2col_fast(x, kh, kw, stride, padding, oh, ow, cols6)
+
+
+def _col2im_into(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int,
+    padding: int,
+    padded: np.ndarray,
+) -> np.ndarray:
+    """Fold columns into a caller-supplied padded buffer (zeroed here).
+
+    The accumulation runs in the same ``(i, j)`` order as the legacy
+    loop so overlapping windows sum in an identical floating-point
+    order — the result is byte-identical, only the buffer is reused.
+    """
+    n, c, h, w = x_shape
+    oh = (h + 2 * padding - kh) // stride + 1
+    ow = (w + 2 * padding - kw) // stride + 1
+    cols6 = cols.reshape(n, c, kh, kw, oh, ow)
+    padded.fill(0)
+    for i in range(kh):
+        i_end = i + stride * oh
+        for j in range(kw):
+            j_end = j + stride * ow
+            padded[:, :, i:i_end:stride, j:j_end:stride] += cols6[:, :, i, j]
+    if padding:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded
+
+
 def col2im(
     cols: np.ndarray,
     x_shape: tuple[int, int, int, int],
@@ -76,18 +226,10 @@ def col2im(
 ) -> np.ndarray:
     """Fold patch columns back to an input-shaped array (adjoint of im2col)."""
     n, c, h, w = x_shape
-    oh = (h + 2 * padding - kh) // stride + 1
-    ow = (w + 2 * padding - kw) // stride + 1
-    cols = cols.reshape(n, c, kh, kw, oh, ow)
-    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
-    for i in range(kh):
-        i_end = i + stride * oh
-        for j in range(kw):
-            j_end = j + stride * ow
-            padded[:, :, i:i_end:stride, j:j_end:stride] += cols[:, :, i, j]
-    if padding:
-        return padded[:, :, padding:-padding, padding:-padding]
-    return padded
+    padded = np.zeros(
+        (n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype
+    )
+    return _col2im_into(cols, x_shape, kh, kw, stride, padding, padded)
 
 
 # ---------------------------------------------------------------------- #
@@ -106,18 +248,42 @@ def conv2d(
     f, wc, kh, kw = weight.shape
     if wc != c:
         raise ValueError(f"input has {c} channels but weight expects {wc}")
-    oh = (h + 2 * padding - kh) // stride + 1
-    ow = (w + 2 * padding - kw) // stride + 1
-    cols = im2col(x.data, kh, kw, stride, padding)        # (N, CKK, L)
+    oh, ow = _conv_geometry(h, w, kh, kw, stride, padding)
+    vectorized = vectorized_default()
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    needs_grad = is_grad_enabled() and any(p.requires_grad for p in parents)
     w2d = weight.data.reshape(f, -1)                      # (F, CKK)
+
+    if vectorized:
+        cols6 = _POOL.acquire((n, c, kh, kw, oh, ow), x.dtype)
+        cols = _im2col_fast(x.data, kh, kw, stride, padding, oh, ow, cols6)
+    else:
+        cols6 = None
+        cols = _im2col_legacy(x.data, kh, kw, stride, padding, oh, ow)
     out = w2d @ cols                                      # (N, F, L)
     out = out.reshape(n, f, oh, ow)
     if bias is not None:
-        out = out + bias.data.reshape(1, f, 1, 1)
+        if vectorized:
+            np.add(out, bias.data.reshape(1, f, 1, 1), out=out)
+        else:
+            out = out + bias.data.reshape(1, f, 1, 1)
 
-    parents = (x, weight) if bias is None else (x, weight, bias)
+    if not needs_grad:
+        _POOL.release(cols6)
+        return Tensor(out)
+
+    x_shape = x.data.shape
 
     def backward_fn(grad: np.ndarray) -> None:
+        nonlocal cols, cols6
+        if cols is None:
+            # Released by a previous backward (pooled-buffer path);
+            # rebuild from the still-live input so double-backward keeps
+            # the legacy semantics.
+            cols6 = _POOL.acquire((n, c, kh, kw, oh, ow), x.data.dtype)
+            cols = _im2col_fast(
+                x.data, kh, kw, stride, padding, oh, ow, cols6
+            )
         grad2d = grad.reshape(n, f, oh * ow)              # (N, F, L)
         if weight.requires_grad:
             # Sum over batch of dout @ cols^T.
@@ -126,9 +292,26 @@ def conv2d(
         if bias is not None and bias.requires_grad:
             Tensor._accumulate(bias, grad.sum(axis=(0, 2, 3)))
         if x.requires_grad:
-            grad_cols = w2d.T @ grad2d                    # (N, CKK, L)
-            grad_x = col2im(grad_cols, x.data.shape, kh, kw, stride, padding)
-            Tensor._accumulate(x, grad_x)
+            if vectorized:
+                grad_cols = _POOL.acquire(cols.shape, grad.dtype)
+                np.matmul(w2d.T, grad2d, out=grad_cols)   # (N, CKK, L)
+                padded = _POOL.acquire(
+                    (n, c, h + 2 * padding, w + 2 * padding), grad.dtype
+                )
+                grad_x = _col2im_into(
+                    grad_cols, x_shape, kh, kw, stride, padding, padded
+                )
+                Tensor._accumulate(x, grad_x)
+                _POOL.release(grad_cols)
+                _POOL.release(padded)
+            else:
+                grad_cols = w2d.T @ grad2d                # (N, CKK, L)
+                grad_x = col2im(grad_cols, x_shape, kh, kw, stride, padding)
+                Tensor._accumulate(x, grad_x)
+        if cols6 is not None:
+            _POOL.release(cols6)
+            cols = None
+            cols6 = None
 
     return Tensor._make(out, parents, backward_fn)
 
@@ -161,13 +344,17 @@ def max_pool2d(x: Tensor, kernel_size) -> Tensor:
     oh, ow = h // kh, w // kw
     windows = x.data.reshape(n, c, oh, kh, ow, kw)
     out = windows.max(axis=(3, 5))
+    if vectorized_default() and not (is_grad_enabled() and x.requires_grad):
+        # Inference: the argmax mask is backward-only state — skip it.
+        return Tensor(out)
     # Mask of argmax positions for the backward pass; axes reordered so each
     # window's kh*kw elements are contiguous, then ties broken to the first
-    # maximum per window.
-    mask = windows == out[:, :, :, None, :, None]       # (n,c,oh,kh,ow,kw)
-    flat = mask.transpose(0, 1, 2, 4, 3, 5).reshape(-1, kh * kw)
+    # maximum per window (np.argmax returns the first maximal element, so
+    # taking it over the raw window values matches the legacy
+    # argmax-over-equality-mask selection bit for bit).
+    flat = windows.transpose(0, 1, 2, 4, 3, 5).reshape(-1, kh * kw)
     first = np.argmax(flat, axis=1)
-    tie = np.zeros_like(flat)
+    tie = np.zeros(flat.shape, dtype=bool)
     tie[np.arange(tie.shape[0]), first] = True
     tie_mask = (
         tie.reshape(n, c, oh, ow, kh, kw).transpose(0, 1, 2, 4, 3, 5)
@@ -208,6 +395,90 @@ def global_avg_pool2d(x: Tensor) -> Tensor:
 # Batch normalisation
 # ---------------------------------------------------------------------- #
 
+class BatchNormEvalCache:
+    """Eval-mode batch-norm constants, cached between forwards.
+
+    Eval-mode batch norm uses the frozen running statistics, so
+    ``mean.reshape(1, C, 1, 1)`` and ``1/sqrt(var + eps)`` are loop
+    invariants across every inference/attack forward — yet the legacy
+    path rebuilt both (and wrapped ``inv_std`` in a throwaway
+    :class:`Tensor` that joined the autograd graph) on each call.  The
+    cache holds them as plain ndarrays — they can never require grad or
+    allocate grad buffers — and self-invalidates by comparing snapshots
+    of the running buffers, so in-place updates (training forwards,
+    ``load_state_dict``) are picked up on the next eval forward.
+    """
+
+    __slots__ = ("_mean_src", "_var_src", "_eps", "mean4", "inv_std4")
+
+    def __init__(self):
+        self._mean_src: np.ndarray | None = None
+        self._var_src: np.ndarray | None = None
+        self._eps: float | None = None
+        self.mean4: np.ndarray | None = None
+        self.inv_std4: np.ndarray | None = None
+
+    def constants(
+        self, running_mean: np.ndarray, running_var: np.ndarray, eps: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        if (
+            self._mean_src is not None
+            and self._eps == eps
+            and np.array_equal(self._mean_src, running_mean)
+            and np.array_equal(self._var_src, running_var)
+        ):
+            return self.mean4, self.inv_std4
+        c = running_mean.shape[0]
+        self._mean_src = running_mean.copy()
+        self._var_src = running_var.copy()
+        self._eps = eps
+        self.mean4 = self._mean_src.reshape(1, c, 1, 1)
+        self.inv_std4 = 1.0 / np.sqrt(
+            self._var_src.reshape(1, c, 1, 1) + eps
+        )
+        return self.mean4, self.inv_std4
+
+
+def _batch_norm2d_eval_fused(
+    x: Tensor,
+    gamma: Tensor,
+    beta: Tensor,
+    running_mean: np.ndarray,
+    running_var: np.ndarray,
+    eps: float,
+    cache: BatchNormEvalCache | None,
+) -> Tensor:
+    """Fused eval-mode batch norm: one graph node instead of four.
+
+    Forward and backward replicate the legacy elementwise chain
+    ``((x - mean) * inv_std) * gamma + beta`` operation for operation,
+    so outputs and gradients are byte-identical; only the intermediate
+    graph nodes (and the recomputed constants) are gone.
+    """
+    c = x.shape[1]
+    if cache is None:
+        cache = BatchNormEvalCache()
+    mean4, inv_std4 = cache.constants(running_mean, running_var, eps)
+    gamma4 = gamma.data.reshape(1, c, 1, 1)
+    xhat = (x.data - mean4) * inv_std4
+    out = xhat * gamma4 + beta.data.reshape(1, c, 1, 1)
+
+    def backward_fn(grad: np.ndarray) -> None:
+        if gamma.requires_grad:
+            Tensor._accumulate(
+                gamma,
+                _unbroadcast(grad * xhat, (1, c, 1, 1)).reshape(gamma.shape),
+            )
+        if beta.requires_grad:
+            Tensor._accumulate(
+                beta, _unbroadcast(grad, (1, c, 1, 1)).reshape(beta.shape)
+            )
+        if x.requires_grad:
+            Tensor._accumulate(x, (grad * gamma4) * inv_std4)
+
+    return Tensor._make(out, (x, gamma, beta), backward_fn)
+
+
 def batch_norm2d(
     x: Tensor,
     gamma: Tensor,
@@ -217,14 +488,21 @@ def batch_norm2d(
     training: bool,
     momentum: float = 0.1,
     eps: float = 1e-5,
+    eval_cache: BatchNormEvalCache | None = None,
 ) -> Tensor:
     """Per-channel batch norm over ``(N, C, H, W)``.
 
     In training mode the batch statistics are used (and the running buffers
     updated in place); in eval mode the running statistics are constants,
-    so only the affine part participates in autograd.
+    so only the affine part participates in autograd.  ``eval_cache`` (see
+    :class:`BatchNormEvalCache`) lets a layer reuse the eval constants
+    across forwards on the vectorized path.
     """
     c = x.shape[1]
+    if not training and vectorized_default():
+        return _batch_norm2d_eval_fused(
+            x, gamma, beta, running_mean, running_var, eps, eval_cache
+        )
     gamma4 = gamma.reshape(1, c, 1, 1)
     beta4 = beta.reshape(1, c, 1, 1)
     if training:
@@ -268,18 +546,32 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
     return log_softmax(x, axis=axis).exp()
 
 
-def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
-    """Mean cross-entropy between ``(N, K)`` logits and integer targets."""
+def _log_probs(logits: Tensor, targets: np.ndarray) -> np.ndarray:
+    """Validated per-row log-probabilities shared by the CE variants."""
     targets = np.asarray(targets)
     if targets.ndim != 1:
-        raise ValueError(f"targets must be 1-D class indices, got {targets.shape}")
+        raise ValueError(
+            f"targets must be 1-D class indices, got {targets.shape}"
+        )
     n, k = logits.shape
     if targets.shape[0] != n:
         raise ValueError(f"{n} logits rows but {targets.shape[0]} targets")
+    if n == 0:
+        raise ValueError(
+            "cross_entropy requires a non-empty batch (got 0 samples); "
+            "the mean loss of an empty batch is undefined"
+        )
     if targets.min() < 0 or targets.max() >= k:
         raise ValueError("target class index out of range")
     shifted = logits.data - logits.data.max(axis=1, keepdims=True)
-    log_probs = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+    return shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean cross-entropy between ``(N, K)`` logits and integer targets."""
+    targets = np.asarray(targets)
+    log_probs = _log_probs(logits, targets)
+    n = logits.shape[0]
     loss_value = -log_probs[np.arange(n), targets].mean()
     probs = np.exp(log_probs)
 
@@ -291,6 +583,43 @@ def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
 
     return Tensor._make(np.asarray(loss_value, dtype=logits.dtype),
                         (logits,), backward_fn)
+
+
+def cross_entropy_slice(
+    logits: Tensor, targets: np.ndarray, normalizer: int
+) -> tuple[Tensor, np.ndarray]:
+    """Cross-entropy for one micro-batch slice of a larger batch.
+
+    Returns ``(loss, per_sample)`` where ``per_sample`` holds each row's
+    negative log-likelihood and ``loss`` backpropagates with the
+    *full-batch* scaling ``1/normalizer`` — exactly the per-sample logit
+    gradient the single-pass mean loss produces, so slice-wise backward
+    passes accumulate the same contributions as one full pass.  The
+    scalar ``loss`` value (``per_sample.sum() / normalizer``) is a slice
+    partial; callers reconstruct the batch loss from the concatenated
+    ``per_sample`` vectors (see
+    :func:`repro.nn.train.loss_and_grads`).
+    """
+    if normalizer < 1:
+        raise ValueError(f"normalizer must be >= 1, got {normalizer}")
+    targets = np.asarray(targets)
+    log_probs = _log_probs(logits, targets)
+    n = logits.shape[0]
+    per_sample = -log_probs[np.arange(n), targets]
+    loss_value = per_sample.sum() / normalizer
+    probs = np.exp(log_probs)
+
+    def backward_fn(grad: np.ndarray) -> None:
+        g = probs.copy()
+        g[np.arange(n), targets] -= 1.0
+        g *= float(grad) / normalizer
+        Tensor._accumulate(logits, g)
+
+    return (
+        Tensor._make(np.asarray(loss_value, dtype=logits.dtype),
+                     (logits,), backward_fn),
+        per_sample,
+    )
 
 
 def dropout(x: Tensor, p: float, training: bool,

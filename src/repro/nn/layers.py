@@ -127,6 +127,10 @@ class BatchNorm2d(Module):
             "running_mean": np.zeros(num_features, dtype=np.float32),
             "running_var": np.ones(num_features, dtype=np.float32),
         }
+        # Eval-mode constants (reshaped running stats, 1/sqrt(var+eps)) as
+        # plain non-grad ndarrays; self-invalidates when the running
+        # buffers change (training forwards, load_state_dict).
+        self._eval_cache = F.BatchNormEvalCache()
 
     @property
     def running_mean(self) -> np.ndarray:
@@ -146,6 +150,7 @@ class BatchNorm2d(Module):
             training=self.training,
             momentum=self.momentum,
             eps=self.eps,
+            eval_cache=self._eval_cache,
         )
 
     def __repr__(self) -> str:

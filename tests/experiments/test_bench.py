@@ -42,9 +42,10 @@ class TestSuite:
 
     def test_all_paths_registered(self):
         assert set(HOTPATH_BENCHMARKS) == {
-            "sync_post_window", "bfa_scoring", "bfa_iteration",
-            "hammer_window", "fig6_trial", "sweep_trial",
-            "straggler_sweep", "defended_vs_undefended",
+            "sync_post_window", "bfa_scoring", "forward_backward",
+            "bfa_iteration", "hammer_window", "multi_bit_window",
+            "fig6_trial", "sweep_trial", "straggler_sweep",
+            "defended_vs_undefended",
         }
 
     def test_format_suite_renders(self, sync_suite):

@@ -1,0 +1,343 @@
+"""Parity and regression tests for the vectorized ``nn.functional`` path.
+
+The vectorized kernels (``REPRO_NN_VECTORIZED=1``, the default) must be
+byte-identical to the legacy per-``(kh, kw)``-loop kernels — same forward
+values, same loss, same gradients — because they only change data
+movement and graph fusion, never floating-point evaluation order.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+)
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor, no_grad
+from repro.nn.train import loss_and_grads
+
+
+@pytest.fixture
+def legacy_kernels(monkeypatch):
+    monkeypatch.setenv("REPRO_NN_VECTORIZED", "0")
+
+
+def _vec(monkeypatch, value: str):
+    monkeypatch.setenv("REPRO_NN_VECTORIZED", value)
+
+
+def _small_convnet(seed=0):
+    rng = np.random.default_rng(seed)
+    return Sequential(
+        Conv2d(3, 8, 3, padding=1, rng=rng),
+        BatchNorm2d(8),
+        ReLU(),
+        MaxPool2d(2),
+        Conv2d(8, 12, 3, stride=2, padding=1, rng=rng),
+        ReLU(),
+        Flatten(),
+        Linear(12 * 2 * 2, 10, rng=rng),
+    )
+
+
+def _grads(model):
+    return [
+        (name, param.grad.copy())
+        for name, param in sorted(model.named_parameters())
+    ]
+
+
+class TestForwardBackwardParity:
+    def test_loss_and_grads_byte_identical(self, monkeypatch):
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal((16, 3, 8, 8)).astype(np.float32)
+        y = rng.integers(0, 10, size=16)
+
+        results = {}
+        for mode in ("0", "1"):
+            _vec(monkeypatch, mode)
+            model = _small_convnet()
+            model.eval()
+            loss = loss_and_grads(model, x, y)
+            results[mode] = (loss, _grads(model))
+        loss_legacy, grads_legacy = results["0"]
+        loss_vec, grads_vec = results["1"]
+        assert loss_vec == loss_legacy
+        for (name_l, grad_l), (name_v, grad_v) in zip(
+            grads_legacy, grads_vec
+        ):
+            assert name_l == name_v
+            assert grad_l.tobytes() == grad_v.tobytes(), name_l
+
+    def test_training_forward_byte_identical(self, monkeypatch):
+        rng = np.random.default_rng(5)
+        x = rng.standard_normal((8, 3, 8, 8)).astype(np.float32)
+        outs = {}
+        for mode in ("0", "1"):
+            _vec(monkeypatch, mode)
+            model = _small_convnet()
+            model.train()
+            outs[mode] = model(Tensor(x)).data.tobytes()
+        assert outs["0"] == outs["1"]
+
+    def test_inference_forward_byte_identical(self, monkeypatch):
+        rng = np.random.default_rng(7)
+        x = rng.standard_normal((8, 3, 8, 8)).astype(np.float32)
+        outs = {}
+        for mode in ("0", "1"):
+            _vec(monkeypatch, mode)
+            model = _small_convnet()
+            model.eval()
+            with no_grad():
+                outs[mode] = model(Tensor(x)).data.tobytes()
+        assert outs["0"] == outs["1"]
+
+    def test_repeated_passes_stable_with_buffer_pool(self, monkeypatch):
+        """Pooled scratch buffers must not leak state across passes."""
+        _vec(monkeypatch, "1")
+        rng = np.random.default_rng(9)
+        x = rng.standard_normal((8, 3, 8, 8)).astype(np.float32)
+        y = rng.integers(0, 10, size=8)
+        model = _small_convnet()
+        first = loss_and_grads(model, x, y)
+        first_grads = [g.tobytes() for _, g in _grads(model)]
+        for _ in range(3):
+            again = loss_and_grads(model, x, y)
+            assert again == first
+            assert [g.tobytes() for _, g in _grads(model)] == first_grads
+
+    def test_interleaved_forwards_before_backward(self, monkeypatch):
+        """Two same-shape graphs built before either backward must not
+        share column buffers (the tbfa targeted loss does exactly this)."""
+        rng = np.random.default_rng(11)
+        xa = rng.standard_normal((4, 3, 8, 8)).astype(np.float32)
+        xb = rng.standard_normal((4, 3, 8, 8)).astype(np.float32)
+        ya = rng.integers(0, 10, size=4)
+        yb = rng.integers(0, 10, size=4)
+
+        results = {}
+        for mode in ("0", "1"):
+            _vec(monkeypatch, mode)
+            model = _small_convnet()
+            model.eval()
+            model.zero_grad()
+            loss = F.cross_entropy(model(Tensor(xa)), ya)
+            keep = F.cross_entropy(model(Tensor(xb)), yb)
+            (loss + keep * 0.5).backward()
+            results[mode] = [g.tobytes() for _, g in _grads(model)]
+        assert results["0"] == results["1"]
+
+
+class TestIm2colCol2im:
+    @pytest.mark.parametrize("stride,padding,kh,kw", [
+        (1, 0, 3, 3),
+        (1, 1, 3, 3),
+        (2, 1, 3, 3),
+        (3, 2, 5, 5),
+        (2, 0, 1, 1),
+        (1, 2, 2, 4),
+    ])
+    def test_vectorized_matches_legacy(self, monkeypatch, stride, padding,
+                                       kh, kw):
+        rng = np.random.default_rng(13)
+        x = rng.standard_normal((3, 4, 11, 13)).astype(np.float32)
+        oh = (11 + 2 * padding - kh) // stride + 1
+        ow = (13 + 2 * padding - kw) // stride + 1
+        if oh <= 0 or ow <= 0:
+            pytest.skip("geometry does not fit")
+        _vec(monkeypatch, "1")
+        cols_vec = F.im2col(x, kh, kw, stride, padding)
+        back_vec = F.col2im(cols_vec, x.shape, kh, kw, stride, padding)
+        _vec(monkeypatch, "0")
+        cols_legacy = F.im2col(x, kh, kw, stride, padding)
+        back_legacy = F.col2im(cols_legacy, x.shape, kh, kw, stride, padding)
+        assert cols_vec.tobytes() == cols_legacy.tobytes()
+        assert back_vec.tobytes() == back_legacy.tobytes()
+
+    @pytest.mark.parametrize("stride,padding,kh,kw", [
+        (1, 1, 3, 3),
+        (2, 1, 3, 3),
+        (3, 2, 5, 3),
+        (2, 0, 2, 2),
+    ])
+    def test_adjointness(self, stride, padding, kh, kw):
+        """<u, im2col(x)> == <col2im(u), x>: col2im is the exact adjoint,
+        checked on odd stride/padding combinations (float64)."""
+        rng = np.random.default_rng(17)
+        x = rng.standard_normal((2, 3, 9, 7))
+        oh = (9 + 2 * padding - kh) // stride + 1
+        ow = (7 + 2 * padding - kw) // stride + 1
+        if oh <= 0 or ow <= 0:
+            pytest.skip("geometry does not fit")
+        cols = F.im2col(x, kh, kw, stride, padding)
+        u = rng.standard_normal(cols.shape)
+        folded = F.col2im(u, x.shape, kh, kw, stride, padding)
+        lhs = float((u * cols).sum())
+        rhs = float((folded * x).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+
+class TestMaxPoolTies:
+    @pytest.mark.parametrize("mode", ["0", "1"])
+    def test_gradient_goes_to_first_maximum(self, monkeypatch, mode):
+        """Under ties, the gradient flows to exactly the first maximum in
+        each window (row-major within the window)."""
+        _vec(monkeypatch, mode)
+        x = Tensor(np.zeros((1, 1, 4, 4), dtype=np.float64),
+                   requires_grad=True)
+        # Window (0,0): all equal -> first element. Window (0,1): tie on
+        # the two elements of the second row -> first of those.
+        x.data[0, 0, 1, 2] = 5.0
+        x.data[0, 0, 1, 3] = 5.0
+        out = F.max_pool2d(x, 2)
+        out.sum().backward()
+        grad = x.grad[0, 0]
+        expected = np.zeros((4, 4))
+        expected[0, 0] = 1.0          # all-tie window: first element
+        expected[1, 2] = 1.0          # row tie: first maximum
+        expected[2, 0] = 1.0
+        expected[2, 2] = 1.0
+        assert np.array_equal(grad, expected)
+
+    def test_backward_identical_between_paths(self, monkeypatch):
+        rng = np.random.default_rng(23)
+        data = rng.integers(0, 3, size=(2, 3, 6, 6)).astype(np.float32)
+        grads = {}
+        for mode in ("0", "1"):
+            _vec(monkeypatch, mode)
+            x = Tensor(data.copy(), requires_grad=True)
+            out = F.max_pool2d(x, 3)
+            out.sum().backward()
+            grads[mode] = x.grad.copy()
+        assert np.array_equal(grads["0"], grads["1"])
+
+    def test_inference_skips_mask_but_values_match(self, monkeypatch):
+        _vec(monkeypatch, "1")
+        rng = np.random.default_rng(29)
+        x = Tensor(rng.standard_normal((2, 3, 4, 4)).astype(np.float32))
+        with no_grad():
+            fast = F.max_pool2d(x, 2)
+        assert fast._parents == ()
+        _vec(monkeypatch, "0")
+        with no_grad():
+            legacy = F.max_pool2d(x, 2)
+        assert fast.data.tobytes() == legacy.data.tobytes()
+
+
+class TestBatchNormEvalCache:
+    def _bn_inputs(self, seed=31):
+        rng = np.random.default_rng(seed)
+        x = Tensor(rng.standard_normal((4, 6, 5, 5)).astype(np.float32))
+        bn = BatchNorm2d(6)
+        bn.running_mean[:] = rng.standard_normal(6).astype(np.float32)
+        bn.running_var[:] = rng.uniform(0.5, 2.0, 6).astype(np.float32)
+        bn.eval()
+        return x, bn
+
+    def test_fused_matches_legacy_bytes(self, monkeypatch):
+        x, bn = self._bn_inputs()
+        outs, grads = {}, {}
+        for mode in ("0", "1"):
+            _vec(monkeypatch, mode)
+            bn.zero_grad()
+            out = bn(x)
+            out.sum().backward()
+            outs[mode] = out.data.tobytes()
+            grads[mode] = (bn.gamma.grad.tobytes(), bn.beta.grad.tobytes())
+        assert outs["0"] == outs["1"]
+        assert grads["0"] == grads["1"]
+
+    def test_constants_cached_between_forwards(self, monkeypatch):
+        _vec(monkeypatch, "1")
+        x, bn = self._bn_inputs()
+        with no_grad():
+            bn(x)
+        inv_std_first = bn._eval_cache.inv_std4
+        assert isinstance(inv_std_first, np.ndarray)
+        with no_grad():
+            bn(x)
+        assert bn._eval_cache.inv_std4 is inv_std_first
+
+    def test_cache_invalidated_when_buffers_change(self, monkeypatch):
+        _vec(monkeypatch, "1")
+        x, bn = self._bn_inputs()
+        with no_grad():
+            before = bn(x).data.copy()
+        stale = bn._eval_cache.inv_std4
+        bn.running_var[:] *= 4.0       # in-place update, as training does
+        with no_grad():
+            after = bn(x).data.copy()
+        assert bn._eval_cache.inv_std4 is not stale
+        assert not np.allclose(before, after)
+
+    def test_eval_forward_allocates_no_grad_buffers(self, monkeypatch):
+        """The fused eval node's only grad-capable parents are the input
+        and the affine parameters — no throwaway constant joins the
+        graph, and the constants themselves can never hold a grad."""
+        _vec(monkeypatch, "1")
+        x, bn = self._bn_inputs()
+        x.requires_grad = True
+        out = bn(x)
+        assert set(map(id, out._parents)) == {id(x), id(bn.gamma), id(bn.beta)}
+        out.sum().backward()
+        for node in out._parents:
+            assert node.grad is not None
+        assert isinstance(bn._eval_cache.inv_std4, np.ndarray)
+        assert isinstance(bn._eval_cache.mean4, np.ndarray)
+
+    def test_no_grad_eval_builds_no_graph(self, monkeypatch):
+        _vec(monkeypatch, "1")
+        x, bn = self._bn_inputs()
+        with no_grad():
+            out = bn(x)
+        assert out._parents == ()
+        assert not out.requires_grad
+
+
+class TestCrossEntropyEdges:
+    def test_empty_batch_raises_value_error(self):
+        logits = Tensor(np.zeros((0, 10), dtype=np.float32))
+        targets = np.zeros(0, dtype=np.int64)
+        with pytest.raises(ValueError, match="non-empty batch"):
+            F.cross_entropy(logits, targets)
+
+    def test_empty_batch_raises_in_slice_variant(self):
+        logits = Tensor(np.zeros((0, 10), dtype=np.float32))
+        with pytest.raises(ValueError, match="non-empty batch"):
+            F.cross_entropy_slice(logits, np.zeros(0, dtype=np.int64), 8)
+
+    def test_size_one_batch(self):
+        logits = Tensor(
+            np.array([[2.0, 0.0, -1.0]], dtype=np.float32),
+            requires_grad=True,
+        )
+        loss = F.cross_entropy(logits, np.array([0]))
+        loss.backward()
+        assert np.isfinite(loss.item())
+        assert logits.grad.shape == (1, 3)
+
+    def test_size_one_batch_through_batch_norm_training(self):
+        """A singleton batch with 1x1 spatial extent exercises the
+        unbiased-variance ``max(n - 1, 1)`` guard (n == 1)."""
+        bn = BatchNorm2d(3)
+        bn.train()
+        x = Tensor(
+            np.arange(3, dtype=np.float32).reshape(1, 3, 1, 1),
+            requires_grad=True,
+        )
+        out = bn(x)
+        out.sum().backward()
+        assert np.all(np.isfinite(out.data))
+        assert np.all(np.isfinite(bn.running_var))
+        assert np.all(np.isfinite(x.grad))
+
+    def test_slice_variant_validates_normalizer(self):
+        logits = Tensor(np.zeros((2, 4), dtype=np.float32))
+        with pytest.raises(ValueError, match="normalizer"):
+            F.cross_entropy_slice(logits, np.array([0, 1]), 0)

@@ -1,0 +1,146 @@
+"""Micro-batched ``loss_and_grads`` parity against the single pass.
+
+The micro-batched path slices the batch, backpropagates each slice with
+full-batch ``1/N`` gradient scaling, and accumulates parameter grads.
+The accumulation wiring is exact (pinned byte-for-byte against a
+grouping-exact reference); against the *single pass* the loss and grads
+match to float32 rounding only, because BLAS may pick different gemm
+kernels for different batch shapes and slice partial sums are grouped
+per slice.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks.bfa import BfaConfig, BitFlipAttack
+from repro.attacks.tbfa import TbfaConfig, TargetedBitFlipAttack
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+from repro.nn.train import loss_and_grads
+
+
+def _grads(model):
+    return [
+        (name, param.grad.copy())
+        for name, param in sorted(model.named_parameters())
+    ]
+
+
+class TestLossAndGradsMicrobatch:
+    def test_loss_matches_single_pass(self, fresh_model, tiny_dataset):
+        x = tiny_dataset.x_test[:64]
+        y = tiny_dataset.y_test[:64]
+        full = loss_and_grads(fresh_model, x, y)
+        micro = loss_and_grads(fresh_model, x, y, batch_size=16)
+        assert micro == pytest.approx(full, rel=1e-5)
+
+    def test_grads_match_single_pass_tightly(self, fresh_model,
+                                             tiny_dataset):
+        x = tiny_dataset.x_test[:64]
+        y = tiny_dataset.y_test[:64]
+        loss_and_grads(fresh_model, x, y)
+        full = _grads(fresh_model)
+        loss_and_grads(fresh_model, x, y, batch_size=16)
+        micro = _grads(fresh_model)
+        for (name, grad_full), (_, grad_micro) in zip(full, micro):
+            scale = max(float(np.abs(grad_full).max()), 1e-12)
+            assert np.allclose(
+                grad_micro, grad_full, rtol=0.0, atol=1e-4 * scale
+            ), name
+
+    def test_grads_exactly_match_slice_reference(self, fresh_model,
+                                                 tiny_dataset):
+        """The accumulation wiring is exact: grads equal a hand-rolled
+        per-slice accumulation with the same slicing, byte for byte."""
+        x = tiny_dataset.x_test[:48]
+        y = tiny_dataset.y_test[:48]
+        batch = 16
+        loss_and_grads(fresh_model, x, y, batch_size=batch)
+        micro = _grads(fresh_model)
+
+        fresh_model.eval()
+        fresh_model.zero_grad()
+        for start in range(0, x.shape[0], batch):
+            logits = fresh_model(Tensor(x[start:start + batch]))
+            loss, _ = F.cross_entropy_slice(
+                logits, y[start:start + batch], x.shape[0]
+            )
+            loss.backward()
+        reference = _grads(fresh_model)
+        for (name, grad_micro), (_, grad_ref) in zip(micro, reference):
+            assert grad_micro.tobytes() == grad_ref.tobytes(), name
+
+    def test_oversized_batch_size_is_single_pass(self, fresh_model,
+                                                 tiny_dataset):
+        x = tiny_dataset.x_test[:32]
+        y = tiny_dataset.y_test[:32]
+        full = loss_and_grads(fresh_model, x, y)
+        grads_full = [g.tobytes() for _, g in _grads(fresh_model)]
+        again = loss_and_grads(fresh_model, x, y, batch_size=500)
+        grads_again = [g.tobytes() for _, g in _grads(fresh_model)]
+        assert again == full
+        assert grads_again == grads_full
+
+    def test_batch_size_validation(self, fresh_model, tiny_dataset):
+        with pytest.raises(ValueError, match="batch_size"):
+            loss_and_grads(
+                fresh_model, tiny_dataset.x_test[:8],
+                tiny_dataset.y_test[:8], batch_size=0,
+            )
+
+
+class TestAttackWiring:
+    def test_bfa_config_validates_grad_batch_size(self):
+        with pytest.raises(ValueError, match="grad_batch_size"):
+            BfaConfig(grad_batch_size=0)
+
+    def test_bfa_runs_with_micro_batched_grads(self, fresh_quantized,
+                                               tiny_dataset):
+        rng = np.random.default_rng(41)
+        x, y = tiny_dataset.attack_batch(48, rng)
+        attack = BitFlipAttack(
+            fresh_quantized, x, y,
+            config=BfaConfig(
+                max_iterations=2, exact_eval_top=2, grad_batch_size=16
+            ),
+        )
+        result = attack.run()
+        assert result.num_flips >= 1
+        assert result.final_accuracy <= result.initial_accuracy + 1e-9
+
+    def test_tbfa_config_validates_grad_batch_size(self):
+        with pytest.raises(ValueError, match="grad_batch_size"):
+            TbfaConfig(source_class=0, target_class=1, grad_batch_size=-1)
+
+    def test_tbfa_targeted_loss_micro_matches_full(self, quantized_factory,
+                                                   tiny_dataset):
+        rng = np.random.default_rng(43)
+        x, y = tiny_dataset.attack_batch(64, rng)
+        source = int(y[0])
+        target = (source + 1) % 10
+
+        def build(batch_size):
+            return TargetedBitFlipAttack(
+                quantized_factory(), x, y,
+                config=TbfaConfig(
+                    source_class=source, target_class=target,
+                    max_iterations=1, grad_batch_size=batch_size,
+                ),
+            )
+
+        full = build(None)
+        micro = build(8)
+        loss_full = full._targeted_loss(build_graph=True)
+        loss_micro = micro._targeted_loss(build_graph=True)
+        assert loss_micro == pytest.approx(loss_full, rel=1e-5)
+        grads_full = _grads(full.qmodel.model)
+        grads_micro = _grads(micro.qmodel.model)
+        for (name, grad_f), (_, grad_m) in zip(grads_full, grads_micro):
+            scale = max(float(np.abs(grad_f).max()), 1e-12)
+            assert np.allclose(
+                grad_m, grad_f, rtol=0.0, atol=1e-4 * scale
+            ), name
+        # The no-graph (exact-eval) variant agrees too.
+        assert micro._targeted_loss(build_graph=False) == pytest.approx(
+            full._targeted_loss(build_graph=False), rel=1e-5
+        )
