@@ -13,6 +13,13 @@ its due swap operations between chunks, exactly the interleaving the
 paper's timing analysis assumes (swaps must complete within
 ``T_RH x T_ACT``).
 
+Every hammer burst goes through ``MemoryController.activate`` and is
+therefore visible to command observers: a :class:`repro.dram.CommandTrace`
+records the bursts for replay and a :class:`repro.dram.TimingChecker`
+validates them against the DDR timing rules (a hammer ACT stream runs at
+``T_ACT`` = 118 ns per activation, well above every rule window, so a
+correctly charged attack is timing-legal by construction).
+
 Multi-bit attacks (T-BFA's N-to-1 flip sets, the limited-budget attacks of
 Bai et al.) often target several bits that share a victim row.  The batched
 :meth:`RowHammerAttacker.attempt_flips` path groups targets by victim
@@ -77,6 +84,11 @@ class RowHammerAttacker:
         self.sided = sided
         self.sessions = 0
         self.activations_issued = 0
+
+    @property
+    def busy_time_ns(self) -> float:
+        """Bus time the controller has charged to this attacker so far."""
+        return self.controller.actor_stats("attacker").total_time_ns
 
     def _aggressor_for(self, victim_physical: RowAddress) -> RowAddress:
         """Adjacent row used as the single-sided aggressor."""

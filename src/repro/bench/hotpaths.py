@@ -39,6 +39,10 @@ variants — the optimized fast path (``after``) and the legacy slow path
   imbalance.
 * ``defended_vs_undefended`` — one hammer window with DNN-Defender
   ticking vs undefended (an overhead measurement, not a before/after).
+* ``timing_checker`` — one hammer window with an audit-mode
+  ``TimingChecker`` and a full ``CommandTrace`` attached vs unobserved
+  (the command-observer overhead; parity asserts the observers leave the
+  command stream byte-identical and timing-legal).
 
 Every before/after pair is parity-checked during the run: the two
 variants must produce identical functional results, and the recorded
@@ -66,10 +70,13 @@ from repro.attacks.bfa import BfaConfig, BitFlipAttack
 from repro.attacks.hammer import RowHammerAttacker
 from repro.core.defender import DNNDefender
 from repro.dram import (
+    CommandTrace,
     DramDevice,
     DramGeometry,
     MemoryController,
+    TimingChecker,
     TimingParams,
+    stats_payload,
 )
 from repro.mapping import build_protection_plan, place_model
 from repro.nn import QuantizedModel, make_resnet20
@@ -666,6 +673,49 @@ def bench_defended_vs_undefended(quick: bool) -> dict:
     )
 
 
+def bench_timing_checker(quick: bool) -> dict:
+    """Command-observer cost: audit checker + full trace vs unobserved."""
+    reps = 6 if quick else 20
+
+    def run(observed: bool):
+        qmodel = _bench_model()
+        controller, layout = _bench_layout(qmodel, fast_path=True)
+        checker = trace = None
+        if observed:
+            checker = TimingChecker(controller, mode="audit")
+            trace = CommandTrace(controller)
+        attacker = RowHammerAttacker(controller, layout)
+        targets = _hammer_targets(qmodel, reps + 1)
+        times = []
+        for i, target in enumerate(targets):
+            start = time.perf_counter()
+            attacker.attempt_flip(target, max_windows=1)
+            elapsed = time.perf_counter() - start
+            if i > 0:
+                times.append(elapsed)
+        if observed:
+            checker.close()
+            trace.close()
+        return times, controller, checker
+
+    bare, bare_controller, _ = run(observed=False)
+    observed, observed_controller, checker = run(observed=True)
+    # Parity: observers must not perturb the command stream, and the
+    # stream itself must be timing-legal.
+    parity = (
+        stats_payload(observed_controller) == stats_payload(bare_controller)
+        and not checker.violations
+    )
+    return _entry(
+        "timing_checker",
+        "one hammer window with audit TimingChecker + CommandTrace vs bare",
+        reps,
+        {"observed": _stats(observed), "bare": _stats(bare)},
+        parity,
+        ratio_key="overhead_x",
+    )
+
+
 HOTPATH_BENCHMARKS: dict[str, Callable[[bool], dict]] = {
     "sync_post_window": bench_sync_post_window,
     "bfa_scoring": bench_bfa_scoring,
@@ -677,6 +727,7 @@ HOTPATH_BENCHMARKS: dict[str, Callable[[bool], dict]] = {
     "sweep_trial": bench_sweep_trial,
     "straggler_sweep": bench_straggler_sweep,
     "defended_vs_undefended": bench_defended_vs_undefended,
+    "timing_checker": bench_timing_checker,
 }
 
 

@@ -20,6 +20,10 @@ Subcommands:
   byte-identical to a single-host run).
 * ``bench`` — hot-path perf microbenchmarks; emits ``BENCH_hotpaths.json``
   (see ``docs/performance.md``).
+* ``trace record | replay | show`` — record a canonical workload's DRAM
+  command stream to JSONL, replay a trace through a fresh controller
+  (diffing the reproduced ``CommandStats`` against the recorded footer,
+  optionally under strict/audit timing-rule checking), or print a trace.
 * ``cache info | clear`` — inspect or empty the trained-preset and
   attack-profile caches.
 
@@ -153,6 +157,38 @@ def build_parser() -> argparse.ArgumentParser:
                            help="artifact directory (default: repo root)")
     bench_cmd.add_argument("--no-artifact", action="store_true",
                            help="skip writing BENCH_hotpaths.json")
+
+    trace_cmd = sub.add_parser(
+        "trace", help="record/replay/inspect DRAM command traces (JSONL)"
+    )
+    trace_sub = trace_cmd.add_subparsers(dest="trace_command", required=True)
+    record_cmd = trace_sub.add_parser(
+        "record", help="record a canonical workload's command stream"
+    )
+    record_cmd.add_argument("--workload", required=True,
+                            help="workload name (see repro.experiments."
+                                 "goldens.GOLDEN_WORKLOADS)")
+    record_cmd.add_argument("--out", required=True, metavar="FILE.jsonl",
+                            help="trace output path")
+    record_cmd.add_argument("--seed", type=int, default=0)
+    record_cmd.add_argument("--check", default="off",
+                            choices=("off", "strict", "audit"),
+                            help="attach a TimingChecker while recording")
+    replay_cmd = trace_sub.add_parser(
+        "replay", help="replay a trace and diff the reproduced stats"
+    )
+    replay_cmd.add_argument("trace", metavar="FILE.jsonl")
+    replay_cmd.add_argument("--check", default="off",
+                            choices=("off", "strict", "audit"),
+                            help="validate the replayed stream against the "
+                                 "timing rules (strict exits non-zero on "
+                                 "any violation)")
+    replay_cmd.add_argument("--quiet", action="store_true",
+                            help="suppress the summary line")
+    show_cmd = trace_sub.add_parser("show", help="print a trace file")
+    show_cmd.add_argument("trace", metavar="FILE.jsonl")
+    show_cmd.add_argument("--limit", type=int, default=20,
+                          help="command records to print (default: 20)")
 
     cache_cmd = sub.add_parser(
         "cache", help="trained-preset / attack-profile cache tools"
@@ -502,6 +538,135 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    """``repro trace record | replay | show`` dispatcher."""
+    from repro.dram import TimingViolation, load_trace, stats_payload
+    from repro.dram.timing_rules import TimingChecker
+
+    if args.trace_command == "record":
+        from repro.experiments.goldens import record_workload
+
+        controller, trace = record_workload(args.workload, seed=args.seed)
+        if args.check != "off":
+            # Re-validate the recorded stream offline (the builders close
+            # their traces, so check post-hoc from the records).
+            checker = TimingChecker(
+                timing=controller.timing, mode=args.check
+            )
+            for record in trace.commands:
+                checker.observe(_record_to_event(record))
+            if checker.violations:
+                for violation in checker.violations:
+                    print(f"violation: {violation.describe()}", file=sys.stderr)
+                return 1
+        path = trace.save(args.out)
+        summary = trace.summary()
+        print(
+            f"recorded {args.workload} (seed {args.seed}): "
+            f"{summary['commands_recorded']} command record(s), "
+            f"{summary['total_activations']} activation(s) -> {path}"
+        )
+        return 0
+
+    try:
+        loaded = load_trace(args.trace)
+    except FileNotFoundError:
+        raise ValueError(f"no such trace file: {args.trace}") from None
+    if args.trace_command == "show":
+        geometry = loaded.header["geometry"]
+        print(
+            f"trace {args.trace}: format {loaded.header['format']}, "
+            f"{len(loaded.records)} record(s), geometry "
+            f"{geometry['banks']}x{geometry['subarrays_per_bank']}x"
+            f"{geometry['rows_per_subarray']}"
+        )
+        for record in loaded.records[:max(args.limit, 0)]:
+            where = "-" if record.bank is None else (
+                f"{record.bank}.{record.subarray}.{record.row}"
+                if record.row is not None else str(record.bank)
+            )
+            extras = []
+            if record.count != 1:
+                extras.append(f"x{record.count}")
+            if record.hammer:
+                extras.append("hammer")
+            if record.auto:
+                extras.append("auto")
+            if record.command == "IDLE":
+                extras.append(f"{record.duration_ns:g}ns")
+            if record.dst_row is not None:
+                extras.append(f"->{record.bank}.{record.dst_subarray}.{record.dst_row}")
+            print(
+                f"  t={record.time_ns:<14g} {record.command:<4} {where:<10} "
+                f"{record.actor}" + (f"  [{', '.join(extras)}]" if extras else "")
+            )
+        hidden = len(loaded.records) - max(args.limit, 0)
+        if hidden > 0:
+            print(f"  ... {hidden} more record(s)")
+        stats = loaded.stats
+        print(
+            f"stats: {stats['counts']} | time {stats['total_time_ns']:g} ns "
+            f"| energy {stats['total_energy_pj']:g} pJ"
+        )
+        return 0
+
+    # replay
+    controller = loaded.build_controller()
+    checker = None
+    if args.check != "off":
+        checker = TimingChecker(controller, mode=args.check)
+    try:
+        controller, trace = loaded.replay(controller=controller)
+    except TimingViolation as exc:
+        print(f"timing violation during replay: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        if checker is not None:
+            checker.close()
+    reproduced = stats_payload(controller)
+    if reproduced != loaded.stats:
+        print(
+            "replay stats MISMATCH:\n"
+            f"  recorded:   {loaded.stats}\n"
+            f"  reproduced: {reproduced}",
+            file=sys.stderr,
+        )
+        return 1
+    if loaded.aggregates and trace.aggregates() != loaded.aggregates:
+        print("replay trace-aggregate MISMATCH", file=sys.stderr)
+        return 1
+    if not args.quiet:
+        suffix = ""
+        if checker is not None:
+            suffix = (
+                f"; timing check ({args.check}): "
+                f"{len(checker.violations)} violation(s) over "
+                f"{checker.commands_checked} command(s)"
+            )
+        print(
+            f"replayed {len(loaded.records)} record(s): stats reproduced "
+            f"byte-identically{suffix}"
+        )
+    if checker is not None and checker.violations:
+        for violation in checker.violations:
+            print(f"violation: {violation.describe()}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _record_to_event(record):
+    from repro.dram import Command, CommandEvent
+
+    return CommandEvent(
+        time_ns=record.time_ns,
+        command=None if record.command == "IDLE" else Command[record.command],
+        actor=record.actor, bank=record.bank, subarray=record.subarray,
+        row=record.row, count=record.count, hammer=record.hammer,
+        dst_subarray=record.dst_subarray, dst_row=record.dst_row,
+        auto=record.auto, duration_ns=record.duration_ns,
+    )
+
+
 def _cmd_cache(args) -> int:
     caches = (("presets", PresetCache()), ("profiles", ProfileCache()))
     if args.action == "clear":
@@ -540,6 +705,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_merge(args)
         if args.command == "bench":
             return _cmd_bench(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
         if args.command == "cache":
             return _cmd_cache(args)
     except (KeyError, ValueError) as exc:

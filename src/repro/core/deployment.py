@@ -22,6 +22,7 @@ from repro.dram.controller import MemoryController
 from repro.dram.device import DramDevice
 from repro.dram.geometry import DramGeometry
 from repro.dram.timing import TimingParams
+from repro.dram.timing_rules import TimingChecker
 from repro.mapping.layout import WeightLayout
 from repro.nn.data import Dataset
 from repro.nn.module import Module
@@ -41,6 +42,7 @@ class DefendedDeployment:
     layout: WeightLayout
     protection: PriorityProtection
     defender: DNNDefender
+    checker: "TimingChecker | None" = None
 
     @classmethod
     def build(
@@ -55,12 +57,24 @@ class DefendedDeployment:
         attack_batch_size: int = 128,
         reserved_rows: int = 2,
         extra_secured_bits: set[BitLocation] | None = None,
+        timing_check: str = "off",
         seed: int = 0,
     ) -> "DefendedDeployment":
-        """Quantize, place, profile, and defend ``model``."""
+        """Quantize, place, profile, and defend ``model``.
+
+        ``timing_check`` attaches a :class:`TimingChecker` to the
+        controller before any command is issued: ``"strict"`` raises on
+        the first DDR timing-rule violation anywhere in the defended
+        stack, ``"audit"`` collects violations on ``deployment.checker``
+        for later inspection, ``"off"`` (default) adds no observer.
+        """
         rng = np.random.default_rng(seed)
         qmodel = QuantizedModel(model)
         controller = MemoryController(DramDevice(geometry), timing)
+        checker = (
+            TimingChecker(controller, mode=timing_check)
+            if timing_check != "off" else None
+        )
         layout = WeightLayout(
             qmodel, controller, reserved_rows=reserved_rows, seed=seed
         )
@@ -86,6 +100,7 @@ class DefendedDeployment:
             layout=layout,
             protection=protection,
             defender=defender,
+            checker=checker,
         )
 
     @classmethod

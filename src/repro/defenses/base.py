@@ -90,6 +90,21 @@ class HookedDefense:
     def tick(self) -> None:
         self._maybe_reset_epoch()
 
+    def close(self) -> None:
+        """Detach from the controller; the defense stops observing.
+
+        Idempotent.  Without this, a defense outlives its experiment as a
+        live activate hook on a shared controller, still counting (and
+        reacting to) every later activation.
+        """
+        self.controller.unregister_activate_hook(self._on_activate)
+
+    def __enter__(self) -> "HookedDefense":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
     # ------------------------------------------------------------------ #
     # Subclass interface
     # ------------------------------------------------------------------ #

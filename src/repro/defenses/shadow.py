@@ -17,6 +17,13 @@ Two budgets bound it, both derived from the published design:
 When the shuffle budget is exhausted within one refresh interval, further
 hot rows go unhandled — the leak that gives SHADOW a lower post-attack
 accuracy than DNN-Defender in Table 3.
+
+Each shuffle is a RowClone AAP issued through
+``MemoryController.rowclone``, so the moves land in command traces and
+are validated by the DDR :class:`repro.dram.TimingChecker` like any other
+defense traffic (tested in ``tests/dram/test_timing_rules.py``).  Being a
+:class:`HookedDefense`, a Shadow instance observes the controller until
+``close()`` detaches it.
 """
 
 from __future__ import annotations

@@ -8,7 +8,7 @@ RowClone in-DRAM copies, and actor-attributed timing/energy accounting.
 
 from repro.dram.address import AddressMapper, BitAddress, RowAddress, RowIndirection
 from repro.dram.bank import Bank
-from repro.dram.commands import Command, CommandStats
+from repro.dram.commands import Command, CommandEvent, CommandStats
 from repro.dram.controller import MemoryController
 from repro.dram.device import DramDevice
 from repro.dram.faults import (
@@ -20,10 +20,24 @@ from repro.dram.faults import (
 from repro.dram.geometry import PAPER_GEOMETRY, SMALL_GEOMETRY, DramGeometry
 from repro.dram.rowclone import RowCloneEngine
 from repro.dram.subarray import Subarray
-from repro.dram.trace import CommandTrace, TraceEntry
+from repro.dram.timing_rules import (
+    RULE_NAMES,
+    TimingChecker,
+    TimingViolation,
+    Violation,
+)
+from repro.dram.trace import (
+    CommandRecord,
+    CommandTrace,
+    LoadedTrace,
+    TraceEntry,
+    load_trace,
+    stats_payload,
+)
 from repro.dram.timing import (
     DDR4_DEFAULT,
     LPDDR4_DEFAULT,
+    REFRESH_COMMANDS_PER_TREF,
     TRH_BY_GENERATION,
     TRH_LPDDR4,
     TimingParams,
@@ -36,6 +50,7 @@ __all__ = [
     "RowIndirection",
     "Bank",
     "Command",
+    "CommandEvent",
     "CommandStats",
     "MemoryController",
     "DramDevice",
@@ -48,11 +63,20 @@ __all__ = [
     "SMALL_GEOMETRY",
     "RowCloneEngine",
     "Subarray",
+    "CommandRecord",
     "CommandTrace",
+    "LoadedTrace",
     "TraceEntry",
+    "load_trace",
+    "stats_payload",
+    "RULE_NAMES",
+    "TimingChecker",
+    "TimingViolation",
+    "Violation",
     "TimingParams",
     "DDR4_DEFAULT",
     "LPDDR4_DEFAULT",
+    "REFRESH_COMMANDS_PER_TREF",
     "TRH_BY_GENERATION",
     "TRH_LPDDR4",
 ]

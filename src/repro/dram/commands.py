@@ -14,7 +14,13 @@ from dataclasses import dataclass, field
 
 from repro.dram.timing import TimingParams
 
-__all__ = ["Command", "CommandStats", "command_latency_ns", "command_energy_pj"]
+__all__ = [
+    "Command",
+    "CommandEvent",
+    "CommandStats",
+    "command_latency_ns",
+    "command_energy_pj",
+]
 
 
 class Command(enum.Enum):
@@ -63,6 +69,34 @@ def command_energy_pj(command: Command, timing: TimingParams) -> float:
     if command is Command.AAP:
         return timing.e_aap_pj
     raise ValueError(f"unknown command {command!r}")
+
+
+@dataclass(frozen=True)
+class CommandEvent:
+    """One observed controller command, as delivered to command hooks.
+
+    ``time_ns`` is the *issue* time — the controller clock before the
+    command's latency is charged (activate hooks, by contrast, see the
+    post-charge clock).  ``command`` is ``None`` for an idle
+    ``advance_time`` gap, whose length is ``duration_ns``.  A burst of
+    ``count`` activations shares one event; the individual ACTs start at
+    ``time_ns + i * period`` where the period is ``t_act_eff_ns`` when
+    ``hammer`` else ``t_rc_ns``.  ``auto`` marks the controller's own
+    bulk refresh (charged no bus time, unlike an explicitly issued REF).
+    """
+
+    time_ns: float
+    command: Command | None
+    actor: str = "system"
+    bank: int | None = None
+    subarray: int | None = None
+    row: int | None = None
+    count: int = 1
+    hammer: bool = False
+    dst_subarray: int | None = None
+    dst_row: int | None = None
+    auto: bool = False
+    duration_ns: float = 0.0
 
 
 @dataclass

@@ -29,6 +29,7 @@ import numpy as np
 from repro.dram.address import RowAddress, RowIndirection
 from repro.dram.commands import (
     Command,
+    CommandEvent,
     CommandStats,
     command_energy_pj,
     command_latency_ns,
@@ -40,6 +41,7 @@ from repro.dram.timing import TimingParams
 __all__ = ["MemoryController", "fast_path_default"]
 
 ActivateHook = Callable[[RowAddress, float, int], None]
+CommandHook = Callable[[CommandEvent], None]
 
 
 def fast_path_default() -> bool:
@@ -81,6 +83,10 @@ class MemoryController:
         # by the deterministic flip model when a threshold crossing occurs.
         self._declared_targets: dict[RowAddress, set[int]] = {}
         self._activate_hooks: list[ActivateHook] = []
+        # Command hooks observe *every* issued command (trace recording,
+        # timing-rule checking).  Emission sites are gated on the list
+        # being non-empty so an unobserved controller pays nothing.
+        self._command_hooks: list[CommandHook] = []
         # (src, dst) pairs whose rowclone preconditions already passed —
         # geometry-pure, so the memo is shared across controllers and a
         # repeated clone pair skips re-validation even on a fresh device.
@@ -142,11 +148,23 @@ class MemoryController:
                 (self.refresh_epoch + 1) * self.timing.t_ref_ns
             )
             self.device.refresh_all()
+            if self._command_hooks:
+                # The bulk refresh is pinned to its scheduled boundary,
+                # not the (possibly later) clock that crossed it; it
+                # charges no bus time, so observers see ``auto=True``.
+                self._emit(CommandEvent(
+                    time_ns=self.refresh_epoch * self.timing.t_ref_ns,
+                    command=Command.REF, auto=True,
+                ))
 
     def advance_time(self, ns: float) -> None:
         """Let idle time pass (crossing refresh boundaries as needed)."""
         if ns < 0:
             raise ValueError(f"cannot advance time by {ns} ns")
+        if self._command_hooks and ns > 0:
+            self._emit(CommandEvent(
+                time_ns=self.now_ns, command=None, duration_ns=ns,
+            ))
         self.now_ns += ns
         self._maybe_refresh()
 
@@ -240,6 +258,30 @@ class MemoryController:
         """Observe activations (used by counter-based trackers/defenses)."""
         self._activate_hooks.append(hook)
 
+    def unregister_activate_hook(self, hook: ActivateHook) -> None:
+        """Remove a previously registered activation hook (no-op if absent)."""
+        if hook in self._activate_hooks:
+            self._activate_hooks.remove(hook)
+
+    def register_command_hook(self, hook: CommandHook) -> None:
+        """Observe every issued command (trace recording, timing checks).
+
+        Hooks receive a :class:`CommandEvent` per command at its *issue*
+        time (pre-charge clock), in issue order — including the
+        controller's own boundary refreshes and idle ``advance_time``
+        gaps, which is what makes a recorded stream replayable.
+        """
+        self._command_hooks.append(hook)
+
+    def unregister_command_hook(self, hook: CommandHook) -> None:
+        """Remove a previously registered command hook (no-op if absent)."""
+        if hook in self._command_hooks:
+            self._command_hooks.remove(hook)
+
+    def _emit(self, event: CommandEvent) -> None:
+        for hook in self._command_hooks:
+            hook(event)
+
     # ------------------------------------------------------------------ #
     # Commands
     # ------------------------------------------------------------------ #
@@ -279,12 +321,22 @@ class MemoryController:
         # Activation restores the activated row's own charge.
         sa.reset_disturbance(physical.row)
         self.device.bank(physical.bank).activate(physical.subarray, physical.row)
+        start_ns = self.now_ns
         if hammer:
             # Hammering is ACT at the effective period; we account it as ACTs.
             self.stats.record(Command.ACT, self.timing, 0)  # count below
             self._charge_hammer(actor, count)
         else:
             self._charge(Command.ACT, actor, count)
+        if self._command_hooks:
+            # Emitted before the activate hooks: a hook-driven defense
+            # issues its own commands from inside the hook, and the
+            # triggering ACT must precede them in any recorded stream.
+            self._emit(CommandEvent(
+                time_ns=start_ns, command=Command.ACT, actor=actor,
+                bank=physical.bank, subarray=physical.subarray,
+                row=physical.row, count=count, hammer=hammer,
+            ))
         for hook in self._activate_hooks:
             hook(physical, self.now_ns, count)
         if self.fast_path:
@@ -336,7 +388,12 @@ class MemoryController:
 
     def precharge(self, bank: int, actor: str = "system") -> None:
         self.device.bank(bank).precharge()
+        start_ns = self.now_ns
         self._charge(Command.PRE, actor)
+        if self._command_hooks:
+            self._emit(CommandEvent(
+                time_ns=start_ns, command=Command.PRE, actor=actor, bank=bank,
+            ))
 
     def rowclone(
         self, src: RowAddress, dst: RowAddress, actor: str = "system"
@@ -365,7 +422,14 @@ class MemoryController:
             sa = self.device.banks[src.bank].subarrays[src.subarray]
             sa.copy_row(src_row, dst_row)
             self._mark_dirty(self.indirection.logical(dst))
+            start_ns = self.now_ns
             self._charge(Command.AAP, actor)
+            if self._command_hooks:
+                self._emit(CommandEvent(
+                    time_ns=start_ns, command=Command.AAP, actor=actor,
+                    bank=src.bank, subarray=src.subarray, row=src_row,
+                    dst_subarray=dst.subarray, dst_row=dst_row,
+                ))
             # Both activations disturb their same-sub-array neighbours;
             # src/dst themselves end the AAP fully charged.  A row adjacent
             # to both (|src-dst| == 2) is disturbed twice, as on the slow
@@ -386,7 +450,14 @@ class MemoryController:
         sa = self.device.subarray_at(src)
         sa.copy_row(src_row, dst_row)
         self._mark_dirty(self.indirection.logical(dst))
+        start_ns = self.now_ns
         self._charge(Command.AAP, actor)
+        if self._command_hooks:
+            self._emit(CommandEvent(
+                time_ns=start_ns, command=Command.AAP, actor=actor,
+                bank=src.bank, subarray=src.subarray, row=src_row,
+                dst_subarray=dst.subarray, dst_row=dst_row,
+            ))
         for row in (src, dst):
             for neighbor in self.device.mapper.compute_neighbors(row):
                 if neighbor == src or neighbor == dst:
@@ -406,14 +477,72 @@ class MemoryController:
         self._mark_dirty(self.indirection.logical(dst))
         # PSM streams the row through the bank I/O: one ACT per row plus a
         # transfer charged as a read+write.
+        start_ns = self.now_ns
         self._charge(Command.ACT, actor, 2)
+        rd_ns = self.now_ns
         self._charge(Command.RD, actor)
+        wr_ns = self.now_ns
         self._charge(Command.WR, actor)
+        if self._command_hooks:
+            # The ACT pair is emitted as one src-bank burst, mirroring how
+            # it is charged; the dst activation rides in the count.
+            self._emit(CommandEvent(
+                time_ns=start_ns, command=Command.ACT, actor=actor,
+                bank=src.bank, subarray=src.subarray, row=src.row, count=2,
+            ))
+            self._emit(CommandEvent(
+                time_ns=rd_ns, command=Command.RD, actor=actor,
+                bank=src.bank, subarray=src.subarray, row=src.row,
+            ))
+            self._emit(CommandEvent(
+                time_ns=wr_ns, command=Command.WR, actor=actor,
+                bank=dst.bank, subarray=dst.subarray, row=dst.row,
+            ))
         self._maybe_refresh()
 
     def generate_random_row(self, actor: str = "defender") -> None:
         """Charge one RNG slot (defender step 1 needs one random number)."""
+        start_ns = self.now_ns
         self._charge(Command.RNG, actor)
+        if self._command_hooks:
+            self._emit(CommandEvent(
+                time_ns=start_ns, command=Command.RNG, actor=actor,
+            ))
+
+    def charge_command(
+        self,
+        command: Command,
+        actor: str = "system",
+        bank: int | None = None,
+        subarray: int | None = None,
+        row: int | None = None,
+        count: int = 1,
+    ) -> None:
+        """Charge a raw command with no device side effects.
+
+        The trace-replay path for RD/WR/RNG/REF records (and the synthetic
+        streams the timing tests build): the command is charged and emitted
+        exactly as its originating high-level call would, but no row data
+        moves and no disturbance accrues.  Device-mutating commands must go
+        through :meth:`activate`/:meth:`rowclone`/:meth:`precharge`, which
+        reproduce their side effects.  Like the high-level RD/WR paths,
+        this does not poll the refresh boundary; the next activation or
+        ``advance_time`` catches up.
+        """
+        if command in (Command.ACT, Command.AAP, Command.PRE):
+            raise ValueError(
+                f"{command.name} mutates device state; use "
+                "activate/rowclone/precharge"
+            )
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        start_ns = self.now_ns
+        self._charge(command, actor, count)
+        if self._command_hooks:
+            self._emit(CommandEvent(
+                time_ns=start_ns, command=command, actor=actor, bank=bank,
+                subarray=subarray, row=row, count=count,
+            ))
 
     # ------------------------------------------------------------------ #
     # Logical data access (through the indirection table)
@@ -423,7 +552,14 @@ class MemoryController:
         physical = self.indirection.physical(logical)
         self.activate(physical, actor=actor)
         data = self.device.read_row(physical)
+        start_ns = self.now_ns
         self._charge(Command.RD, actor)
+        if self._command_hooks:
+            self._emit(CommandEvent(
+                time_ns=start_ns, command=Command.RD, actor=actor,
+                bank=physical.bank, subarray=physical.subarray,
+                row=physical.row,
+            ))
         return data
 
     def write_logical(
@@ -433,7 +569,14 @@ class MemoryController:
         self.activate(physical, actor=actor)
         self.device.write_row(physical, data)
         self._mark_dirty(logical)
+        start_ns = self.now_ns
         self._charge(Command.WR, actor)
+        if self._command_hooks:
+            self._emit(CommandEvent(
+                time_ns=start_ns, command=Command.WR, actor=actor,
+                bank=physical.bank, subarray=physical.subarray,
+                row=physical.row,
+            ))
 
     def peek_logical(self, logical: RowAddress) -> np.ndarray:
         """Read row contents without advancing time (test/instrumentation)."""

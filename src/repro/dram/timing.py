@@ -15,6 +15,23 @@ equivalent of that characterisation output:
   calibration constant.
 * ``T_ref = 64 ms`` — standard DDR4 refresh interval.
 
+The per-command *rule* constants (``t_rp_ns``, ``t_rcd_ns``, ``t_ras_ns``,
+``t_rc_ns``, ``t_wr_ns``, ``t_faw_ns``, ``t_refi_ns``, ``t_rfc_ns``) feed
+:class:`repro.dram.timing_rules.TimingChecker`, which validates that the
+command stream the simulator charges is legal DDR.  Like ``T_ACT``, they
+are calibration constants, not measurements: the defaults are
+JEDEC-DDR4-class values chosen so that every window is at most the
+latency the controller already charges for the governing command (e.g.
+``t_ras_ns = 32 <= t_rc_ns = 46.25``; ``t_faw_ns = 30`` against a minimum
+real four-ACT span of ``4 x t_rc_ns``).  That invariant is what makes a
+correctly charged stream pass strict checking with zero violations — the
+checker then guards the *charging logic*, catching any path that issues
+commands faster than it pays for them.  ``t_refi_ns`` is the distributed
+average refresh command interval (``t_ref / 8192``); the simulator
+refreshes in bulk every ``t_ref``, so the checker's refresh-deadline rule
+("tREFI") uses ``t_ref_ns``, while ``t_refi_ns``/``t_rfc_ns`` give the
+standard refresh bus-overhead fraction (~4.5% for DDR4).
+
 ``TRH_BY_GENERATION`` is the Fig. 1(a) data: the minimum hammer count needed
 to induce a flip for each DRAM generation, from Woo et al. [23].
 """
@@ -27,9 +44,14 @@ __all__ = [
     "TimingParams",
     "DDR4_DEFAULT",
     "LPDDR4_DEFAULT",
+    "REFRESH_COMMANDS_PER_TREF",
     "TRH_BY_GENERATION",
     "TRH_LPDDR4",
 ]
+
+# Refresh commands a DDR4 device distributes over one t_ref (8K rows per
+# refresh cycle); scales t_refi_ns when sweeping the refresh interval.
+REFRESH_COMMANDS_PER_TREF: int = 8192
 
 # Fig. 1(a): RowHammer threshold by DRAM generation (hammer counts).
 TRH_BY_GENERATION: dict[str, int] = {
@@ -55,6 +77,11 @@ class TimingParams:
     t_rc_ns: float = 46.25        # ACT-to-ACT same bank (row cycle)
     t_ras_ns: float = 32.0        # ACT-to-PRE minimum
     t_rp_ns: float = 13.75        # PRE duration
+    t_rcd_ns: float = 13.75       # ACT-to-RD/WR same bank
+    t_wr_ns: float = 15.0         # WR-to-PRE write recovery
+    t_faw_ns: float = 30.0        # four-activation rolling window (device-wide)
+    t_refi_ns: float = 7812.5     # distributed refresh command interval (t_ref/8192)
+    t_rfc_ns: float = 350.0       # explicit-REF-to-next-command recovery
     t_aap_ns: float = 90.0        # RowClone ACT-ACT-PRE in-subarray copy
     t_act_eff_ns: float = 118.0   # effective hammer-activation period (calibrated)
     t_ref_ms: float = 64.0        # refresh interval
@@ -67,10 +94,16 @@ class TimingParams:
     def __post_init__(self) -> None:
         if self.t_rh <= 0:
             raise ValueError(f"t_rh must be positive, got {self.t_rh}")
-        for name in ("t_rc_ns", "t_ras_ns", "t_rp_ns", "t_aap_ns",
-                     "t_act_eff_ns", "t_ref_ms"):
+        for name in ("t_rc_ns", "t_ras_ns", "t_rp_ns", "t_rcd_ns",
+                     "t_wr_ns", "t_faw_ns", "t_refi_ns", "t_rfc_ns",
+                     "t_aap_ns", "t_act_eff_ns", "t_ref_ms"):
             if getattr(self, name) <= 0:
                 raise ValueError(f"{name} must be positive")
+        if self.t_rfc_ns >= self.t_refi_ns:
+            raise ValueError(
+                "t_rfc_ns must be below t_refi_ns: a refresh command that "
+                "outlasts the refresh interval leaves no bus time for data"
+            )
 
     @property
     def t_swap_ns(self) -> float:
@@ -86,6 +119,16 @@ class TimingParams:
     def t_ref_ns(self) -> float:
         """Refresh interval in nanoseconds."""
         return self.t_ref_ms * 1e6
+
+    @property
+    def refresh_overhead_fraction(self) -> float:
+        """Fraction of bus time consumed by refresh: ``tRFC / tREFI``.
+
+        The standard DDR figure (~4.5% at the defaults).  Shrinking the
+        refresh interval to harden against RowHammer raises this cost —
+        the trade-off axis the ``sweep-refresh-trh`` scenario measures.
+        """
+        return self.t_rfc_ns / self.t_refi_ns
 
     @property
     def hammer_window_ns(self) -> float:

@@ -1,0 +1,388 @@
+"""DRAM command timing-rule checking: is the charged stream legal DDR?
+
+The controller charges every command's latency but — before this module —
+never verified that the resulting schedule respects the inter-command
+windows a real device enforces (the gap the paper's Section 5.1 circuit
+characterisation quietly assumes away).  :class:`TimingChecker` subscribes
+to a controller's command hooks exactly like
+:class:`repro.dram.trace.CommandTrace` does and validates every
+ACT/PRE/RD/WR/AAP/REF against the rule constants in
+:class:`repro.dram.timing.TimingParams`, in the style of the Antmicro
+LPDDR4 ``TimingChecker`` (a per-(prev, curr) minimum-delay table plus
+windowed rules):
+
+===========  ===========================================================
+rule         constraint
+===========  ===========================================================
+``tRC``      ACT-to-ACT, same bank (row cycle; an AAP occupies its bank
+             for ``t_aap_ns``, enforced through this same rule)
+``tRP``      PRE-to-ACT, same bank (precharge completion)
+``tRAS``     ACT-to-PRE, same bank (minimum row-open time)
+``tRCD``     ACT-to-RD/WR, same bank (row-to-column delay)
+``tWR``      WR-to-PRE, same bank (write recovery)
+``tFAW``     at most four ACTs in any rolling ``t_faw_ns`` window,
+             device-wide (an AAP contributes two)
+``tREFI``    every row-touching command must land within one refresh
+             interval of the last refresh (the model refreshes in bulk
+             every ``t_ref``, so the deadline is ``t_ref_ns`` plus one
+             scheduling-slack allowance — see ``refresh_deadline_ns``)
+``tRFC``     no command until ``t_rfc_ns`` after an *explicitly issued*
+             REF (the controller's own bulk boundary refresh charges no
+             bus time and is exempt; it only re-arms the tREFI deadline)
+===========  ===========================================================
+
+Two caveats keep the checker honest about what the model is:
+
+* The model's ACT is an implicit ACT-PRE pair (``activate()``'s burst
+  semantics), so the checker validates *spacing windows*, not open-row
+  bank state machines.
+* Rule constants are calibrated at or below the latencies the controller
+  charges (see ``repro.dram.timing``), so a correctly charged stream is
+  clean by construction; violations mean a code path issued commands
+  faster than it paid for them — exactly the regression this layer exists
+  to catch.
+
+``strict`` mode raises :class:`TimingViolation` at the offending command
+(mid-simulation, so the traceback points at the issuing call site);
+``audit`` mode collects :class:`Violation` records for later assertion.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.dram.commands import Command, CommandEvent
+from repro.dram.timing import TimingParams
+
+__all__ = ["RULE_NAMES", "TimingChecker", "TimingViolation", "Violation"]
+
+RULE_NAMES = (
+    "tRC", "tRP", "tRAS", "tRCD", "tWR", "tFAW", "tREFI", "tRFC",
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One timing-rule breach observed in a command stream."""
+
+    rule: str
+    command: str
+    bank: int | None
+    time_ns: float
+    actual_ns: float    # the gap (or interval) that was measured
+    bound_ns: float     # the minimum gap (or maximum interval) required
+
+    def describe(self) -> str:
+        where = "device" if self.bank is None else f"bank {self.bank}"
+        if self.rule in ("tREFI",):
+            relation = "exceeds deadline"
+        else:
+            relation = "< required"
+        return (
+            f"{self.rule} violated by {self.command} on {where} at "
+            f"t={self.time_ns:.2f} ns: {self.actual_ns:.2f} ns "
+            f"{relation} {self.bound_ns:.2f} ns"
+        )
+
+
+class TimingViolation(Exception):
+    """Strict-mode timing failure; carries the offending :class:`Violation`."""
+
+    def __init__(self, violation: Violation):
+        super().__init__(violation.describe())
+        self.violation = violation
+
+    @property
+    def rule(self) -> str:
+        return self.violation.rule
+
+
+class _BankState:
+    """Per-bank rule state: effective last-ACT, last-PRE, last-WR times.
+
+    ``last_act`` is the effective start of the bank's current row cycle:
+    the final activation start of a burst, or ``t + (t_aap - t_rc)`` for
+    an AAP so that the tRC window enforces the AAP's full ``t_aap``
+    occupancy on the next activation.
+    """
+
+    __slots__ = ("last_act", "last_pre", "last_wr")
+
+    def __init__(self) -> None:
+        self.last_act: float | None = None
+        self.last_pre: float | None = None
+        self.last_wr: float | None = None
+
+
+class TimingChecker:
+    """Validate a DRAM command stream against the timing rules.
+
+    Args:
+        controller: subscribe to this controller's command hooks (its
+            :class:`TimingParams` supply the rule constants).  Pass
+            ``None`` to drive the checker directly with
+            :meth:`observe` on synthetic :class:`CommandEvent` streams,
+            in which case ``timing`` is required.
+        timing: rule constants for controller-less use (overrides the
+            controller's params if both are given).
+        mode: ``"strict"`` raises :class:`TimingViolation` at the first
+            breach; ``"audit"`` collects into :attr:`violations`.
+        epsilon_ns: float-comparison slack (well below any rule constant,
+            well above accumulated double rounding).
+    """
+
+    MODES = ("strict", "audit")
+
+    def __init__(
+        self,
+        controller=None,
+        *,
+        timing: TimingParams | None = None,
+        mode: str = "strict",
+        epsilon_ns: float = 1e-3,
+    ):
+        if mode not in self.MODES:
+            raise ValueError(
+                f"mode must be one of {self.MODES}, got {mode!r}"
+            )
+        if controller is None and timing is None:
+            raise ValueError("a controller or explicit TimingParams is required")
+        self.timing = timing if timing is not None else controller.timing
+        self.mode = mode
+        self.epsilon_ns = epsilon_ns
+        self.violations: list[Violation] = []
+        self.commands_checked = 0
+        self._banks: dict[int, _BankState] = {}
+        self._recent_acts: deque[float] = deque(maxlen=4)
+        self._last_refresh = 0.0
+        self._last_explicit_ref: float | None = None
+        self._controller = controller
+        self._closed = False
+        if controller is not None:
+            # Attaching mid-run: adopt the controller's refresh phase so
+            # elapsed epochs are not misread as missed refreshes.
+            self._last_refresh = (
+                controller.refresh_epoch * self.timing.t_ref_ns
+            )
+            controller.register_command_hook(self.observe)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Unsubscribe from the controller (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._controller is not None:
+            self._controller.unregister_command_hook(self.observe)
+
+    def __enter__(self) -> "TimingChecker":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # ------------------------------------------------------------------ #
+    # Results
+    # ------------------------------------------------------------------ #
+
+    @property
+    def violation_counts(self) -> dict[str, int]:
+        """Audit-mode violation tally per rule name."""
+        counts: dict[str, int] = {}
+        for violation in self.violations:
+            counts[violation.rule] = counts.get(violation.rule, 0) + 1
+        return counts
+
+    def assert_clean(self) -> None:
+        """Raise :class:`TimingViolation` on the first audited breach."""
+        if self.violations:
+            raise TimingViolation(self.violations[0])
+
+    def summary(self) -> dict:
+        return {
+            "mode": self.mode,
+            "commands_checked": self.commands_checked,
+            "violations": len(self.violations),
+            "by_rule": self.violation_counts,
+        }
+
+    @property
+    def refresh_deadline_ns(self) -> float:
+        """Maximum allowed time from the last refresh to a row command.
+
+        One bulk-refresh interval plus a slack of four worst-case command
+        latencies: the controller polls the boundary between commands, so
+        a command legitimately issues up to a few latencies past it (e.g.
+        the forced single-ACT chunk that straddles a refresh).  Genuinely
+        missed refreshes overshoot by milliseconds, not nanoseconds.
+        """
+        t = self.timing
+        return t.t_ref_ns + 4.0 * max(t.t_rc_ns, t.t_aap_ns, t.t_act_eff_ns)
+
+    # ------------------------------------------------------------------ #
+    # Checking
+    # ------------------------------------------------------------------ #
+
+    def _flag(
+        self,
+        rule: str,
+        event: CommandEvent,
+        time_ns: float,
+        actual_ns: float,
+        bound_ns: float,
+    ) -> None:
+        name = event.command.name if event.command is not None else "IDLE"
+        violation = Violation(
+            rule=rule, command=name, bank=event.bank, time_ns=time_ns,
+            actual_ns=actual_ns, bound_ns=bound_ns,
+        )
+        if self.mode == "strict":
+            raise TimingViolation(violation)
+        self.violations.append(violation)
+
+    def _check_min(
+        self,
+        rule: str,
+        event: CommandEvent,
+        time_ns: float,
+        prev_ns: float | None,
+        window_ns: float,
+    ) -> None:
+        if prev_ns is None:
+            return
+        gap = time_ns - prev_ns
+        if gap < window_ns - self.epsilon_ns:
+            self._flag(rule, event, time_ns, gap, window_ns)
+
+    def observe(self, event: CommandEvent) -> None:
+        """Check one command event (the controller hook entry point)."""
+        command = event.command
+        if command is None or command is Command.RNG:
+            # Idle gaps pass no commands; RNG occupies the random-number
+            # generator, not a bank.
+            return
+        self.commands_checked += 1
+        t = event.time_ns
+        timing = self.timing
+        if self._last_explicit_ref is not None and command is not Command.REF:
+            self._check_min(
+                "tRFC", event, t, self._last_explicit_ref, timing.t_rfc_ns
+            )
+        if command is Command.REF:
+            if t > self._last_refresh:
+                self._last_refresh = t
+            if not event.auto:
+                self._last_explicit_ref = t
+            return
+        bank = None
+        if event.bank is not None:
+            bank = self._banks.get(event.bank)
+            if bank is None:
+                bank = self._banks[event.bank] = _BankState()
+        if command is Command.ACT:
+            period = (
+                timing.t_act_eff_ns if event.hammer else timing.t_rc_ns
+            )
+            self._observe_acts(
+                event, t, bank,
+                starts=None, count=event.count, period=period,
+                effective_last=t + (event.count - 1) * period,
+            )
+        elif command is Command.AAP:
+            # An AAP is two activations closer together than tRC allows a
+            # pair of plain ACTs (RowClone's entire point); its bank
+            # occupancy is t_aap, enforced by publishing an effective
+            # last-ACT of t + (t_aap - t_rc) into the tRC window.
+            offset = timing.t_aap_ns - timing.t_rc_ns
+            self._observe_acts(
+                event, t, bank,
+                starts=(t, t + max(offset, 0.0)), count=2, period=None,
+                effective_last=t + offset,
+            )
+        elif command is Command.PRE:
+            if bank is not None:
+                self._check_min(
+                    "tRAS", event, t, bank.last_act, timing.t_ras_ns
+                )
+                self._check_min("tWR", event, t, bank.last_wr, timing.t_wr_ns)
+                bank.last_pre = t
+        elif command in (Command.RD, Command.WR):
+            latency = timing.t_rc_ns
+            end = t + (event.count - 1) * latency
+            if bank is not None:
+                self._check_min(
+                    "tRCD", event, t, bank.last_act, timing.t_rcd_ns
+                )
+                if command is Command.WR:
+                    bank.last_wr = end
+            self._check_refresh_deadline(event, end)
+
+    def _observe_acts(
+        self,
+        event: CommandEvent,
+        t: float,
+        bank: _BankState | None,
+        starts: tuple[float, ...] | None,
+        count: int,
+        period: float | None,
+        effective_last: float,
+    ) -> None:
+        """Shared ACT/AAP path: tRC, tRP, tFAW, and the refresh deadline.
+
+        ``starts`` enumerates activation start times explicitly (AAP);
+        otherwise they are ``t + i * period`` for ``i < count`` (burst).
+        """
+        timing = self.timing
+        eps = self.epsilon_ns
+        if bank is not None:
+            self._check_min("tRC", event, t, bank.last_act, timing.t_rc_ns)
+            self._check_min("tRP", event, t, bank.last_pre, timing.t_rp_ns)
+        if period is not None and count > 1 and period < timing.t_rc_ns - eps:
+            # Burst-internal spacing: consecutive ACTs of one burst are
+            # one period apart on the same bank.
+            self._flag("tRC", event, t, period, timing.t_rc_ns)
+        # --- tFAW: rolling window of the last four activation starts ----
+        faw = timing.t_faw_ns
+        recent = self._recent_acts
+        if starts is None:
+            head = min(count, 4)
+            starts = tuple(t + i * period for i in range(head))
+        flagged_faw = False
+        for start in starts:
+            if (
+                not flagged_faw
+                and len(recent) == 4
+                and start - recent[0] < faw - eps
+            ):
+                # One flag per event: a burst that breaks tFAW breaks it
+                # at a fixed internal cadence, so further repeats of the
+                # same breach add noise, not information.
+                self._flag("tFAW", event, start, start - recent[0], faw)
+                flagged_faw = True
+            recent.append(start)
+        if period is not None and count > 4:
+            if not flagged_faw and 4 * period < faw - eps:
+                self._flag("tFAW", event, t, 4 * period, faw)
+            # The window exiting the burst holds its last four ACTs.
+            recent.clear()
+            recent.extend(t + (count - k) * period for k in (4, 3, 2, 1))
+        if bank is not None:
+            bank.last_act = effective_last
+        self._check_refresh_deadline(event, effective_last)
+
+    def _check_refresh_deadline(self, event: CommandEvent, end_ns: float) -> None:
+        deadline = self._last_refresh + self.refresh_deadline_ns
+        if end_ns > deadline + self.epsilon_ns:
+            self._flag(
+                "tREFI", event, end_ns,
+                end_ns - self._last_refresh, self.refresh_deadline_ns,
+            )

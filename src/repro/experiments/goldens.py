@@ -1,0 +1,94 @@
+"""Canonical workloads behind the golden command-trace fixtures.
+
+Each builder runs a small, fully deterministic workload with a
+:class:`repro.dram.CommandTrace` attached and returns the (controller,
+trace) pair.  ``repro trace record --workload <name>`` saves the stream;
+the committed fixtures under ``tests/data/traces/`` are exactly these
+workloads at their default seeds, and the golden tests re-record them
+in-process to assert the implementation still produces the same bytes.
+
+Two goldens cover the full command vocabulary between them:
+
+* ``fig6-defended`` — the ``fig6`` scenario's functional leg: a defended
+  chain of eight pipelined four-step swaps (defender actor; RNG + AAP
+  records).
+* ``hammer-window`` — one bare hammer window (a ``T_RH``-activation
+  aggressor burst, attacker actor) followed by a scouting read/write, an
+  explicit precharge, and the idle run-out to the refresh boundary
+  (ACT/RD/WR/PRE/IDLE/auto-REF records).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dram import (
+    CommandTrace,
+    DramDevice,
+    DramGeometry,
+    MemoryController,
+    RowAddress,
+    TimingParams,
+)
+
+__all__ = ["GOLDEN_WORKLOADS", "record_workload"]
+
+
+def _fig6_defended(seed: int = 0) -> tuple[MemoryController, CommandTrace]:
+    """The fig6 scenario's functional swap chain, traced."""
+    from repro.core.swap import SwapEngine
+
+    timing = TimingParams()
+    geometry = DramGeometry(
+        banks=1, subarrays_per_bank=1, rows_per_subarray=64, row_bytes=64
+    )
+    controller = MemoryController(DramDevice(geometry), timing)
+    controller.device.fill_random(np.random.default_rng(seed))
+    trace = CommandTrace(controller)
+    engine = SwapEngine(controller, reserved_rows=2, actor="defender")
+    rng = np.random.default_rng(seed + 1)
+    targets = [RowAddress(0, 0, r) for r in range(2, 18, 2)]
+    non_targets = [RowAddress(0, 0, r) for r in range(20, 36, 2)]
+    for target, nt in zip(targets, non_targets):
+        engine.swap_target(target, rng, non_target_logical=nt,
+                           exclude=set(targets), pipelined=True)
+    trace.close()
+    return controller, trace
+
+
+def _hammer_window(seed: int = 0, t_rh: int = 1000) -> tuple[MemoryController, CommandTrace]:
+    """One bare hammer window plus a scouting access and the idle run-out."""
+    timing = TimingParams(t_rh=t_rh)
+    geometry = DramGeometry(
+        banks=2, subarrays_per_bank=2, rows_per_subarray=32, row_bytes=32
+    )
+    controller = MemoryController(DramDevice(geometry), timing)
+    controller.device.fill_random(np.random.default_rng(seed))
+    trace = CommandTrace(controller)
+    aggressor = RowAddress(0, 0, 5)
+    controller.activate(aggressor, actor="attacker", count=t_rh, hammer=True)
+    scout = RowAddress(1, 1, 3)
+    data = controller.read_logical(scout, actor="attacker")
+    controller.write_logical(scout, data, actor="attacker")
+    controller.precharge(1, actor="attacker")
+    controller.advance_time(controller.ns_until_refresh())
+    trace.close()
+    return controller, trace
+
+
+GOLDEN_WORKLOADS = {
+    "fig6-defended": _fig6_defended,
+    "hammer-window": _hammer_window,
+}
+
+
+def record_workload(name: str, seed: int = 0) -> tuple[MemoryController, CommandTrace]:
+    """Run one golden workload and return its (controller, closed trace)."""
+    try:
+        builder = GOLDEN_WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown trace workload {name!r}; available: "
+            f"{', '.join(sorted(GOLDEN_WORKLOADS))}"
+        ) from None
+    return builder(seed=seed)

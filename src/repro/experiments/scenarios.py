@@ -46,6 +46,7 @@ from repro.attacks import (
 )
 from repro.core import (
     DefendedDeployment,
+    DefenderConfig,
     DNNDefender,
     SwapEngine,
     build_timeline,
@@ -53,11 +54,13 @@ from repro.core import (
 )
 from repro.dram import (
     PAPER_GEOMETRY,
+    REFRESH_COMMANDS_PER_TREF,
     TRH_BY_GENERATION,
     DramDevice,
     DramGeometry,
     MemoryController,
     RowAddress,
+    TimingChecker,
     TimingParams,
 )
 from repro.experiments.registry import scenario
@@ -180,12 +183,20 @@ def fig6(ctx):
         for e in entries
     ]
 
-    # Functional measurement: a chain of 8 swaps on the simulator.
+    # Functional measurement: a chain of 8 swaps on the simulator,
+    # optionally validated against the DDR timing rules
+    # (``--param timing_check=strict|audit``; off by default so the
+    # artifact bytes predate the checker).
+    timing_check = str(ctx.param("timing_check", "off"))
     geometry = DramGeometry(
         banks=1, subarrays_per_bank=1, rows_per_subarray=64, row_bytes=64
     )
     controller = MemoryController(DramDevice(geometry), timing)
     controller.device.fill_random(np.random.default_rng(ctx.seed))
+    checker = (
+        TimingChecker(controller, mode=timing_check)
+        if timing_check != "off" else None
+    )
     engine = SwapEngine(controller, reserved_rows=2)
     rng = np.random.default_rng(ctx.seed + 1)
     targets = [RowAddress(0, 0, r) for r in range(2, 18, 2)]
@@ -193,14 +204,18 @@ def fig6(ctx):
     for target, nt in zip(targets, non_targets):
         engine.swap_target(target, rng, non_target_logical=nt,
                            exclude=set(targets), pipelined=True)
+    metrics = {
+        "functional_aaps": float(engine.total_aaps),
+        "analytic_aaps": float(chain_aap_count(len(targets), pipelined=True)),
+        "unpipelined_aaps": float(
+            chain_aap_count(len(targets), pipelined=False)
+        ),
+    }
+    if checker is not None:
+        checker.close()
+        metrics["timing_violations"] = float(len(checker.violations))
     return {
-        "metrics": {
-            "functional_aaps": float(engine.total_aaps),
-            "analytic_aaps": float(chain_aap_count(len(targets), pipelined=True)),
-            "unpipelined_aaps": float(
-                chain_aap_count(len(targets), pipelined=False)
-            ),
-        },
+        "metrics": metrics,
         "detail": {"timeline": timeline, "chain_swaps": len(targets)},
     }
 
@@ -209,6 +224,8 @@ def fig6(ctx):
 def _fig6_check(result):
     assert result.metric("functional_aaps") == result.metric("analytic_aaps")
     assert result.metric("functional_aaps") < result.metric("unpipelined_aaps")
+    if "timing_violations" in result.metrics:
+        assert result.metric("timing_violations") == 0.0
 
 
 @fig6.reporter
@@ -1089,6 +1106,17 @@ def _int_grid(value, default: tuple[int, ...]) -> tuple[int, ...]:
     return tuple(int(v) for v in value)
 
 
+def _float_grid(value, default: tuple[float, ...]) -> tuple[float, ...]:
+    """``_int_grid`` for float-valued axes (refresh intervals, budgets)."""
+    if value is None:
+        return default
+    if isinstance(value, str):
+        return tuple(float(v) for v in value.split(","))
+    if isinstance(value, (int, float)):
+        return (float(value),)
+    return tuple(float(v) for v in value)
+
+
 @scenario(
     "sweep-hammer-rate",
     title="Hammer-rate (T_RH) grid: functional vs analytic defender cost",
@@ -1146,6 +1174,162 @@ def _sweep_hammer_rate_report(result):
             "functional defender vs analytic model"
         ),
     )
+
+
+# ---------------------------------------------------------------------- #
+# Sweep: refresh interval x T_RH x defense budget, under timing audit
+# ---------------------------------------------------------------------- #
+
+@scenario(
+    "sweep-refresh-trh",
+    title="Refresh interval x T_RH x defense-budget grid under timing audit",
+    source="extension of Fig. 8 / Section 5.1",
+    deterministic=True,
+    tags=("sweep", "dram"),
+    default_trials=2,
+)
+def sweep_refresh_trh(ctx):
+    """Defender cost across the refresh/threshold/budget trade-off.
+
+    Shrinking ``T_ref`` hardens against RowHammer (fewer activations fit
+    before the victim is refreshed) but raises the refresh bus overhead
+    ``tRFC / tREFI``; shrinking the defender's ``period_fraction`` spends
+    less of each hammer window on swaps at the cost of per-window
+    coverage.  Every grid cell runs the functional defender loop on the
+    live simulator with a :class:`TimingChecker` in audit mode attached —
+    the sweep doubles as a timing-legality audit of the whole defended
+    command stream, and the check asserts zero violations.
+    """
+    t_ref_grid = _float_grid(ctx.param("t_ref_grid"), (32.0, 64.0))
+    t_rh_grid = _int_grid(ctx.param("t_rh_grid"), (1000, 4000))
+    budget_grid = _float_grid(ctx.param("budget_grid"), (0.5, 1.0))
+    n_targets = int(ctx.param("n_targets", 32))
+    geometry = DramGeometry(
+        banks=4, subarrays_per_bank=8, rows_per_subarray=64, row_bytes=64
+    )
+    metrics = {}
+    total_violations = 0
+    commands_checked = 0
+    for t_ref in t_ref_grid:
+        timing_ref = TimingParams(
+            t_ref_ms=t_ref,
+            t_refi_ns=t_ref * 1e6 / REFRESH_COMMANDS_PER_TREF,
+        )
+        metrics[f"refresh_overhead[{t_ref:g}]"] = (
+            timing_ref.refresh_overhead_fraction
+        )
+        for t_rh in t_rh_grid:
+            for budget in budget_grid:
+                timing = TimingParams(
+                    t_ref_ms=t_ref,
+                    t_refi_ns=t_ref * 1e6 / REFRESH_COMMANDS_PER_TREF,
+                    t_rh=t_rh,
+                )
+                controller = MemoryController(DramDevice(geometry), timing)
+                controller.device.fill_random(
+                    np.random.default_rng(ctx.seed)
+                )
+                targets, non_targets = [], []
+                per_sub = n_targets // (
+                    geometry.banks * geometry.subarrays_per_bank
+                )
+                for bank in range(geometry.banks):
+                    for subarray in range(geometry.subarrays_per_bank):
+                        for row in range(2, 2 + per_sub):
+                            targets.append(RowAddress(bank, subarray, row))
+                        non_targets.append(RowAddress(bank, subarray, 40))
+                plan = ProtectionPlan(
+                    secured_bits=set(), target_rows=targets,
+                    non_target_rows=non_targets,
+                )
+                defender = DNNDefender(
+                    controller, plan,
+                    config=DefenderConfig(period_fraction=budget),
+                )
+                with TimingChecker(controller, mode="audit") as checker:
+                    windows = int(
+                        timing.t_ref_ns
+                        / (timing.hammer_window_ns * budget)
+                    )
+                    windows = min(windows, 30)
+                    for _ in range(windows):
+                        defender.run_window()
+                        controller.advance_time(defender.period_ns)
+                total_violations += len(checker.violations)
+                commands_checked += checker.commands_checked
+                key = f"{t_ref:g}x{t_rh}x{budget:g}"
+                metrics[f"latency_ms[{key}]"] = (
+                    defender.latency_per_tref_ms()
+                )
+                metrics[f"swaps[{key}]"] = float(
+                    defender.stats.swaps_executed
+                )
+    metrics["timing_violations"] = float(total_violations)
+    metrics["commands_checked"] = float(commands_checked)
+    return {
+        "metrics": metrics,
+        "detail": {
+            "t_ref_grid": list(t_ref_grid),
+            "t_rh_grid": list(t_rh_grid),
+            "budget_grid": list(budget_grid),
+            "n_targets": n_targets,
+        },
+    }
+
+
+@sweep_refresh_trh.check
+def _sweep_refresh_trh_check(result):
+    # The defended command stream is timing-legal at every grid point.
+    assert result.metric("timing_violations") == 0.0
+    assert result.metric("commands_checked") > 0.0
+    detail = result.detail
+    for t_ref in detail["t_ref_grid"]:
+        for t_rh in detail["t_rh_grid"]:
+            for budget in detail["budget_grid"]:
+                key = f"{t_ref:g}x{t_rh}x{budget:g}"
+                assert result.metric(f"swaps[{key}]") > 0.0
+                assert result.metric(f"latency_ms[{key}]") > 0.0
+    # Shrinking the refresh interval raises the refresh bus overhead.
+    overheads = [
+        result.metric(f"refresh_overhead[{t_ref:g}]")
+        for t_ref in detail["t_ref_grid"]
+    ]
+    assert all(a >= b for a, b in zip(overheads, overheads[1:]))
+
+
+@sweep_refresh_trh.reporter
+def _sweep_refresh_trh_report(result):
+    detail = result.detail
+    rows = []
+    for t_ref in detail["t_ref_grid"]:
+        for t_rh in detail["t_rh_grid"]:
+            for budget in detail["budget_grid"]:
+                key = f"{t_ref:g}x{t_rh}x{budget:g}"
+                rows.append(
+                    [
+                        f"{t_ref:g}",
+                        t_rh,
+                        f"{budget:g}",
+                        f"{result.metric(f'latency_ms[{key}]'):.3f}",
+                        f"{result.metric(f'swaps[{key}]'):.0f}",
+                        f"{result.metric(f'refresh_overhead[{t_ref:g}]') * 100:.2f}",
+                    ]
+                )
+    table = format_table(
+        ["T_ref (ms)", "T_RH", "budget", "latency (ms)", "swaps",
+         "refresh ovh (%)"],
+        rows,
+        title=(
+            f"Refresh x T_RH x budget grid — {detail['n_targets']} target "
+            "rows, audit-mode timing checker"
+        ),
+    )
+    table += (
+        f"\ntiming audit: {result.metric('timing_violations'):.0f} "
+        f"violation(s) over {result.metric('commands_checked'):.0f} "
+        "checked command(s)"
+    )
+    return table
 
 
 # ---------------------------------------------------------------------- #

@@ -142,6 +142,31 @@ class TestShadow:
         with pytest.raises(ValueError):
             Shadow(controller, shadow_rows_per_subarray=0)
 
+    def test_close_detaches_from_controller(self, fresh_model):
+        """A closed defense stops observing (and reacting to) traffic."""
+        qmodel, controller, layout = build_stack(fresh_model)
+        shadow = Shadow(controller, seed=1)
+        attacker = RowHammerAttacker(
+            controller, layout, defense=shadow, track_swaps=True
+        )
+        attacker.attempt_flip(BitLocation(0, 0, 7), max_windows=1)
+        moved = shadow.stats.rows_moved
+        assert moved > 0
+        shadow.close()
+        shadow.close()  # idempotent
+        attacker.attempt_flip(BitLocation(0, 0, 7), max_windows=1)
+        assert shadow.stats.rows_moved == moved
+
+    def test_context_manager_closes(self, fresh_model):
+        from repro.dram import RowAddress
+
+        _, controller, _ = build_stack(fresh_model)
+        with Shadow(controller, seed=1) as shadow:
+            assert shadow.stats.reactions == 0
+        # Hook removed: activations no longer reach the defense.
+        controller.activate(RowAddress(0, 0, 1), count=2000, hammer=True)
+        assert shadow.stats.rows_moved == 0
+
 
 class TestCounterTrackers:
     @pytest.mark.parametrize(

@@ -45,6 +45,54 @@ class TestTimingParams:
         with pytest.raises(ValueError):
             TimingParams(t_aap_ns=-1)
 
+    def test_rule_constant_validation(self):
+        for field in ("t_rcd_ns", "t_wr_ns", "t_faw_ns", "t_refi_ns",
+                      "t_rfc_ns"):
+            with pytest.raises(ValueError):
+                TimingParams(**{field: 0.0})
+        # A refresh command outlasting the refresh interval is nonsense.
+        with pytest.raises(ValueError):
+            TimingParams(t_refi_ns=100.0, t_rfc_ns=100.0)
+
+    def test_rule_constants_stay_below_charged_latencies(self):
+        # The calibration invariant the strict checker relies on: every
+        # rule window is at most the latency the controller charges for
+        # the governing command.
+        t = TimingParams()
+        assert t.t_ras_ns <= t.t_rc_ns
+        assert t.t_rcd_ns <= t.t_rc_ns
+        assert t.t_wr_ns <= t.t_rc_ns
+        assert t.t_rp_ns <= t.t_rc_ns
+        assert t.t_faw_ns <= 4 * min(t.t_rc_ns, t.t_act_eff_ns)
+        assert t.t_rc_ns <= t.t_aap_ns  # AAP occupies longer than one ACT
+
+    def test_refresh_overhead_fraction(self):
+        t = TimingParams()
+        assert t.refresh_overhead_fraction == pytest.approx(350.0 / 7812.5)
+        # Halving t_ref (and t_refi with it) doubles the overhead.
+        harder = TimingParams(t_ref_ms=32.0, t_refi_ns=32e6 / 8192)
+        assert harder.refresh_overhead_fraction == pytest.approx(
+            2 * t.refresh_overhead_fraction
+        )
+
+    def test_with_trh_at_tiny_threshold(self):
+        # T_RH = 1: one activation per window; the hammer window shrinks
+        # to a single T_ACT and no swap fits inside it.
+        t = TimingParams().with_trh(1)
+        assert t.t_rh == 1
+        assert t.hammer_window_ns == pytest.approx(t.t_act_eff_ns)
+        assert t.max_swaps_per_window() == 0
+
+    def test_max_swaps_per_window_boundary(self):
+        # Exactly-divisible window: floor lands on the exact quotient.
+        # 3 x t_aap = 270; T_RH = 270 / 118 is fractional, so pick t_rh
+        # where the window is an exact multiple of t_swap.
+        t = TimingParams(t_act_eff_ns=90.0, t_rh=3)
+        assert t.hammer_window_ns == pytest.approx(t.t_swap_ns)
+        assert t.max_swaps_per_window() == 1
+        just_under = TimingParams(t_act_eff_ns=89.9, t_rh=3)
+        assert just_under.max_swaps_per_window() == 0
+
     def test_trh_table_matches_fig1a(self):
         assert TRH_BY_GENERATION["DDR3 (old)"] == 139_000
         assert TRH_BY_GENERATION["LPDDR4 (new)"] == 4_800

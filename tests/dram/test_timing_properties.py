@@ -1,0 +1,257 @@
+"""Property/fuzz tests for the timing checker.
+
+Randomized *legal* schedules (commands spaced at or beyond every rule
+window) must pass strict checking; the same schedule with one injected
+violation must be caught, with the injected rule named.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.dram import (
+    Command,
+    CommandEvent,
+    TimingChecker,
+    TimingParams,
+    TimingViolation,
+)
+
+TIMING = TimingParams()
+
+# Spacing at which any two consecutive commands are legal regardless of
+# kind: beyond tRC, tRP, tRAS, tRCD, tWR, and wide enough that four
+# successive gaps clear tFAW.
+SAFE_GAP = max(
+    TIMING.t_rc_ns, TIMING.t_ras_ns, TIMING.t_aap_ns, TIMING.t_faw_ns
+)
+
+
+def legal_schedule(choices, start_ns=0.0):
+    """Build a legal event stream from per-step (kind, slack) choices."""
+    events = []
+    t = start_ns
+    for kind, slack in choices:
+        t += SAFE_GAP + slack
+        if kind == "ACT":
+            events.append(CommandEvent(
+                time_ns=t, command=Command.ACT, bank=0, subarray=0, row=1
+            ))
+        elif kind == "AAP":
+            events.append(CommandEvent(
+                time_ns=t, command=Command.AAP, bank=0, subarray=0, row=2,
+                dst_subarray=0, dst_row=3,
+            ))
+            t += TIMING.t_aap_ns  # the copy occupies the bank
+        elif kind == "PRE":
+            events.append(CommandEvent(time_ns=t, command=Command.PRE, bank=0))
+        elif kind in ("RD", "WR"):
+            events.append(CommandEvent(
+                time_ns=t, command=Command[kind], bank=0, subarray=0, row=1
+            ))
+        elif kind == "HAMMER":
+            count = 1 + int(slack) % 50
+            events.append(CommandEvent(
+                time_ns=t, command=Command.ACT, bank=0, subarray=0, row=1,
+                count=count, hammer=True,
+            ))
+            t += count * TIMING.t_act_eff_ns
+        elif kind == "REF":
+            events.append(CommandEvent(time_ns=t, command=Command.REF))
+            t += TIMING.t_rfc_ns
+    return events
+
+
+step = st.tuples(
+    st.sampled_from(["ACT", "AAP", "PRE", "RD", "WR", "HAMMER", "REF"]),
+    st.floats(min_value=0.0, max_value=200.0, allow_nan=False),
+)
+
+
+class TestLegalSchedulesPassStrict:
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.lists(step, min_size=1, max_size=40))
+    def test_random_legal_schedule_is_clean(self, choices):
+        checker = TimingChecker(timing=TIMING, mode="strict")
+        for event in legal_schedule(choices):
+            checker.observe(event)
+        assert checker.violations == []
+
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(st.integers(min_value=1, max_value=4))
+    def test_multi_bank_interleaving_is_clean(self, banks):
+        # Round-robin across banks at SAFE_GAP spacing: per-bank gaps
+        # only grow, and the device-wide tFAW window stays clear.
+        checker = TimingChecker(timing=TIMING, mode="strict")
+        t = 0.0
+        for i in range(24):
+            t += SAFE_GAP
+            checker.observe(CommandEvent(
+                time_ns=t, command=Command.ACT, bank=i % banks,
+                subarray=0, row=1,
+            ))
+        assert checker.violations == []
+
+
+# The ISSUE's named injection cases plus one per remaining rule: a base
+# legal schedule, one mutation, and the rule that must be reported.
+INJECTIONS = [
+    pytest.param(
+        [("ACT", "PRE_THEN_EARLY_ACT")], "tRP", id="early-act-after-pre",
+    ),
+    pytest.param(
+        [("ACT",), ("ACT", None, TIMING.t_rc_ns / 2)], "tRC",
+        id="early-act-after-act",
+    ),
+    pytest.param(
+        [("ACT", "EARLY_PRE")], "tRAS", id="early-pre-after-act",
+    ),
+    pytest.param(
+        [("ACT", "EARLY_RD")], "tRCD", id="early-read-after-act",
+    ),
+    pytest.param(
+        [("ACT", "WR"), ("PRE_AFTER_WR",)], "tWR", id="early-pre-after-wr",
+    ),
+    pytest.param(
+        [("FAW_BURST",)], "tFAW", id="fifth-act-inside-tfaw",
+    ),
+    pytest.param(
+        [("SKIP_REFRESH",)], "tREFI", id="missed-trefi",
+    ),
+    pytest.param(
+        [("REF",), ("ACT", None, TIMING.t_rfc_ns / 2)], "tRFC",
+        id="act-inside-trfc",
+    ),
+]
+
+
+def run_injection(script):
+    """Interpreter for the tiny injection scripts above."""
+    checker = TimingChecker(timing=TIMING, mode="audit")
+    t = 0.0
+    for op in script:
+        kind = op[0]
+        if kind == "ACT":
+            follow = op[1] if len(op) > 1 else None
+            gap = op[2] if len(op) > 2 else SAFE_GAP
+            t += gap
+            checker.observe(CommandEvent(
+                time_ns=t, command=Command.ACT, bank=0, subarray=0, row=1
+            ))
+            if follow == "PRE_THEN_EARLY_ACT":
+                t += SAFE_GAP
+                checker.observe(CommandEvent(
+                    time_ns=t, command=Command.PRE, bank=0
+                ))
+                checker.observe(CommandEvent(
+                    time_ns=t + TIMING.t_rp_ns / 2, command=Command.ACT,
+                    bank=0, subarray=0, row=1,
+                ))
+            elif follow == "EARLY_PRE":
+                checker.observe(CommandEvent(
+                    time_ns=t + TIMING.t_ras_ns / 2, command=Command.PRE,
+                    bank=0,
+                ))
+            elif follow == "EARLY_RD":
+                checker.observe(CommandEvent(
+                    time_ns=t + TIMING.t_rcd_ns / 2, command=Command.RD,
+                    bank=0, subarray=0, row=1,
+                ))
+            elif follow == "WR":
+                t += SAFE_GAP
+                checker.observe(CommandEvent(
+                    time_ns=t, command=Command.WR, bank=0, subarray=0, row=1
+                ))
+            elif isinstance(follow, float):
+                checker.observe(CommandEvent(
+                    time_ns=t + follow, command=Command.ACT, bank=0,
+                    subarray=0, row=1,
+                ))
+        elif kind == "PRE_AFTER_WR":
+            checker.observe(CommandEvent(
+                time_ns=t + TIMING.t_wr_ns / 2, command=Command.PRE, bank=0
+            ))
+        elif kind == "FAW_BURST":
+            for i in range(5):
+                checker.observe(CommandEvent(
+                    time_ns=t + i * (TIMING.t_faw_ns / 8),
+                    command=Command.ACT, bank=i, subarray=0, row=1,
+                ))
+        elif kind == "SKIP_REFRESH":
+            checker.observe(CommandEvent(
+                time_ns=t, command=Command.ACT, bank=0, subarray=0, row=1
+            ))
+            checker.observe(CommandEvent(
+                time_ns=t + TIMING.t_ref_ns + 1e6, command=Command.ACT,
+                bank=0, subarray=0, row=1,
+            ))
+        elif kind == "REF":
+            t += SAFE_GAP
+            checker.observe(CommandEvent(time_ns=t, command=Command.REF))
+    return checker
+
+
+class TestInjectedViolationsAreNamed:
+    @pytest.mark.parametrize("script, rule", INJECTIONS)
+    def test_injection_caught_with_rule_named(self, script, rule):
+        checker = run_injection(script)
+        assert rule in {v.rule for v in checker.violations}, (
+            f"expected {rule}, got {checker.violation_counts}"
+        )
+
+    @pytest.mark.parametrize("script, rule", INJECTIONS)
+    def test_strict_mode_raises_same_rule_first(self, script, rule):
+        # Re-run each script strictly: the named rule is the first breach.
+        audit = run_injection(script)
+        first = audit.violations[0].rule
+        assert first == rule
+
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        st.lists(step, min_size=0, max_size=15),
+        st.sampled_from(["tRC", "tRP", "tRAS", "tRCD"]),
+        st.floats(min_value=0.05, max_value=0.9),
+    )
+    def test_one_violation_in_random_legal_prefix(self, choices, rule,
+                                                  fraction):
+        """A legal random prefix, then one too-early command."""
+        events = legal_schedule(choices)
+        t = events[-1].time_ns + 2 * SAFE_GAP if events else 2 * SAFE_GAP
+        tail = {
+            "tRC": [
+                CommandEvent(time_ns=t, command=Command.ACT, bank=0,
+                             subarray=0, row=1),
+                CommandEvent(time_ns=t + fraction * TIMING.t_rc_ns,
+                             command=Command.ACT, bank=0, subarray=0, row=1),
+            ],
+            "tRP": [
+                CommandEvent(time_ns=t, command=Command.ACT, bank=0,
+                             subarray=0, row=1),
+                CommandEvent(time_ns=t + SAFE_GAP, command=Command.PRE,
+                             bank=0),
+                CommandEvent(
+                    time_ns=t + SAFE_GAP + fraction * TIMING.t_rp_ns,
+                    command=Command.ACT, bank=0, subarray=0, row=1,
+                ),
+            ],
+            "tRAS": [
+                CommandEvent(time_ns=t, command=Command.ACT, bank=0,
+                             subarray=0, row=1),
+                CommandEvent(time_ns=t + fraction * TIMING.t_ras_ns,
+                             command=Command.PRE, bank=0),
+            ],
+            "tRCD": [
+                CommandEvent(time_ns=t, command=Command.ACT, bank=0,
+                             subarray=0, row=1),
+                CommandEvent(time_ns=t + fraction * TIMING.t_rcd_ns,
+                             command=Command.RD, bank=0, subarray=0, row=1),
+            ],
+        }[rule]
+        checker = TimingChecker(timing=TIMING, mode="audit")
+        for event in events + tail:
+            checker.observe(event)
+        assert rule in {v.rule for v in checker.violations}

@@ -1,0 +1,303 @@
+"""Tests for the DDR timing-rule checker.
+
+Synthetic-stream units drive ``TimingChecker.observe`` directly with
+hand-built :class:`CommandEvent` streams (one per rule); integration
+tests attach a strict checker to live controllers running the real
+defended/attack workloads and assert the charged streams are clean.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import SwapEngine
+from repro.dram import (
+    Command,
+    CommandEvent,
+    DramDevice,
+    DramGeometry,
+    MemoryController,
+    RowAddress,
+    RULE_NAMES,
+    TimingChecker,
+    TimingParams,
+    TimingViolation,
+)
+
+TIMING = TimingParams()
+
+GEOMETRY = DramGeometry(
+    banks=2, subarrays_per_bank=2, rows_per_subarray=32, row_bytes=32
+)
+
+
+def act(t, bank=0, count=1, hammer=False):
+    return CommandEvent(
+        time_ns=t, command=Command.ACT, bank=bank, subarray=0, row=1,
+        count=count, hammer=hammer,
+    )
+
+
+def pre(t, bank=0):
+    return CommandEvent(time_ns=t, command=Command.PRE, bank=bank)
+
+
+def rd(t, bank=0):
+    return CommandEvent(
+        time_ns=t, command=Command.RD, bank=bank, subarray=0, row=1
+    )
+
+
+def wr(t, bank=0):
+    return CommandEvent(
+        time_ns=t, command=Command.WR, bank=bank, subarray=0, row=1
+    )
+
+
+def ref(t, auto=False):
+    return CommandEvent(time_ns=t, command=Command.REF, auto=auto)
+
+
+def audit(*events, timing=TIMING):
+    checker = TimingChecker(timing=timing, mode="audit")
+    for event in events:
+        checker.observe(event)
+    return checker
+
+
+def strict(*events, timing=TIMING):
+    checker = TimingChecker(timing=timing, mode="strict")
+    for event in events:
+        checker.observe(event)
+    return checker
+
+
+class TestConstruction:
+    def test_requires_controller_or_timing(self):
+        with pytest.raises(ValueError):
+            TimingChecker()
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            TimingChecker(timing=TIMING, mode="lenient")
+
+    def test_rule_names_cover_every_rule(self):
+        assert set(RULE_NAMES) == {
+            "tRC", "tRP", "tRAS", "tRCD", "tWR", "tFAW", "tREFI", "tRFC"
+        }
+
+
+class TestPerRule:
+    """One injected violation per rule; the right rule must be named."""
+
+    def test_trp_early_act_after_pre(self):
+        checker = audit(act(0.0), pre(50.0), act(55.0))
+        assert [v.rule for v in checker.violations] == ["tRP"]
+
+    def test_trc_early_act_after_act(self):
+        checker = audit(act(0.0), act(10.0))
+        assert [v.rule for v in checker.violations] == ["tRC"]
+
+    def test_trc_burst_internal_spacing(self):
+        # A non-hammer burst runs at t_rc per ACT and is legal; a checker
+        # fed a burst claiming a shorter period flags the burst itself.
+        fast = TimingParams(t_act_eff_ns=10.0)
+        checker = TimingChecker(timing=fast, mode="audit")
+        checker.observe(act(0.0, count=3, hammer=True))
+        assert "tRC" in checker.violation_counts
+
+    def test_tras_early_pre_after_act(self):
+        checker = audit(act(0.0), pre(10.0))
+        assert [v.rule for v in checker.violations] == ["tRAS"]
+
+    def test_trcd_early_read_after_act(self):
+        checker = audit(act(0.0), rd(5.0))
+        assert [v.rule for v in checker.violations] == ["tRCD"]
+
+    def test_twr_early_pre_after_write(self):
+        checker = audit(act(0.0), wr(50.0), pre(55.0))
+        assert [v.rule for v in checker.violations] == ["tWR"]
+
+    def test_tfaw_fifth_act_inside_window(self):
+        # Five single ACTs on distinct banks 5 ns apart: per-bank rules
+        # stay silent, the device-wide four-activation window trips.
+        events = [
+            CommandEvent(time_ns=5.0 * i, command=Command.ACT, bank=i,
+                         subarray=0, row=i)
+            for i in range(5)
+        ]
+        checker = audit(*events)
+        assert [v.rule for v in checker.violations] == ["tFAW"]
+
+    def test_trefi_missed_refresh(self):
+        checker = audit(act(0.0), act(65e6))
+        assert [v.rule for v in checker.violations] == ["tREFI"]
+
+    def test_trfc_command_too_soon_after_explicit_ref(self):
+        checker = audit(ref(0.0), act(100.0))
+        assert "tRFC" in [v.rule for v in checker.violations]
+
+    def test_auto_ref_is_exempt_from_trfc(self):
+        checker = audit(ref(0.0, auto=True), act(100.0))
+        assert checker.violations == []
+
+    def test_auto_ref_rearms_refresh_deadline(self):
+        checker = audit(act(0.0), ref(64e6, auto=True), act(65e6))
+        assert checker.violations == []
+
+
+class TestLegalStreams:
+    def test_spaced_commands_are_clean(self):
+        checker = audit(
+            act(0.0), rd(50.0), wr(100.0), pre(150.0), act(200.0),
+            pre(250.0),
+        )
+        assert checker.violations == []
+        assert checker.commands_checked == 6
+
+    def test_hammer_burst_is_legal(self):
+        # T_ACT = 118 ns per hammer activation clears every window.
+        checker = audit(act(0.0, count=1000, hammer=True))
+        assert checker.violations == []
+
+    def test_back_to_back_aaps_are_legal(self):
+        events = [
+            CommandEvent(time_ns=90.0 * i, command=Command.AAP, bank=0,
+                         subarray=0, row=2, dst_subarray=0, dst_row=3)
+            for i in range(6)
+        ]
+        checker = audit(*events)
+        assert checker.violations == []
+
+    def test_act_too_soon_after_aap_violates_trc(self):
+        # The AAP occupies the bank for t_aap; an ACT at t_aap - 10 is
+        # inside the published row cycle.
+        checker = audit(
+            CommandEvent(time_ns=0.0, command=Command.AAP, bank=0,
+                         subarray=0, row=2, dst_subarray=0, dst_row=3),
+            act(TIMING.t_aap_ns - 10.0),
+        )
+        assert [v.rule for v in checker.violations] == ["tRC"]
+
+    def test_idle_and_rng_events_are_ignored(self):
+        checker = audit(
+            CommandEvent(time_ns=0.0, command=None, duration_ns=5.0),
+            CommandEvent(time_ns=5.0, command=Command.RNG),
+        )
+        assert checker.commands_checked == 0
+        assert checker.violations == []
+
+
+class TestModes:
+    def test_strict_raises_at_offending_command(self):
+        with pytest.raises(TimingViolation) as excinfo:
+            strict(act(0.0), act(10.0))
+        assert excinfo.value.rule == "tRC"
+        assert "tRC" in str(excinfo.value)
+
+    def test_audit_collects_and_assert_clean_raises(self):
+        checker = audit(act(0.0), act(10.0), act(20.0))
+        assert len(checker.violations) == 2
+        assert checker.violation_counts == {"tRC": 2}
+        with pytest.raises(TimingViolation):
+            checker.assert_clean()
+
+    def test_summary(self):
+        checker = audit(act(0.0), act(10.0))
+        summary = checker.summary()
+        assert summary["mode"] == "audit"
+        assert summary["commands_checked"] == 2
+        assert summary["violations"] == 1
+        assert summary["by_rule"] == {"tRC": 1}
+
+    def test_violation_describe_names_rule_and_bank(self):
+        checker = audit(act(0.0), act(10.0))
+        text = checker.violations[0].describe()
+        assert "tRC" in text and "bank 0" in text
+
+
+def make_controller(t_rh=1000, seed=0):
+    controller = MemoryController(
+        DramDevice(GEOMETRY), TimingParams(t_rh=t_rh)
+    )
+    controller.device.fill_random(np.random.default_rng(seed))
+    return controller
+
+
+class TestLiveController:
+    """Strict checker attached to real charged workloads: zero violations."""
+
+    def test_defended_swap_chain_is_clean(self):
+        controller = make_controller()
+        with TimingChecker(controller) as checker:
+            engine = SwapEngine(controller, reserved_rows=2, actor="defender")
+            rng = np.random.default_rng(1)
+            targets = [RowAddress(0, 0, r) for r in range(2, 10, 2)]
+            non_targets = [RowAddress(0, 0, r) for r in range(12, 20, 2)]
+            for target, nt in zip(targets, non_targets):
+                engine.swap_target(target, rng, non_target_logical=nt,
+                                   exclude=set(targets), pipelined=True)
+        assert checker.violations == []
+        assert checker.commands_checked > 0
+
+    def test_hammer_window_with_refresh_crossing_is_clean(self):
+        controller = make_controller(t_rh=2000)
+        with TimingChecker(controller) as checker:
+            controller.activate(
+                RowAddress(0, 0, 5), actor="attacker", count=2000,
+                hammer=True,
+            )
+            controller.advance_time(controller.ns_until_refresh())
+            controller.activate(RowAddress(1, 1, 3), actor="attacker")
+            controller.precharge(1, actor="attacker")
+        assert checker.violations == []
+
+    def test_shadow_defense_traffic_is_clean(self):
+        from repro.defenses.shadow import Shadow
+
+        controller = make_controller(t_rh=64)
+        defense = Shadow(controller, trigger_fraction=0.5)
+        with TimingChecker(controller) as checker:
+            controller.activate(
+                RowAddress(0, 0, 5), actor="attacker", count=64, hammer=True
+            )
+        assert defense.stats.reactions > 0
+        assert checker.violations == []
+        defense.close()
+
+    def test_explicit_ref_through_charge_command(self):
+        controller = make_controller()
+        with TimingChecker(controller, mode="audit") as checker:
+            controller.charge_command(Command.REF)
+            controller.advance_time(controller.timing.t_rfc_ns)
+            controller.activate(RowAddress(0, 0, 2))
+        assert checker.violations == []
+
+    def test_attach_mid_run_adopts_refresh_phase(self):
+        # A checker attached after epochs elapsed must not misread the
+        # clock as a missed refresh.
+        controller = make_controller()
+        controller.advance_time(3 * controller.timing.t_ref_ns + 50.0)
+        with TimingChecker(controller) as checker:
+            controller.activate(RowAddress(0, 0, 2))
+        assert checker.violations == []
+
+    def test_strict_raise_points_at_issuing_call(self):
+        controller = make_controller()
+        # Sabotage: drive the checker with an event the controller never
+        # charged, as a mis-accounted path would.
+        checker = TimingChecker(controller)
+        controller.activate(RowAddress(0, 0, 2))
+        with pytest.raises(TimingViolation):
+            checker.observe(act(controller.now_ns - 40.0))
+        checker.close()
+
+    def test_close_stops_checking(self):
+        controller = make_controller()
+        checker = TimingChecker(controller)
+        controller.activate(RowAddress(0, 0, 2))
+        seen = checker.commands_checked
+        checker.close()
+        checker.close()  # idempotent
+        assert checker.closed
+        controller.activate(RowAddress(0, 0, 4))
+        assert checker.commands_checked == seen

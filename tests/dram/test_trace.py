@@ -1,0 +1,240 @@
+"""Tests for command-trace recording, lifecycle, and replay."""
+
+import numpy as np
+import pytest
+
+from repro.dram import (
+    Command,
+    CommandTrace,
+    DramDevice,
+    DramGeometry,
+    MemoryController,
+    RowAddress,
+    TimingParams,
+    load_trace,
+    stats_payload,
+)
+
+GEOMETRY = DramGeometry(
+    banks=2, subarrays_per_bank=2, rows_per_subarray=32, row_bytes=32
+)
+
+
+def make_controller(t_rh=1000, seed=0):
+    controller = MemoryController(
+        DramDevice(GEOMETRY), TimingParams(t_rh=t_rh)
+    )
+    controller.device.fill_random(np.random.default_rng(seed))
+    return controller
+
+
+def run_workload(controller):
+    """A small stream covering every record kind."""
+    controller.activate(RowAddress(0, 0, 5), actor="attacker", count=200,
+                        hammer=True)
+    controller.rowclone(RowAddress(0, 0, 2), RowAddress(0, 0, 3),
+                        actor="defender")
+    controller.generate_random_row(actor="defender")
+    data = controller.read_logical(RowAddress(1, 1, 3))
+    controller.write_logical(RowAddress(1, 1, 3), data)
+    controller.precharge(1)
+    controller.advance_time(controller.ns_until_refresh())
+
+
+class TestRecording:
+    def test_all_command_kinds_recorded(self):
+        controller = make_controller()
+        trace = CommandTrace(controller)
+        run_workload(controller)
+        trace.close()
+        kinds = {record.command for record in trace.commands}
+        # The workload crosses a refresh boundary, so the controller's
+        # auto-REF lands in the stream too.
+        assert {"ACT", "AAP", "RNG", "RD", "WR", "PRE", "IDLE",
+                "REF"} <= kinds
+        auto_refs = [r for r in trace.commands if r.command == "REF"]
+        assert all(r.auto for r in auto_refs)
+
+    def test_records_carry_coordinates_and_issue_times(self):
+        controller = make_controller()
+        trace = CommandTrace(controller)
+        controller.activate(RowAddress(0, 1, 5), actor="attacker", count=3,
+                            hammer=True)
+        trace.close()
+        [record] = [r for r in trace.commands if r.command == "ACT"]
+        assert (record.bank, record.subarray, record.row) == (0, 1, 5)
+        assert record.count == 3 and record.hammer
+        assert record.actor == "attacker"
+        assert record.time_ns == 0.0  # issue time, before charging
+
+    def test_aap_records_destination(self):
+        controller = make_controller()
+        trace = CommandTrace(controller)
+        controller.rowclone(RowAddress(0, 1, 2), RowAddress(0, 1, 7))
+        trace.close()
+        [record] = [r for r in trace.commands if r.command == "AAP"]
+        assert (record.dst_subarray, record.dst_row) == (1, 7)
+
+    def test_summary_counts_commands(self):
+        controller = make_controller()
+        trace = CommandTrace(controller)
+        controller.activate(RowAddress(0, 0, 2))
+        trace.close()
+        summary = trace.summary()
+        assert summary["commands_recorded"] == 1
+        assert summary["total_activations"] == 1
+
+
+class TestLifecycle:
+    def test_closed_trace_stops_accumulating(self):
+        controller = make_controller()
+        trace = CommandTrace(controller)
+        controller.activate(RowAddress(0, 0, 2))
+        assert len(trace.commands) == 1
+        assert trace.total_activations == 1
+        trace.close()
+        assert trace.closed
+        controller.activate(RowAddress(0, 0, 4))
+        assert len(trace.commands) == 1
+        assert trace.total_activations == 1
+
+    def test_close_is_idempotent(self):
+        controller = make_controller()
+        trace = CommandTrace(controller)
+        trace.close()
+        trace.close()
+        assert trace.closed
+
+    def test_context_manager_closes(self):
+        controller = make_controller()
+        with CommandTrace(controller) as trace:
+            controller.activate(RowAddress(0, 0, 2))
+        assert trace.closed
+        controller.activate(RowAddress(0, 0, 4))
+        assert trace.total_activations == 1
+
+    def test_two_traces_close_independently(self):
+        controller = make_controller()
+        first = CommandTrace(controller)
+        second = CommandTrace(controller)
+        first.close()
+        controller.activate(RowAddress(0, 0, 2))
+        assert len(first.commands) == 0
+        assert len(second.commands) == 1
+        second.close()
+
+
+class TestWindowEdgeCases:
+    def test_window_one_keeps_only_latest_entry(self):
+        controller = make_controller()
+        trace = CommandTrace(controller, window=1)
+        controller.activate(RowAddress(0, 0, 2))
+        controller.activate(RowAddress(0, 0, 4))
+        trace.close()
+        assert len(trace.entries) == 1
+        assert trace.entries[0].physical.row == 4
+        # Aggregates and the command stream keep the full history.
+        assert trace.total_activations == 2
+        assert len(trace.commands) == 2
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CommandTrace(make_controller(), window=0)
+
+    def test_span_query_only_sees_retained_window(self):
+        controller = make_controller()
+        trace = CommandTrace(controller, window=2)
+        times = []
+        for row in (2, 4, 6):
+            times.append(controller.now_ns)
+            controller.activate(RowAddress(0, 0, row))
+        trace.close()
+        # The first burst was evicted: a span covering all three only
+        # counts the two retained entries (documented behaviour).
+        assert trace.activations_in_span(0.0, controller.now_ns) == 2
+        with pytest.raises(ValueError):
+            trace.activations_in_span(10.0, 0.0)
+
+
+class TestSaveLoadReplay:
+    def test_round_trip_preserves_records_and_stats(self, tmp_path):
+        controller = make_controller()
+        trace = CommandTrace(controller)
+        run_workload(controller)
+        trace.close()
+        path = trace.save(tmp_path / "trace.jsonl")
+        loaded = load_trace(path)
+        assert loaded.header["format"] == 1
+        assert loaded.geometry == GEOMETRY
+        assert loaded.timing == controller.timing
+        assert [r.to_json() for r in loaded.records] == [
+            r.to_json() for r in trace.commands
+        ]
+        assert loaded.stats == stats_payload(controller)
+        assert loaded.aggregates == trace.aggregates()
+
+    def test_replay_reproduces_stats_exactly(self, tmp_path):
+        controller = make_controller()
+        trace = CommandTrace(controller)
+        run_workload(controller)
+        trace.close()
+        loaded = load_trace(trace.save(tmp_path / "trace.jsonl"))
+        replayed, replay_trace = loaded.replay()
+        assert stats_payload(replayed) == loaded.stats
+        assert replay_trace.aggregates() == loaded.aggregates
+        assert replay_trace.closed
+
+    def test_replayed_file_is_byte_identical(self, tmp_path):
+        controller = make_controller()
+        trace = CommandTrace(controller)
+        run_workload(controller)
+        trace.close()
+        original = trace.save(tmp_path / "a.jsonl")
+        _, replay_trace = load_trace(original).replay()
+        duplicate = replay_trace.save(tmp_path / "b.jsonl")
+        assert original.read_bytes() == duplicate.read_bytes()
+
+    def test_replay_covers_psm_fallback(self, tmp_path):
+        # A cross-subarray PSM copy exercises the ACT-RD-WR record
+        # encoding (one ACT record of count=2, preserving float-exact
+        # stats arithmetic on replay).
+        controller = make_controller(seed=3)
+        trace = CommandTrace(controller)
+        controller.rowclone_psm(RowAddress(0, 0, 2), RowAddress(0, 1, 7))
+        trace.close()
+        assert {r.command for r in trace.commands} == {"ACT", "RD", "WR"}
+        loaded = load_trace(trace.save(tmp_path / "psm.jsonl"))
+        replayed, _ = loaded.replay()
+        assert stats_payload(replayed) == loaded.stats
+
+    def test_load_rejects_bad_format_and_truncation(self, tmp_path):
+        controller = make_controller()
+        trace = CommandTrace(controller)
+        controller.activate(RowAddress(0, 0, 2))
+        trace.close()
+        path = trace.save(tmp_path / "trace.jsonl")
+        lines = path.read_text().splitlines()
+
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text(lines[0].replace('"format":1', '"format":99') + "\n"
+                       + "\n".join(lines[1:]) + "\n")
+        with pytest.raises(ValueError, match="unsupported trace format"):
+            load_trace(bad)
+
+        headless = tmp_path / "headless.jsonl"
+        headless.write_text("\n".join(lines[1:]) + "\n")
+        with pytest.raises(ValueError, match="missing trace header"):
+            load_trace(headless)
+
+        footless = tmp_path / "footless.jsonl"
+        footless.write_text("\n".join(lines[:-1]) + "\n")
+        with pytest.raises(ValueError, match="missing trace stats"):
+            load_trace(footless)
+
+    def test_charge_command_rejects_state_mutating_commands(self):
+        controller = make_controller()
+        for command in (Command.ACT, Command.AAP, Command.PRE):
+            with pytest.raises(ValueError):
+                controller.charge_command(command)
+        with pytest.raises(ValueError):
+            controller.charge_command(Command.RD, count=0)

@@ -1,0 +1,101 @@
+"""Golden-trace regression fixtures.
+
+The JSONL traces under ``tests/data/traces/`` are the canonical command
+streams of the two golden workloads (``repro trace record``).  These
+tests re-record each workload in-process and assert the bytes still
+match, then replay the *committed* fixture and assert the reproduced
+``CommandStats`` and trace aggregates are identical — any controller
+change that alters charging, ordering, or serialization fails here.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.dram import TimingChecker, load_trace, stats_payload
+from repro.experiments.goldens import GOLDEN_WORKLOADS, record_workload
+
+FIXTURES = pathlib.Path(__file__).parent.parent / "data" / "traces"
+
+CASES = [
+    ("fig6-defended", "fig6_defended.jsonl"),
+    ("hammer-window", "hammer_window.jsonl"),
+]
+
+
+@pytest.mark.parametrize("workload, filename", CASES)
+class TestGoldenTraces:
+    def test_fixture_exists(self, workload, filename):
+        assert (FIXTURES / filename).is_file()
+
+    def test_recording_is_byte_identical_to_fixture(
+        self, workload, filename, tmp_path
+    ):
+        _, trace = record_workload(workload)
+        fresh = trace.save(tmp_path / filename)
+        assert fresh.read_bytes() == (FIXTURES / filename).read_bytes()
+
+    def test_replay_reproduces_stats_byte_identically(
+        self, workload, filename
+    ):
+        loaded = load_trace(FIXTURES / filename)
+        controller, trace = loaded.replay()
+        assert stats_payload(controller) == loaded.stats
+        assert trace.aggregates() == loaded.aggregates
+
+    def test_replay_is_timing_legal_under_strict_checker(
+        self, workload, filename
+    ):
+        loaded = load_trace(FIXTURES / filename)
+        controller = loaded.build_controller()
+        with TimingChecker(controller, mode="strict") as checker:
+            loaded.replay(controller=controller)
+        assert checker.violations == []
+        assert checker.commands_checked > 0
+
+    def test_resaved_replay_is_byte_identical(
+        self, workload, filename, tmp_path
+    ):
+        loaded = load_trace(FIXTURES / filename)
+        _, trace = loaded.replay()
+        resaved = trace.save(tmp_path / filename)
+        assert resaved.read_bytes() == (FIXTURES / filename).read_bytes()
+
+
+class TestGoldenWorkloadRegistry:
+    def test_fixture_set_matches_registry(self):
+        assert {name for name, _ in CASES} == set(GOLDEN_WORKLOADS)
+
+    def test_unknown_workload_is_rejected(self):
+        with pytest.raises(KeyError, match="unknown trace workload"):
+            record_workload("nonesuch")
+
+    def test_recording_under_strict_checker_is_clean(self):
+        # Record with a live strict checker attached from command zero:
+        # the golden workloads are timing-legal end to end.
+        for name, builder in GOLDEN_WORKLOADS.items():
+            controller, trace = builder()
+            checker = TimingChecker(
+                timing=controller.timing, mode="strict"
+            )
+            for event in _record_to_events(trace.commands):
+                checker.observe(event)
+            assert checker.violations == [], name
+
+
+def _record_to_events(records):
+    from repro.dram import Command, CommandEvent
+
+    for record in records:
+        yield CommandEvent(
+            time_ns=record.time_ns,
+            command=(
+                None if record.command == "IDLE"
+                else Command[record.command]
+            ),
+            actor=record.actor, bank=record.bank,
+            subarray=record.subarray, row=record.row, count=record.count,
+            hammer=record.hammer, dst_subarray=record.dst_subarray,
+            dst_row=record.dst_row, auto=record.auto,
+            duration_ns=record.duration_ns,
+        )

@@ -45,7 +45,7 @@ class TestSuite:
             "sync_post_window", "bfa_scoring", "forward_backward",
             "bfa_iteration", "hammer_window", "multi_bit_window",
             "fig6_trial", "sweep_trial", "straggler_sweep",
-            "defended_vs_undefended",
+            "defended_vs_undefended", "timing_checker",
         }
 
     def test_format_suite_renders(self, sync_suite):

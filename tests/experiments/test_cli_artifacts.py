@@ -183,3 +183,31 @@ class TestSchedulerFlags:
         ]) == 0
         serial = json.loads((serial_dir / "fig1a.json").read_text())
         assert merged == serial
+
+
+class TestTraceCommand:
+    def test_record_replay_show_round_trip(self, tmp_path, capsys):
+        out = tmp_path / "hammer.jsonl"
+        assert main([
+            "trace", "record", "--workload", "hammer-window",
+            "--out", str(out), "--check", "strict",
+        ]) == 0
+        assert "recorded hammer-window" in capsys.readouterr().out
+        assert main(["trace", "replay", str(out), "--check", "strict"]) == 0
+        assert "byte-identically" in capsys.readouterr().out
+        assert main(["trace", "show", str(out), "--limit", "3"]) == 0
+        shown = capsys.readouterr().out
+        assert "format 1" in shown and "stats:" in shown
+
+    def test_unknown_workload_exits_two(self, tmp_path, capsys):
+        assert main([
+            "trace", "record", "--workload", "nope",
+            "--out", str(tmp_path / "x.jsonl"),
+        ]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "hammer-window" in err
+
+    def test_missing_trace_file_exits_two(self, tmp_path, capsys):
+        assert main(["trace", "replay", str(tmp_path / "gone.jsonl")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: no such trace file")

@@ -1,0 +1,110 @@
+"""The ``sweep-refresh-trh`` scenario and the fig6 ``timing_check`` knob."""
+
+import pytest
+
+from repro.experiments import (
+    SerialBackend,
+    ShardedBackend,
+    get_scenario,
+    run_scenario,
+    write_artifact,
+)
+
+FAST_GRID = {
+    "t_ref_grid": (64.0,),
+    "t_rh_grid": (1000,),
+    "budget_grid": (0.5, 1.0),
+    "n_targets": 32,
+}
+
+
+class TestRegistration:
+    def test_registered_with_tags_and_defaults(self):
+        spec = get_scenario("sweep-refresh-trh")
+        assert spec.deterministic
+        assert {"sweep", "dram"} <= set(spec.tags)
+        assert spec.default_trials == 2
+        assert spec.check_fn is not None
+        assert spec.report_fn is not None
+
+
+class TestScenario:
+    def test_trial_metrics_and_check(self):
+        result = run_scenario(
+            "sweep-refresh-trh", trials=1, seed=0, params=FAST_GRID
+        )
+        assert result.metric("timing_violations") == 0.0
+        assert result.metric("commands_checked") > 0.0
+        for budget in ("0.5", "1"):
+            key = f"64x1000x{budget}"
+            assert result.metric(f"latency_ms[{key}]") > 0.0
+            assert result.metric(f"swaps[{key}]") > 0.0
+        # Half the budget, same swap demand: more of each T_ref is spent.
+        assert (
+            result.metric("latency_ms[64x1000x0.5]")
+            > result.metric("latency_ms[64x1000x1]")
+        )
+        get_scenario("sweep-refresh-trh").run_checks(result)
+
+    def test_shrinking_refresh_interval_raises_overhead(self):
+        result = run_scenario(
+            "sweep-refresh-trh", trials=1, seed=0,
+            params={**FAST_GRID, "t_ref_grid": (32.0, 64.0)},
+        )
+        assert (
+            result.metric("refresh_overhead[32]")
+            == pytest.approx(2 * result.metric("refresh_overhead[64]"))
+        )
+        get_scenario("sweep-refresh-trh").run_checks(result)
+
+    def test_report_renders(self):
+        result = run_scenario(
+            "sweep-refresh-trh", trials=1, seed=0, params=FAST_GRID
+        )
+        report = get_scenario("sweep-refresh-trh").report_fn(result)
+        assert "timing audit: 0 violation(s)" in report
+        assert "refresh ovh" in report
+
+    def test_cli_string_grids_coerce(self):
+        result = run_scenario(
+            "sweep-refresh-trh", trials=1, seed=0,
+            params={
+                "t_ref_grid": "64", "t_rh_grid": "1000",
+                "budget_grid": "1.0", "n_targets": 32,
+            },
+        )
+        assert result.metric("latency_ms[64x1000x1]") > 0.0
+
+
+class TestCrossBackendDeterminism:
+    def test_serial_and_sharded_artifacts_are_byte_identical(self, tmp_path):
+        serial = run_scenario(
+            "sweep-refresh-trh", trials=2, seed=5, params=FAST_GRID,
+            backend=SerialBackend(),
+        )
+        sharded = run_scenario(
+            "sweep-refresh-trh", trials=2, seed=5, params=FAST_GRID,
+            backend=ShardedBackend(2, workdir=tmp_path / "shards"),
+        )
+        serial_bytes = write_artifact(
+            serial, directory=tmp_path / "serial"
+        ).read_bytes()
+        sharded_bytes = write_artifact(
+            sharded, directory=tmp_path / "sharded"
+        ).read_bytes()
+        assert serial_bytes == sharded_bytes
+
+
+class TestFig6TimingCheck:
+    def test_off_by_default(self):
+        result = run_scenario("fig6", trials=1, seed=0)
+        assert "timing_violations" not in result.metrics
+        get_scenario("fig6").run_checks(result)
+
+    @pytest.mark.parametrize("mode", ["strict", "audit"])
+    def test_checked_trial_is_clean(self, mode):
+        result = run_scenario(
+            "fig6", trials=1, seed=0, params={"timing_check": mode}
+        )
+        assert result.metric("timing_violations") == 0.0
+        get_scenario("fig6").run_checks(result)

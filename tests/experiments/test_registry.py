@@ -20,6 +20,7 @@ class TestBuiltinCatalogue:
             "fig9a", "fig9b", "fig9c",
             "table2", "table3", "power", "ablation", "semi-whitebox",
             "sweep-defense-grid", "sweep-hammer-rate",
+            "sweep-refresh-trh",
         ):
             assert expected in names
 
