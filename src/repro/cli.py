@@ -10,7 +10,11 @@ Subcommands:
   ``--resume`` replays completed trials from a previous stream.
   ``--backend sharded --shards N`` fans the run out over N CLI worker
   subprocesses through a work-stealing chunk scheduler with a fault
-  policy (``--shard-timeout``, ``--retries``, ``--chunk-size``);
+  policy (``--shard-timeout``, ``--retries``, ``--chunk-size``,
+  ``--retry-backoff``, ``--heartbeat-interval``); ``--transport ssh
+  --hosts h1,h2:4`` dispatches those workers over ssh instead (with
+  per-host quarantine and graceful local fallback), and ``--transport
+  chaos`` wraps the local transport in seeded fault injection;
   ``--shard i/N`` runs one static shard's trials only (the worker side
   of a manual multi-machine sweep) and ``--chunk K --trial-indices …``
   runs one chunk lease (the worker side of the scheduler), both
@@ -125,6 +129,55 @@ def build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument("--trial-indices", default=None, metavar="I,J,...",
                          help="comma-separated trial indices owned by the "
                               "--chunk lease")
+    run_cmd.add_argument("--transport", default=None,
+                         choices=("local", "ssh", "chaos"),
+                         help="--backend sharded: where chunk workers run "
+                              "(local subprocesses, ssh hosts, or "
+                              "fault-injecting chaos wrapper; default: local)")
+    run_cmd.add_argument("--hosts", default=None, metavar="H1[,H2:N,...]",
+                         help="--transport ssh: remote host pool, "
+                              "host[:slots] entries (default: REPRO_HOSTS)")
+    run_cmd.add_argument("--heartbeat-interval", type=float, default=None,
+                         metavar="SECONDS",
+                         help="workers interleave liveness heartbeats into "
+                              "their trial streams every SECONDS, making "
+                              "--shard-timeout kill on silence instead of "
+                              "runtime (orchestrator and --chunk workers)")
+    run_cmd.add_argument("--retry-backoff",
+                         action=argparse.BooleanOptionalAction, default=None,
+                         help="--backend sharded: capped exponential backoff "
+                              "with jitter between chunk retries "
+                              "(default: on; --no-retry-backoff requeues "
+                              "immediately)")
+    run_cmd.add_argument("--backoff-base", type=float, default=None,
+                         metavar="SECONDS",
+                         help="--backend sharded: first retry delay, "
+                              "doubling per attempt (default: 0.5)")
+    run_cmd.add_argument("--backoff-cap", type=float, default=None,
+                         metavar="SECONDS",
+                         help="--backend sharded: upper bound on any retry "
+                              "delay (default: 30)")
+    run_cmd.add_argument("--remote-python", default=None, metavar="PATH",
+                         help="--transport ssh: interpreter on the remote "
+                              "hosts (default: python3)")
+    run_cmd.add_argument("--remote-root", default=None, metavar="DIR",
+                         help="--transport ssh: remote scratch directory "
+                              "for chunk streams (default: /tmp/repro-ssh)")
+    run_cmd.add_argument("--chaos-seed", type=int, default=None,
+                         help="--transport chaos: fault-schedule seed "
+                              "(same seed, same faults; default: 0)")
+    run_cmd.add_argument("--chaos-rate", type=float, default=None,
+                         help="--transport chaos: per-launch fault "
+                              "probability in [0,1] (default: 0.35)")
+    run_cmd.add_argument("--chaos-modes", default=None, metavar="M1,M2,...",
+                         help="--transport chaos: fault modes to draw from "
+                              "(refuse, disconnect, stall-io, "
+                              "truncate-stream, corrupt-stream, slow; "
+                              "default: all)")
+    run_cmd.add_argument("--chaos-hosts", type=int, default=None, metavar="N",
+                         help="--transport chaos: rotate launches over N "
+                              "virtual hosts with health tracking, so "
+                              "quarantine/degradation paths are exercised")
 
     merge_cmd = sub.add_parser(
         "merge",
@@ -346,16 +399,67 @@ def _finish_result(spec, name: str, result, args) -> bool:
     return True
 
 
-def _reject_scheduler_flags(args, context: str) -> None:
-    """Fail fast when sharded-scheduler flags reach a non-sharded path."""
+def _reject_scheduler_flags(
+    args, context: str, allow: tuple[str, ...] = ()
+) -> None:
+    """Fail fast when sharded-scheduler flags reach a non-sharded path.
+
+    ``allow`` names flags the calling path legitimately consumes (the
+    chunk worker accepts ``--heartbeat-interval``, for example).
+    """
     for flag, value in (
         ("--shards", args.shards),
         ("--shard-timeout", args.shard_timeout),
         ("--retries", args.retries),
         ("--chunk-size", args.chunk_size),
+        ("--transport", args.transport),
+        ("--hosts", args.hosts),
+        ("--heartbeat-interval", args.heartbeat_interval),
+        ("--retry-backoff/--no-retry-backoff", args.retry_backoff),
+        ("--backoff-base", args.backoff_base),
+        ("--backoff-cap", args.backoff_cap),
+        ("--remote-python", args.remote_python),
+        ("--remote-root", args.remote_root),
+        ("--chaos-seed", args.chaos_seed),
+        ("--chaos-rate", args.chaos_rate),
+        ("--chaos-modes", args.chaos_modes),
+        ("--chaos-hosts", args.chaos_hosts),
     ):
-        if value is not None:
+        if value is not None and flag not in allow:
             raise SystemExit(f"{flag} requires {context}")
+
+
+def _resolve_transport(args):
+    """Map the ``--transport`` flag family to a Transport (or None=local)."""
+    from repro.experiments.transport import build_transport
+
+    if args.transport != "ssh":
+        for flag, value in (
+            ("--hosts", args.hosts),
+            ("--remote-python", args.remote_python),
+            ("--remote-root", args.remote_root),
+        ):
+            if value is not None:
+                raise SystemExit(f"{flag} requires --transport ssh")
+    if args.transport != "chaos":
+        for flag, value in (
+            ("--chaos-seed", args.chaos_seed),
+            ("--chaos-rate", args.chaos_rate),
+            ("--chaos-modes", args.chaos_modes),
+            ("--chaos-hosts", args.chaos_hosts),
+        ):
+            if value is not None:
+                raise SystemExit(f"{flag} requires --transport chaos")
+    return build_transport(
+        args.transport,
+        hosts=args.hosts,
+        remote_python=args.remote_python,
+        remote_root=args.remote_root,
+        chaos_seed=0 if args.chaos_seed is None else args.chaos_seed,
+        chaos_rate=args.chaos_rate,
+        chaos_modes=args.chaos_modes,
+        chaos_hosts=args.chaos_hosts,
+    )
 
 
 def _resolve_backend(args):
@@ -386,6 +490,17 @@ def _resolve_backend(args):
             timeout=args.shard_timeout,
             retries=1 if args.retries is None else args.retries,
             chunk_size=args.chunk_size,
+            transport=_resolve_transport(args),
+            heartbeat_interval=args.heartbeat_interval,
+            retry_backoff=(
+                True if args.retry_backoff is None else args.retry_backoff
+            ),
+            backoff_base=(
+                0.5 if args.backoff_base is None else args.backoff_base
+            ),
+            backoff_cap=(
+                30.0 if args.backoff_cap is None else args.backoff_cap
+            ),
         )
     return None  # auto: run_scenario picks serial/process from --jobs
 
@@ -400,7 +515,8 @@ def _run_chunks(args, params: dict, cache: PresetCache) -> int:
         raise SystemExit("--chunk and --backend are mutually exclusive")
     _reject_scheduler_flags(
         args, "--backend sharded (they are orchestrator flags, not valid "
-        "on the --chunk worker)"
+        "on the --chunk worker)",
+        allow=("--heartbeat-interval",),
     )
     try:
         indices = [
@@ -436,6 +552,7 @@ def _run_chunks(args, params: dict, cache: PresetCache) -> int:
             resume=True,
             jobs=args.jobs,
             progress=None if args.quiet else progress,
+            heartbeat_interval=args.heartbeat_interval,
         )
         if not args.quiet:
             print(f"chunk stream: {path}")

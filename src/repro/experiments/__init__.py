@@ -11,6 +11,9 @@ cacheable *scenarios* with one shared execution path:
   local process pool, and sharded CLI subprocesses (``--shard i/N`` +
   ``repro merge`` scale one sweep across machines with byte-identical
   artifacts).
+* :mod:`repro.experiments.transport` — where sharded chunk workers run:
+  local subprocesses, ssh hosts with quarantine + graceful degradation,
+  or a seeded fault-injecting chaos wrapper.
 * :mod:`repro.experiments.cache` — :class:`PresetCache` stores trained
   preset weights as ``.npz`` keyed by the recipe hash, so each preset
   trains once ever.
@@ -31,6 +34,7 @@ from repro.experiments.artifacts import (
     default_bench_dir,
     default_results_dir,
     load_artifact,
+    quarantine_corrupt_file,
     write_artifact,
     write_bench_artifact,
 )
@@ -74,6 +78,17 @@ from repro.experiments.runner import (
     run_scenario,
     trial_seed,
 )
+from repro.experiments.transport import (
+    ChaosTransport,
+    HostHealth,
+    LocalSubprocessTransport,
+    SSHTransport,
+    Transport,
+    TransportError,
+    WorkerSpec,
+    build_transport,
+    parse_hosts,
+)
 from repro.experiments import scenarios  # noqa: F401  (registers built-ins)
 
 __all__ = [
@@ -105,6 +120,15 @@ __all__ = [
     "discover_chunks",
     "discover_streams",
     "merge_shards",
+    "Transport",
+    "TransportError",
+    "WorkerSpec",
+    "LocalSubprocessTransport",
+    "SSHTransport",
+    "ChaosTransport",
+    "HostHealth",
+    "parse_hosts",
+    "build_transport",
     "PresetCache",
     "ProfileCache",
     "default_cache_root",
@@ -114,4 +138,5 @@ __all__ = [
     "write_artifact",
     "write_bench_artifact",
     "load_artifact",
+    "quarantine_corrupt_file",
 ]

@@ -23,6 +23,7 @@ __all__ = [
     "write_artifact",
     "write_bench_artifact",
     "load_artifact",
+    "quarantine_corrupt_file",
 ]
 
 _REPO_ROOT = pathlib.Path(__file__).resolve().parents[3]
@@ -108,3 +109,28 @@ def write_bench_artifact(
 def load_artifact(path: str | pathlib.Path) -> dict:
     """Read a previously written artifact back as a plain dict."""
     return json.loads(pathlib.Path(path).read_text())
+
+
+def quarantine_corrupt_file(
+    path: str | pathlib.Path, label: str = "corrupt"
+) -> pathlib.Path:
+    """Move a damaged file aside as ``<name>.<label>-N``; returns the new path.
+
+    Used by the sharded scheduler when a chunk stream arrives with
+    corrupt bytes: renaming (same directory, so always atomic) takes the
+    file out of every ``*.trials.jsonl`` discovery glob at once — a
+    retried worker starts a fresh stream instead of choking on resume,
+    and ``repro merge`` never reads the damaged records — while keeping
+    the bytes on disk for a post-mortem.  ``N`` increments past existing
+    quarantine files so repeated corruption of the same stream keeps
+    every generation.
+    """
+    path = pathlib.Path(path)
+    n = 1
+    while True:
+        target = path.with_name(f"{path.name}.{label}-{n}")
+        if not target.exists():
+            break
+        n += 1
+    os.replace(path, target)
+    return target

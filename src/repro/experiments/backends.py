@@ -50,16 +50,18 @@ from __future__ import annotations
 import collections
 import concurrent.futures
 import contextlib
+import heapq
 import json
 import math
 import multiprocessing
 import os
 import pathlib
+import random
 import re
 import shutil
-import subprocess
 import sys
 import tempfile
+import threading
 import time
 import warnings
 from dataclasses import dataclass, field
@@ -75,6 +77,14 @@ from repro.experiments.runner import (
     normalize_params,
     scan_stream_lines,
     trial_seed,
+)
+from repro.experiments.transport import (
+    LocalSubprocessTransport,
+    Transport,
+    TransportError,
+    WorkerHandle,
+    WorkerSpec,
+    chunk_stream_path,
 )
 
 __all__ = [
@@ -212,7 +222,12 @@ class ProcessPoolBackend(Backend):
 # Fault injection (tests and the CI chaos-smoke job)
 # ---------------------------------------------------------------------- #
 
-def _maybe_inject_chaos(directory: pathlib.Path, stage: str) -> None:
+def _maybe_inject_chaos(
+    directory: pathlib.Path,
+    stage: str,
+    stream: TrialStream | None = None,
+    hb_stop: threading.Event | None = None,
+) -> None:
     """Env-triggered worker faults, for exercising the fault policy.
 
     ``REPRO_CHAOS`` is a comma-separated list of modes, consulted only
@@ -226,26 +241,70 @@ def _maybe_inject_chaos(directory: pathlib.Path, stage: str) -> None:
       directory, like ``crash``.
     * ``crash-start`` — exit hard before running any trial, on *every*
       lease; used to exhaust the retry budget deterministically.
+    * ``stall-io`` — after recording a trial, stop writing (heartbeats
+      included) but stay alive: the worker looks healthy to ``poll()``
+      yet its stream goes silent, so only a timeout can reclaim its
+      trials.  Once per directory, like ``crash``.
+    * ``truncate-stream`` — after recording a trial, append a torn
+      (half-written) record to the stream and exit hard: the classic
+      interrupted-write signature the torn-tail parser must absorb.
+      Once per directory.
+    * ``slow`` — sleep ``REPRO_CHAOS_SLOW_S`` (default 0.75s) after
+      every recorded trial, heartbeats still flowing: slow-but-alive,
+      the case heartbeat-aware timeouts must *not* kill.  No marker;
+      applies to every worker.
+
+    ``REPRO_CHAOS_SCOPE=worker`` (set by
+    :class:`repro.experiments.transport.ChaosTransport`, which decides
+    faults per launch) skips the once-per-directory marker claim so the
+    targeted worker always faults.
+
+    ``hang`` and ``stall-io`` set ``hb_stop`` first: a stuck worker's
+    heartbeat thread must stop beating, or the liveness signal would
+    report the hang as mere slowness forever.
     """
     spec = os.environ.get("REPRO_CHAOS", "")
     if not spec:
         return
+    per_worker = os.environ.get("REPRO_CHAOS_SCOPE", "") == "worker"
+
+    def claim(mode: str) -> bool:
+        if per_worker:
+            return True
+        marker = pathlib.Path(directory) / f".repro-chaos-{mode}"
+        try:
+            marker.touch(exist_ok=False)  # atomic once-per-dir claim
+        except FileExistsError:
+            return False
+        return True
+
     for mode in filter(None, (m.strip() for m in spec.split(","))):
         if mode == "crash-start" and stage == "start":
             print("chaos: injected worker crash at chunk start",
                   file=sys.stderr, flush=True)
             os._exit(23)
-        if mode in ("crash", "hang") and stage == "trial":
-            marker = pathlib.Path(directory) / f".repro-chaos-{mode}"
-            try:
-                marker.touch(exist_ok=False)  # atomic once-per-dir claim
-            except FileExistsError:
-                continue
-            print(f"chaos: injected worker {mode} after a recorded trial",
-                  file=sys.stderr, flush=True)
-            if mode == "crash":
-                os._exit(23)
-            time.sleep(3600)  # a timeout kill is the only way out
+        if stage != "trial":
+            continue
+        if mode == "slow":
+            time.sleep(float(os.environ.get("REPRO_CHAOS_SLOW_S", "0.75")))
+            continue
+        if mode not in ("crash", "hang", "stall-io", "truncate-stream"):
+            continue
+        if not claim(mode):
+            continue
+        print(f"chaos: injected worker {mode} after a recorded trial",
+              file=sys.stderr, flush=True)
+        if mode == "crash":
+            os._exit(23)
+        if mode == "truncate-stream":
+            if stream is not None:
+                with stream._lock:
+                    stream._fh.write('{"type": "trial", "trial_index"')
+                    stream._fh.flush()
+            os._exit(23)
+        if hb_stop is not None:
+            hb_stop.set()
+        time.sleep(3600)  # hang / stall-io: a timeout kill is the only exit
 
 
 # ---------------------------------------------------------------------- #
@@ -288,15 +347,6 @@ def shard_stream_path(
     """Canonical JSONL location of one shard's trial stream."""
     return pathlib.Path(directory) / (
         f"{scenario}.shard-{index}of{count}.trials.jsonl"
-    )
-
-
-def chunk_stream_path(
-    directory: str | pathlib.Path, scenario: str, chunk_id: int
-) -> pathlib.Path:
-    """Canonical JSONL location of one chunk lease's trial stream."""
-    return pathlib.Path(directory) / (
-        f"{scenario}.chunk-{chunk_id:04d}.trials.jsonl"
     )
 
 
@@ -367,6 +417,7 @@ def run_chunk(
     resume: bool = True,
     jobs: int = 1,
     progress: Callable[[int, int], None] | None = None,
+    heartbeat_interval: float | None = None,
 ) -> pathlib.Path:
     """Execute one chunk lease (an explicit trial-index list).
 
@@ -374,6 +425,9 @@ def run_chunk(
     --trial-indices i,j,…``, dispatched by :class:`ShardedBackend`.
     Resume defaults to on: a retried lease replays whatever its previous
     attempt managed to stream and runs only the still-missing trials.
+    With ``heartbeat_interval`` set the worker interleaves liveness
+    records into its stream (see :meth:`TrialStream.heartbeat`) so the
+    coordinator can tell slow from hung.
     """
     if chunk_id < 0:
         raise ValueError(f"chunk id must be >= 0, got {chunk_id}")
@@ -392,6 +446,7 @@ def run_chunk(
         stream_path_for=lambda d: chunk_stream_path(d, name, chunk_id),
         extra_header=_chunk_header(n_trials, chunk_id, owned),
         chaos=True,
+        heartbeat_interval=heartbeat_interval,
     )
     return path
 
@@ -421,11 +476,16 @@ def _run_stream_worker(
     stream_path_for: Callable[[pathlib.Path], pathlib.Path],
     extra_header: dict,
     chaos: bool = False,
+    heartbeat_interval: float | None = None,
 ) -> tuple[pathlib.Path, pathlib.Path]:
     """Shared shard/chunk worker: stream ``owned`` trials to JSONL."""
     from repro.experiments.artifacts import default_results_dir
     from repro.experiments.registry import get_scenario
 
+    if heartbeat_interval is not None and heartbeat_interval <= 0:
+        raise ValueError(
+            f"heartbeat interval must be > 0 seconds, got {heartbeat_interval}"
+        )
     spec = get_scenario(name)
     # Same JSON normalisation as run_scenario, so stream headers compare
     # equal to the coordinator's params regardless of input types.
@@ -448,6 +508,19 @@ def _run_stream_worker(
     )
     pending = [i for i in owned if i not in stream.completed]
     done = len(owned) - len(pending)
+    hb_stop = threading.Event()
+    hb_thread: threading.Thread | None = None
+    if heartbeat_interval is not None:
+        def _beat() -> None:
+            # First beat after one interval, then steadily — reading
+            # `done` racily is fine, it is telemetry not a result.
+            while not hb_stop.wait(heartbeat_interval):
+                stream.heartbeat(done)
+
+        hb_thread = threading.Thread(
+            target=_beat, name="trial-stream-heartbeat", daemon=True
+        )
+        hb_thread.start()
 
     def record(i: int, payload: dict) -> None:
         nonlocal done
@@ -456,7 +529,8 @@ def _run_stream_worker(
         if progress is not None:
             progress(done, len(owned))
         if chaos:
-            _maybe_inject_chaos(out_dir, "trial")
+            _maybe_inject_chaos(out_dir, "trial", stream=stream,
+                                hb_stop=hb_stop)
 
     plan = ExecutionPlan(
         scenario=name, spec=spec, trials=n_trials, seed=seed, seeds=seeds,
@@ -467,6 +541,10 @@ def _run_stream_worker(
     try:
         worker.run(plan)
     finally:
+        hb_stop.set()
+        if hb_thread is not None:
+            # Beat-in-flight must finish before the stream closes.
+            hb_thread.join(timeout=5.0)
         stream.close()
     return path, out_dir
 
@@ -684,27 +762,60 @@ def merge_shards(
 #: re-leased almost immediately; high enough to stay invisible in profiles.
 _POLL_INTERVAL_S = 0.05
 _ERROR_TAIL_LINES = 8
+#: Backoff jitter fraction: a retry waits ``delay * (1 + U[0, 0.25))`` so
+#: simultaneously-failing chunks fan back out instead of thundering in.
+_BACKOFF_JITTER = 0.25
+#: Adaptive chunk sizing steers each lease toward roughly this duration.
+_TARGET_LEASE_S = 5.0
+_EWMA_ALPHA = 0.5
+#: How many consecutive launch refusals (TransportError) a chunk absorbs
+#: before refusals start consuming its retry budget — keeps a transport
+#: that refuses forever from spinning the scheduler.
+_MAX_LAUNCH_REFUSALS = 5
+#: How much of a stream file's tail to scan for the latest heartbeat.
+_HEARTBEAT_TAIL_BYTES = 65536
 
 
 @dataclass
 class _Lease:
-    """One running chunk worker: process, log, and timeout bookkeeping."""
+    """One running chunk worker: handle, manifest, timeout bookkeeping."""
 
     chunk_id: int
     indices: list[int]
     attempt: int
-    proc: subprocess.Popen
-    log_path: pathlib.Path
-    log_file: object
+    handle: WorkerHandle
+    transport: Transport
     deadline: float | None
+    started: float
+    extensions: int = 0
 
 
-def _log_tail(path: pathlib.Path, lines: int = _ERROR_TAIL_LINES) -> str:
+def _last_heartbeat(path: pathlib.Path) -> float | None:
+    """Worker wall-clock of the newest heartbeat in a stream file's tail.
+
+    Trial records count as liveness too — a worker steadily recording
+    results is alive by definition, whether or not a heartbeat happens to
+    be the last line — but trial records carry no timestamp, so only
+    heartbeat lines (which do) can answer *when*.
+    """
     try:
-        text = path.read_text().strip()
+        with open(path, "rb") as fh:
+            fh.seek(0, os.SEEK_END)
+            size = fh.tell()
+            fh.seek(max(0, size - _HEARTBEAT_TAIL_BYTES))
+            tail = fh.read().decode("utf-8", errors="replace")
     except OSError:
-        return ""
-    return "\n".join(text.splitlines()[-lines:])
+        return None
+    for line in reversed(tail.splitlines()):
+        if '"heartbeat"' not in line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # torn heartbeat: keep scanning upward
+        if record.get("type") == "heartbeat" and "time" in record:
+            return float(record["time"])
+    return None
 
 
 class ShardedBackend(Backend):
@@ -741,6 +852,13 @@ class ShardedBackend(Backend):
     cross-backend determinism tests pin serial, process-pool, and sharded
     execution to byte-identical artifacts.
 
+    Where workers *run* is delegated to a
+    :class:`repro.experiments.transport.Transport` (local subprocesses
+    by default, ``ssh`` hosts, or chaos-wrapped either).  The scheduler
+    only ever records trials it parsed back out of a chunk stream, so
+    the exactly-once / byte-identical-artifact contract is independent
+    of anything a transport does to a worker or its bytes.
+
     Args:
         shards: Maximum concurrent worker subprocesses.
         python: Interpreter for the workers (default: ``sys.executable``).
@@ -753,11 +871,19 @@ class ShardedBackend(Backend):
             streams in ``workdir`` before dispatching any worker.  Only
             meaningful with a persistent ``workdir``.
         timeout: Per-chunk lease timeout in seconds (``None`` = never
-            kill a worker).
+            kill a worker).  With heartbeats on, the timeout applies to
+            *silence*, not runtime: a worker past its deadline that is
+            still heartbeating is warned about and granted another
+            timeout window instead of being killed.
         retries: Re-dispatch budget per chunk after its first failure.
         chunk_size: Trials per chunk lease; ``None`` auto-sizes to
             ``ceil(pending / (4 * shards))`` so each worker sees ~4
-            leases and stealing has room to balance stragglers.
+            leases and stealing has room to balance stragglers — and
+            then *adapts*: an EWMA of observed per-trial seconds steers
+            later leases toward ~5s each (never above a worker's fair
+            share of the remainder), so cheap trials coalesce and
+            expensive ones spread out.  An explicit size disables
+            adaptation.
         static: Emulate the legacy static schedule instead of stealing:
             exactly one lease per worker, holding that worker's strided
             slice of the pending indices (``pending[k::shards]``) —
@@ -766,6 +892,22 @@ class ShardedBackend(Backend):
             the ``straggler_sweep`` benchmark and as a scheduling
             control for debugging; mutually exclusive with
             ``chunk_size``.
+        transport: Where chunk workers execute; ``None`` builds a
+            :class:`LocalSubprocessTransport` over ``python``.
+        heartbeat_interval: Ask workers to interleave heartbeat records
+            into their streams every this-many seconds, and make the
+            lease timeout heartbeat-aware.  ``None`` (default) preserves
+            the historical behaviour: no heartbeats, timeout kills
+            unconditionally.
+        retry_backoff: Delay chunk retries by capped exponential backoff
+            with deterministic jitter instead of requeueing immediately
+            (default on; the backoff schedule is reported when the retry
+            budget is exhausted).
+        backoff_base: First retry delay in seconds (doubles per attempt).
+        backoff_cap: Upper bound on any single retry delay.
+        fallback_local: When the transport reports no healthy host left
+            (every ssh/chaos host quarantined), degrade gracefully to
+            local subprocess execution instead of failing the sweep.
     """
 
     name = "sharded"
@@ -781,6 +923,12 @@ class ShardedBackend(Backend):
         retries: int = 1,
         chunk_size: int | None = None,
         static: bool = False,
+        transport: Transport | None = None,
+        heartbeat_interval: float | None = None,
+        retry_backoff: bool = True,
+        backoff_base: float = 0.5,
+        backoff_cap: float = 30.0,
+        fallback_local: bool = True,
     ):
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
@@ -795,6 +943,17 @@ class ShardedBackend(Backend):
                 "static scheduling fixes one strided lease per worker; "
                 "chunk_size does not apply"
             )
+        if heartbeat_interval is not None and heartbeat_interval <= 0:
+            raise ValueError(
+                "heartbeat interval must be > 0 seconds, "
+                f"got {heartbeat_interval}"
+            )
+        if backoff_base <= 0:
+            raise ValueError(f"backoff base must be > 0, got {backoff_base}")
+        if backoff_cap < backoff_base:
+            raise ValueError(
+                f"backoff cap ({backoff_cap}) must be >= base ({backoff_base})"
+            )
         self.shards = shards
         self.python = python or sys.executable
         self.workdir = pathlib.Path(workdir) if workdir is not None else None
@@ -804,49 +963,31 @@ class ShardedBackend(Backend):
         self.retries = retries
         self.chunk_size = chunk_size
         self.static = static
+        self.transport = transport
+        self.heartbeat_interval = heartbeat_interval
+        self.retry_backoff = retry_backoff
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.fallback_local = fallback_local
+        self._ewma_trial_s: float | None = None
 
     # ------------------------------------------------------------------ #
     # Worker plumbing
     # ------------------------------------------------------------------ #
 
-    def _worker_env(self, plan: ExecutionPlan) -> dict[str, str]:
-        import repro
+    def _worker_extras(self, plan: ExecutionPlan) -> dict[str, str]:
+        """Coordinator-owned env extras shipped to every chunk worker.
 
-        env = dict(os.environ)
-        env.update(self.env)
-        package_root = str(pathlib.Path(repro.__file__).resolve().parents[1])
-        existing = env.get("PYTHONPATH", "")
-        entries = [p for p in existing.split(os.pathsep) if p]
-        if package_root not in entries:
-            entries.insert(0, package_root)
-        env["PYTHONPATH"] = os.pathsep.join(entries)
+        Only the *extras* — the transport merges them over whatever base
+        environment its execution venue provides (``os.environ`` for
+        local subprocesses, the remote login env for ssh).
+        """
+        extras = dict(self.env)
         # Chunk workers must resolve the exact same caches as this
         # process, whatever roots the caller passed programmatically.
-        env["REPRO_CACHE_DIR"] = str(plan.cache.root)
-        env["REPRO_PROFILE_DIR"] = str(plan.profile_cache.root)
-        return env
-
-    def _chunk_command(
-        self,
-        plan: ExecutionPlan,
-        directory: pathlib.Path,
-        chunk_id: int,
-        indices: list[int],
-    ) -> list[str]:
-        command = [
-            self.python, "-m", "repro", "run", plan.scenario,
-            "--chunk", str(chunk_id),
-            "--trial-indices", ",".join(str(i) for i in indices),
-            "--trials", str(plan.trials),
-            "--seed", str(plan.seed),
-            "--out", str(directory),
-            "--quiet",
-        ]
-        if plan.params:
-            # JSON transport keeps every value type intact; ``--param``
-            # pairs would lossily re-coerce strings/lists on the worker.
-            command += ["--params-json", json.dumps(plan.params)]
-        return command
+        extras["REPRO_CACHE_DIR"] = str(plan.cache.root)
+        extras["REPRO_PROFILE_DIR"] = str(plan.profile_cache.root)
+        return extras
 
     def _partition(self, pending: list[int], first_id: int) -> list[tuple[int, list[int]]]:
         """Split pending indices into (chunk_id, indices) leases."""
@@ -872,35 +1013,94 @@ class ShardedBackend(Backend):
         chunk_id: int,
         indices: list[int],
         attempt: int,
-        env: dict[str, str],
+        extras: dict[str, str],
+        transport: Transport,
     ) -> _Lease:
-        log_path = directory / (
-            f"{plan.scenario}.chunk-{chunk_id:04d}.attempt-{attempt}.log"
+        spec = WorkerSpec(
+            scenario=plan.scenario, chunk_id=chunk_id, indices=list(indices),
+            trials=plan.trials, seed=plan.seed, params=plan.params,
+            workdir=directory, attempt=attempt, env=extras,
+            heartbeat_interval=self.heartbeat_interval,
         )
-        log_file = open(log_path, "w")
-        try:
-            proc = subprocess.Popen(
-                self._chunk_command(plan, directory, chunk_id, indices),
-                env=env,
-                stdin=subprocess.DEVNULL,
-                stdout=log_file,
-                stderr=subprocess.STDOUT,
-                text=True,
-            )
-        except BaseException:
-            # Not yet wrapped in a _Lease, so no cleanup path would
-            # ever close this handle.
-            log_file.close()
-            raise
-        deadline = (
-            time.monotonic() + self.timeout if self.timeout is not None
-            else None
-        )
+        handle = transport.start(spec)
+        now = time.monotonic()
+        deadline = now + self.timeout if self.timeout is not None else None
         return _Lease(
             chunk_id=chunk_id, indices=list(indices), attempt=attempt,
-            proc=proc, log_path=log_path, log_file=log_file,
-            deadline=deadline,
+            handle=handle, transport=transport, deadline=deadline,
+            started=now,
         )
+
+    def _backoff_delay(self, chunk_id: int, attempt: int) -> float:
+        """Seconds to wait before re-dispatching ``chunk_id``.
+
+        Capped exponential in the attempt that just failed, with
+        deterministic jitter (seeded by ``(chunk_id, attempt)`` so a
+        re-run of the same failing sweep waits the same delays).
+        """
+        if not self.retry_backoff:
+            return 0.0
+        base = min(
+            self.backoff_cap,
+            self.backoff_base * (2 ** max(0, attempt - 1)),
+        )
+        jitter = random.Random(f"{chunk_id}:{attempt}").random()
+        return base * (1.0 + _BACKOFF_JITTER * jitter)
+
+    def _next_chunk_size(self, remaining: int, initial: int) -> int:
+        """Adaptive lease size from the per-trial latency EWMA.
+
+        Until a latency observation exists, stick with the initial
+        ~4-leases-per-worker size.  After that, aim each lease at
+        roughly ``_TARGET_LEASE_S`` of work (half the lease timeout if
+        that is tighter), clamped to a worker's fair share of what is
+        left so the last leases cannot concentrate in one worker.
+        """
+        if self._ewma_trial_s is None or self._ewma_trial_s <= 0:
+            return min(initial, max(1, remaining))
+        target_s = _TARGET_LEASE_S
+        if self.timeout is not None:
+            target_s = min(target_s, self.timeout / 2)
+        size = max(1, round(target_s / self._ewma_trial_s))
+        fair = max(1, math.ceil(remaining / self.shards))
+        return max(1, min(size, fair, initial * 4))
+
+    def _observe_latency(self, elapsed: float, recorded: int) -> None:
+        if recorded <= 0 or elapsed <= 0:
+            return
+        per_trial = elapsed / recorded
+        if self._ewma_trial_s is None:
+            self._ewma_trial_s = per_trial
+        else:
+            self._ewma_trial_s = (
+                _EWMA_ALPHA * per_trial
+                + (1.0 - _EWMA_ALPHA) * self._ewma_trial_s
+            )
+
+    def _order_pending(
+        self, plan: ExecutionPlan, pending: list[int]
+    ) -> list[int]:
+        """Lease order: most expensive first when the scenario hints costs.
+
+        Launching predicted-expensive trials first keeps the inevitable
+        stragglers at the *start* of the run, where stealing can absorb
+        them, instead of discovering one in the final lease.  A broken
+        hint degrades to index order with a warning — scheduling order
+        never affects results, only wall-clock.
+        """
+        cost_fn = getattr(plan.spec, "trial_cost", None)
+        if cost_fn is None:
+            return list(pending)
+        try:
+            costs = {i: float(cost_fn(i, plan.params)) for i in pending}
+        except Exception as exc:
+            warnings.warn(
+                f"trial_cost hint for {plan.scenario} failed ({exc}); "
+                "falling back to index order",
+                RuntimeWarning,
+            )
+            return list(pending)
+        return sorted(pending, key=lambda i: (-costs[i], i))
 
     # ------------------------------------------------------------------ #
     # Harvesting streams back into the coordinator
@@ -941,25 +1141,48 @@ class ShardedBackend(Backend):
         pending: set[int],
         directory: pathlib.Path,
         chunk_id: int,
-    ) -> None:
+        on_corrupt: str = "raise",
+    ) -> bool:
         """Record whatever a (possibly dead) chunk worker streamed.
 
         An empty or torn-header-only file salvages nothing (the worker
-        died before recording anything); mid-file corruption propagates
-        loudly rather than being mistaken for "nothing to salvage".
+        died before recording anything).  Mid-file corruption depends on
+        the caller: the resume/salvage paths use ``on_corrupt="raise"``
+        (an operator should see corruption, not a silent re-run), while
+        the live scheduler uses ``"quarantine"`` — the corrupt file is
+        moved aside (so neither a retried worker's resume nor ``repro
+        merge`` ever reads it), the lease counts as a failed attempt,
+        and the retry streams into a fresh file.  Returns False exactly
+        when a corrupt stream was quarantined.  Exactly-once holds
+        either way: harvesting parses *before* recording, so a corrupt
+        file records nothing, and its trials simply re-run.
         """
         path = chunk_stream_path(directory, plan.scenario, chunk_id)
         if not path.exists():
-            return
-        header, records = _scan_stream_file(path)
+            return True
+        try:
+            header, records = _scan_stream_file(path)
+        except ValueError as exc:
+            if on_corrupt != "quarantine":
+                raise
+            from repro.experiments.artifacts import quarantine_corrupt_file
+
+            quarantined = quarantine_corrupt_file(path)
+            warnings.warn(
+                f"chunk {chunk_id} stream is corrupt ({exc}); moved it to "
+                f"{quarantined.name} — its unrecorded trials will re-run",
+                RuntimeWarning,
+            )
+            return False
         if header is None:
-            return
+            return True
         if not self._header_matches(plan, header):
             raise ValueError(
                 f"{path}: chunk stream header does not match the "
                 "coordinating run"
             )
         self._record_stream(plan, pending, path, records)
+        return True
 
     def _salvage_existing(
         self, plan: ExecutionPlan, pending: set[int], directory: pathlib.Path
@@ -1027,6 +1250,10 @@ class ShardedBackend(Backend):
                 stale.unlink()
             for stale in directory.glob(f"{plan.scenario}.chunk-*.log"):
                 stale.unlink()
+            for stale in directory.glob(
+                f"{plan.scenario}.chunk-*.trials.jsonl.corrupt-*"
+            ):
+                stale.unlink()
             for stale in directory.glob(".repro-chaos-*"):
                 stale.unlink()
         try:
@@ -1053,101 +1280,235 @@ class ShardedBackend(Backend):
         directory: pathlib.Path,
         first_id: int,
     ) -> None:
-        env = self._worker_env(plan)
-        queue: collections.deque[tuple[int, list[int]]] = collections.deque(
-            self._partition(sorted(pending), first_id)
+        extras = self._worker_extras(plan)
+        transport = self.transport or LocalSubprocessTransport(
+            python=self.python
         )
-        attempts: dict[int, int] = {chunk_id: 0 for chunk_id, _ in queue}
+        transports = [transport]  # every venue used, for final close()
+        ordered = self._order_pending(plan, sorted(pending))
+        queue: collections.deque[tuple[int, list[int]]] = collections.deque()
+        pool: collections.deque[int] = collections.deque()
+        adaptive = not self.static and self.chunk_size is None
+        if adaptive:
+            # Carve leases on demand so the size can adapt mid-run.
+            pool.extend(ordered)
+            initial_chunk = max(1, math.ceil(len(ordered) / (4 * self.shards)))
+        else:
+            queue.extend(self._partition(ordered, first_id))
+            initial_chunk = 0
+        next_id = first_id + len(queue)
+        #: Chunks whose retry is scheduled for the future: a min-heap of
+        #: ``(ready_at, chunk_id, indices)`` — backoff without blocking
+        #: the poll loop or the other workers.
+        retry_heap: list[tuple[float, int, list[int]]] = []
+        attempts: dict[int, int] = collections.defaultdict(int)
+        refusals: dict[int, int] = collections.defaultdict(int)
         failures: dict[int, list[str]] = {}
+        backoffs: dict[int, list[float]] = {}
         fatal: list[str] = []
         running: list[_Lease] = []
+        degraded = False
+
+        def next_lease() -> tuple[int, list[int]] | None:
+            nonlocal next_id
+            if retry_heap and retry_heap[0][0] <= time.monotonic():
+                _, chunk_id, indices = heapq.heappop(retry_heap)
+                return chunk_id, indices
+            if queue:
+                return queue.popleft()
+            if pool:
+                size = self._next_chunk_size(len(pool), initial_chunk)
+                indices = [pool.popleft() for _ in range(min(size, len(pool)))]
+                chunk_id = next_id
+                next_id += 1
+                return chunk_id, indices
+            return None
+
+        def requeue(chunk_id: int, indices: list[int], attempt: int) -> None:
+            delay = self._backoff_delay(chunk_id, attempt)
+            if delay:  # --no-retry-backoff leaves no schedule to report
+                backoffs.setdefault(chunk_id, []).append(delay)
+            heapq.heappush(
+                retry_heap, (time.monotonic() + delay, chunk_id, indices)
+            )
+
+        def finish(lease: _Lease, code: int | None, timed_out: bool) -> None:
+            # Salvage first: whatever the worker streamed before dying is
+            # recorded, and only the remainder retries.
+            lease.handle.sync()
+            lease.handle.close()
+            owned_before = sum(1 for i in lease.indices if i in pending)
+            clean_stream = self._harvest_chunk(
+                plan, pending, directory, lease.chunk_id,
+                on_corrupt="quarantine",
+            )
+            missing = [i for i in lease.indices if i in pending]
+            self._observe_latency(
+                time.monotonic() - lease.started,
+                owned_before - len(missing),
+            )
+            ok = (
+                code == 0 and not timed_out and clean_stream and not missing
+            )
+            lease.transport.report(lease.handle, ok)
+            if not missing:
+                if code not in (0, None) or timed_out:
+                    warnings.warn(
+                        f"chunk {lease.chunk_id} worker "
+                        f"{'timed out' if timed_out else f'exited {code}'}"
+                        " but every owned trial was salvaged from "
+                        "its stream",
+                        RuntimeWarning,
+                    )
+                return
+            if timed_out:
+                reason = f"timed out after {self.timeout:g}s (killed)"
+            elif not clean_stream:
+                reason = "streamed corrupt bytes (file quarantined)"
+            elif code == 0:
+                reason = "exited 0 without recording them"
+            else:
+                reason = f"exited {code}"
+            tail = lease.handle.error_tail(_ERROR_TAIL_LINES)
+            detail = (
+                f"chunk {lease.chunk_id} attempt {lease.attempt} "
+                f"({len(missing)} missing trial(s) {missing}) "
+                f"{reason}" + (f":\n{tail}" if tail else "")
+            )
+            failures.setdefault(lease.chunk_id, []).append(detail)
+            if attempts[lease.chunk_id] > self.retries:
+                fatal.append(detail)
+            else:
+                # Requeue the chunk under its original manifest: the
+                # retried lease resumes its stream file (unless it was
+                # quarantined), so salvaged trials replay and only the
+                # missing ones actually run.
+                requeue(lease.chunk_id, lease.indices, lease.attempt)
+
         try:
-            while queue or running:
-                while queue and len(running) < self.shards:
-                    chunk_id, indices = queue.popleft()
+            while queue or pool or retry_heap or running:
+                if not degraded and not transport.available():
+                    if not self.fallback_local:
+                        fatal.append(
+                            f"transport {transport.describe()} has no "
+                            "healthy host left and local fallback is "
+                            "disabled"
+                        )
+                    else:
+                        warnings.warn(
+                            f"transport {transport.describe()} has no "
+                            "healthy host left; degrading to local "
+                            "subprocess execution",
+                            RuntimeWarning,
+                        )
+                        transport = LocalSubprocessTransport(
+                            python=self.python
+                        )
+                        transports.append(transport)
+                    degraded = True
+                while not fatal and len(running) < self.shards:
+                    item = next_lease()
+                    if item is None:
+                        break
+                    chunk_id, indices = item
                     attempts[chunk_id] += 1
-                    running.append(self._launch(
-                        plan, directory, chunk_id, indices,
-                        attempts[chunk_id], env,
-                    ))
+                    try:
+                        running.append(self._launch(
+                            plan, directory, chunk_id, indices,
+                            attempts[chunk_id], extras, transport,
+                        ))
+                    except TransportError as exc:
+                        # A host problem, not a chunk problem: requeue
+                        # without consuming the chunk's retry budget —
+                        # until refusals repeat enough to mean the
+                        # transport itself is the failure.
+                        attempts[chunk_id] -= 1
+                        refusals[chunk_id] += 1
+                        if refusals[chunk_id] % _MAX_LAUNCH_REFUSALS == 0:
+                            attempts[chunk_id] += 1
+                            detail = (
+                                f"chunk {chunk_id} launch refused "
+                                f"{refusals[chunk_id]} time(s) by "
+                                f"{transport.describe()} ({exc}); counting "
+                                "a failed attempt"
+                            )
+                            failures.setdefault(chunk_id, []).append(detail)
+                            if attempts[chunk_id] > self.retries:
+                                fatal.append(detail)
+                                break
+                        requeue(
+                            chunk_id, indices, max(1, refusals[chunk_id])
+                        )
+                        break  # re-check availability before retrying
                 time.sleep(_POLL_INTERVAL_S)
                 still_running: list[_Lease] = []
                 for lease in running:
-                    code = lease.proc.poll()
-                    timed_out = (
+                    code = lease.handle.poll()
+                    timed_out = False
+                    if (
                         code is None
                         and lease.deadline is not None
                         and time.monotonic() > lease.deadline
-                    )
+                    ):
+                        if self._lease_is_heartbeating(lease):
+                            lease.extensions += 1
+                            lease.deadline = time.monotonic() + self.timeout
+                            warnings.warn(
+                                f"chunk {lease.chunk_id} exceeded the "
+                                f"{self.timeout:g}s lease timeout but is "
+                                "still heartbeating (extension "
+                                f"{lease.extensions}); letting it run",
+                                RuntimeWarning,
+                            )
+                        else:
+                            timed_out = True
                     if code is None and not timed_out:
                         still_running.append(lease)
                         continue
                     if timed_out:
-                        lease.proc.kill()
-                        lease.proc.wait()
-                    lease.log_file.close()
-                    # Salvage first: whatever the worker streamed before
-                    # dying is recorded, and only the remainder retries.
-                    self._harvest_chunk(
-                        plan, pending, directory, lease.chunk_id
-                    )
-                    missing = [i for i in lease.indices if i in pending]
-                    if not missing:
-                        if code not in (0, None) or timed_out:
-                            warnings.warn(
-                                f"chunk {lease.chunk_id} worker "
-                                f"{'timed out' if timed_out else f'exited {code}'}"
-                                " but every owned trial was salvaged from "
-                                "its stream",
-                                RuntimeWarning,
-                            )
-                        continue
-                    if timed_out:
-                        reason = f"timed out after {self.timeout:g}s (killed)"
-                    elif code == 0:
-                        reason = "exited 0 without recording them"
-                    else:
-                        reason = f"exited {code}"
-                    tail = _log_tail(lease.log_path)
-                    detail = (
-                        f"chunk {lease.chunk_id} attempt {lease.attempt} "
-                        f"({len(missing)} missing trial(s) {missing}) "
-                        f"{reason}" + (f":\n{tail}" if tail else "")
-                    )
-                    failures.setdefault(lease.chunk_id, []).append(detail)
-                    if attempts[lease.chunk_id] > self.retries:
-                        fatal.append(detail)
-                    else:
-                        # Requeue the chunk under its original manifest:
-                        # the retried lease resumes its stream file, so
-                        # salvaged trials replay and only the missing
-                        # ones actually run.
-                        queue.append((lease.chunk_id, lease.indices))
+                        lease.handle.kill()
+                        lease.handle.wait()
+                    finish(lease, code, timed_out)
                 running = still_running
                 if fatal:
                     # Kill the survivors promptly, but harvest their
                     # streams so every completed trial is recorded before
                     # the raise (--resume then re-runs only the rest).
                     for lease in running:
-                        lease.proc.kill()
-                        lease.proc.wait()
-                        lease.log_file.close()
+                        lease.handle.kill()
+                        lease.handle.wait()
+                        lease.handle.sync()
+                        lease.handle.close()
                         self._harvest_chunk(
-                            plan, pending, directory, lease.chunk_id
+                            plan, pending, directory, lease.chunk_id,
+                            on_corrupt="quarantine",
                         )
                     running = []
                     break
         finally:
             for lease in running:  # interrupt path: no orphaned workers
                 with contextlib.suppress(OSError):
-                    lease.proc.kill()
-                    lease.proc.wait()
-                lease.log_file.close()
+                    lease.handle.kill()
+                    lease.handle.wait()
+                lease.handle.close()
+            for venue in transports:
+                with contextlib.suppress(Exception):
+                    venue.close()
         if fatal:
             history = [
                 entry
                 for chunk_id in sorted(failures)
                 for entry in failures[chunk_id]
+            ]
+            # Fatal causes with no per-chunk record (e.g. every host
+            # quarantined with local fallback disabled) still belong in
+            # the operator-facing message.
+            history += [entry for entry in fatal if entry not in history]
+            schedule = [
+                f"chunk {chunk_id} backoff schedule: "
+                + ", ".join(f"{delay:.2f}s" for delay in backoffs[chunk_id])
+                for chunk_id in sorted(backoffs)
+                if backoffs[chunk_id]
             ]
             raise RuntimeError(
                 "sharded execution failed: retry budget exhausted "
@@ -1155,5 +1516,24 @@ class ShardedBackend(Backend):
                 "still missing; completed trials were salvaged into the "
                 "coordinating run (use --resume to re-run only the missing "
                 f"ones; chunk streams under {directory}).\n"
-                + "\n".join(history)
+                + "\n".join(history + schedule)
             )
+
+    def _lease_is_heartbeating(self, lease: _Lease) -> bool:
+        """Liveness check for a lease past its deadline.
+
+        Only meaningful when this backend asked its workers to heartbeat;
+        without that, the historical behaviour stands — deadline means
+        kill.  The worker stamps heartbeats with its own wall-clock, so
+        freshness compares against ``time.time()`` here (same machine for
+        local workers; ssh hosts need sane clocks, which the generous
+        grace window absorbs).
+        """
+        if self.heartbeat_interval is None:
+            return False
+        lease.handle.sync()
+        beat = _last_heartbeat(lease.handle.stream_path)
+        if beat is None:
+            return False
+        grace = max(3.0 * self.heartbeat_interval, 2.0)
+        return time.time() - beat <= grace

@@ -62,6 +62,11 @@ class Scenario:
             models) — extra trials only confirm a std of zero.
         tags: Free-form labels for filtering (``"paper"``, ``"sweep"`` …).
         default_trials: Trial count used when the caller does not specify.
+        trial_cost: Optional ``(trial_index, params) -> float`` hint of a
+            trial's *relative* cost.  Purely a scheduling hint: the
+            sharded backend leases predicted-expensive trials first so
+            stragglers surface early where work stealing can absorb
+            them.  Never affects results — only wall-clock.
     """
 
     name: str
@@ -72,6 +77,7 @@ class Scenario:
     deterministic: bool = False
     tags: tuple[str, ...] = ()
     default_trials: int = 1
+    trial_cost: Callable | None = field(default=None, repr=False)
     check_fn: Callable | None = field(default=None, repr=False)
     report_fn: Callable | None = field(default=None, repr=False)
 
@@ -148,6 +154,7 @@ def scenario(
     deterministic: bool = False,
     tags: tuple[str, ...] = (),
     default_trials: int = 1,
+    trial_cost: Callable | None = None,
 ) -> Callable[[Callable], Scenario]:
     """Decorator: register the wrapped trial function as a scenario.
 
@@ -166,6 +173,7 @@ def scenario(
                 deterministic=deterministic,
                 tags=tuple(tags),
                 default_trials=default_trials,
+                trial_cost=trial_cost,
             )
         )
 

@@ -26,6 +26,7 @@ import json
 import math
 import os
 import pathlib
+import threading
 import time
 import warnings
 from dataclasses import dataclass, field
@@ -319,6 +320,16 @@ class TrialStream:
     header that does not match the requested run raises instead of
     silently mixing results.
 
+    Workers running under a heartbeat interval additionally interleave
+    ``{"type": "heartbeat", "time": …, "done": n}`` lines (see
+    :meth:`heartbeat`) so the sharded coordinator can tell a *slow*
+    worker from a *hung* one.  Heartbeats are liveness telemetry, not
+    results: every stream parser keys on ``type == "trial"``, so they
+    are invisible to resume, salvage, and merge — and never reach the
+    artifact.  Appends and heartbeats share one lock because the
+    heartbeat comes from a side thread and interleaved partial lines
+    would corrupt the stream.
+
     Crash tolerance on resume: a torn *trailing* line — the signature of
     an ``append`` interrupted by a crash or a kill — is dropped with a
     warning (and the file truncated back to its last complete record, so
@@ -338,6 +349,8 @@ class TrialStream:
     ):
         self.path = pathlib.Path(path)
         self.completed: dict[int, dict] = {}
+        self._lock = threading.Lock()
+        self._closed = False
         header = {
             "type": "header",
             "scenario": scenario,
@@ -396,22 +409,43 @@ class TrialStream:
         return True
 
     def append(self, trial_index: int, seed: int, payload: dict) -> None:
-        self._fh.write(
-            json.dumps(
-                {
-                    "type": "trial",
-                    "trial_index": trial_index,
-                    "seed": seed,
-                    "metrics": payload["metrics"],
-                    "detail": payload.get("detail", {}),
-                }
+        with self._lock:
+            self._fh.write(
+                json.dumps(
+                    {
+                        "type": "trial",
+                        "trial_index": trial_index,
+                        "seed": seed,
+                        "metrics": payload["metrics"],
+                        "detail": payload.get("detail", {}),
+                    }
+                )
+                + "\n"
             )
-            + "\n"
-        )
-        self._fh.flush()
+            self._fh.flush()
+
+    def heartbeat(self, done: int) -> None:
+        """Append a liveness record (worker wall-clock + trials done).
+
+        Safe to call from a side thread concurrently with :meth:`append`;
+        a heartbeat racing :meth:`close` is silently dropped (the worker
+        is exiting — its exit code is the liveness signal from there on).
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._fh.write(
+                json.dumps(
+                    {"type": "heartbeat", "time": time.time(), "done": done}
+                )
+                + "\n"
+            )
+            self._fh.flush()
 
     def close(self) -> None:
-        self._fh.close()
+        with self._lock:
+            self._closed = True
+            self._fh.close()
 
 
 def _execute_trial(

@@ -1336,6 +1336,20 @@ def _sweep_refresh_trh_report(result):
 # Sweep: model x attack-budget x T_RH through the full DRAM path
 # ---------------------------------------------------------------------- #
 
+def _sweep_attack_trh_cost(trial_index: int, params: dict) -> float:
+    """Relative trial cost: one deployment + attack per (T_RH, budget) point.
+
+    A sharded-scheduler hint (see ``Scenario.trial_cost``): cost scales
+    with the grid size and the summed flip budgets, so grid-enlarged
+    runs (``--param t_rh_grid=...``) lease their trials ahead of
+    default-grid trials in mixed-resume pools.  Trials are otherwise
+    iid, so the index only tie-breaks.
+    """
+    t_rh_grid = _int_grid(params.get("t_rh_grid"), (1000, 4000))
+    budget_grid = _int_grid(params.get("budget_grid"), (4, 8))
+    return float(len(t_rh_grid) * sum(budget_grid))
+
+
 @scenario(
     "sweep-attack-trh",
     title="Model x attack-budget x T_RH grid through the defended DRAM path",
@@ -1343,6 +1357,7 @@ def _sweep_refresh_trh_report(result):
     presets=("resnet20_cifar",),
     tags=("sweep", "attack", "dram"),
     default_trials=2,
+    trial_cost=_sweep_attack_trh_cost,
 )
 def sweep_attack_trh(ctx):
     """End-to-end accuracy-under-attack grid.
@@ -1455,6 +1470,20 @@ def _priority_rows(profile, weights_per_row: int = 256) -> list[list]:
     return list(rows.values())
 
 
+def _sweep_protected_rows_cost(trial_index: int, params: dict) -> float:
+    """Relative trial cost: a profile plus one attack per grid point.
+
+    The ``profile_rounds``-deep profiling dominates, then each
+    (rows, budget) point pays one white-box adaptive attack — so the
+    hint is rounds-weighted grid size.  Another sharded-scheduler lease
+    ordering hint; results never depend on it.
+    """
+    rows_grid = _int_grid(params.get("rows_grid"), (0, 2, 4, 8))
+    budget_grid = _int_grid(params.get("budget_grid"), (6,))
+    rounds = int(params.get("profile_rounds", 6))
+    return float(rounds + len(rows_grid) * sum(budget_grid))
+
+
 @scenario(
     "sweep-protected-rows",
     title="Protected-rows x attack-budget grid: accuracy vs protection",
@@ -1462,6 +1491,7 @@ def _priority_rows(profile, weights_per_row: int = 256) -> list[list]:
     presets=("resnet20_cifar",),
     tags=("sweep", "attack"),
     default_trials=2,
+    trial_cost=_sweep_protected_rows_cost,
 )
 def sweep_protected_rows(ctx):
     """Accuracy under attack as the protected-row budget grows.

@@ -300,3 +300,257 @@ class TestWorkdirHygiene:
         )
         with pytest.raises(FileNotFoundError):
             run_scenario(SCENARIO, trials=2, seed=3, backend=backend)
+
+
+class TestStreamFaultModes:
+    """The REPRO_CHAOS stream-level modes: stalled I/O and torn writes."""
+
+    def test_stalled_io_worker_is_reclaimed_by_timeout(self, tmp_path):
+        """A worker that stops writing (heartbeats included) but stays
+        alive must be timeout-killed even with heartbeats enabled —
+        silence, not process death, is the hang signal."""
+        serial = _serial()
+        result = run_scenario(
+            SCENARIO, trials=4, seed=3,
+            backend=ShardedBackend(
+                2, workdir=tmp_path / "work",
+                env={"REPRO_CHAOS": "stall-io"},
+                timeout=3, retries=2, chunk_size=2,
+                heartbeat_interval=0.2, backoff_base=0.05,
+            ),
+        )
+        assert (tmp_path / "work" / ".repro-chaos-stall-io").exists()
+        a = write_artifact(serial, directory=tmp_path / "a").read_bytes()
+        b = write_artifact(result, directory=tmp_path / "b").read_bytes()
+        assert a == b
+
+    def test_truncated_stream_is_salvaged_and_retried(self, tmp_path):
+        """A worker that dies mid-write leaves a torn trailing record:
+        the parser drops it, complete records salvage, the rest re-run."""
+        serial = _serial()
+        with pytest.warns(RuntimeWarning, match="torn trailing record"):
+            result = run_scenario(
+                SCENARIO, trials=4, seed=3,
+                backend=ShardedBackend(
+                    2, workdir=tmp_path / "work",
+                    env={"REPRO_CHAOS": "truncate-stream"},
+                    retries=2, chunk_size=2, backoff_base=0.05,
+                ),
+            )
+        assert (tmp_path / "work" / ".repro-chaos-truncate-stream").exists()
+        a = write_artifact(serial, directory=tmp_path / "a").read_bytes()
+        b = write_artifact(result, directory=tmp_path / "b").read_bytes()
+        assert a == b
+
+
+class TestHeartbeatAwareTimeouts:
+    """--heartbeat-interval separates slow-but-alive from hung."""
+
+    _SLOW_ENV = {"REPRO_CHAOS": "slow", "REPRO_CHAOS_SLOW_S": "1.2"}
+
+    def test_heartbeating_slow_worker_outlives_its_deadline(self, tmp_path):
+        """Four 1.2s trials in one chunk against a 2s timeout: with
+        heartbeats flowing the scheduler must warn and extend, never
+        kill — retries=0 proves no retry was needed."""
+        serial = _serial()
+        with pytest.warns(RuntimeWarning, match="still heartbeating"):
+            result = run_scenario(
+                SCENARIO, trials=4, seed=3,
+                backend=ShardedBackend(
+                    1, workdir=tmp_path / "work", env=dict(self._SLOW_ENV),
+                    timeout=2, retries=0, chunk_size=4,
+                    heartbeat_interval=0.3,
+                ),
+            )
+        assert result.to_json() == serial.to_json()
+        # One attempt only: the worker was never killed and relaunched.
+        logs = sorted(p.name for p in (tmp_path / "work").glob("*.log"))
+        assert logs == ["fig6.chunk-0000.attempt-1.log"]
+
+    def test_no_heartbeat_regression_deadline_still_kills(self, tmp_path):
+        """Without --heartbeat-interval the historical contract stands:
+        a worker past its deadline is killed no matter how alive it is."""
+        with pytest.raises(RuntimeError) as err:
+            run_scenario(
+                SCENARIO, trials=4, seed=3,
+                backend=ShardedBackend(
+                    1, workdir=tmp_path / "work", env=dict(self._SLOW_ENV),
+                    timeout=2, retries=0, chunk_size=4,
+                ),
+            )
+        assert "timed out after 2s (killed)" in str(err.value)
+
+
+class TestRetryBackoff:
+    def test_exhaustion_reports_the_backoff_schedule(self, tmp_path):
+        with pytest.raises(RuntimeError) as err:
+            run_scenario(
+                SCENARIO, trials=2, seed=3,
+                backend=ShardedBackend(
+                    1, workdir=tmp_path / "work",
+                    env={"REPRO_CHAOS": "crash-start"},
+                    retries=1, chunk_size=2, backoff_base=0.05,
+                ),
+            )
+        message = str(err.value)
+        assert "backoff schedule" in message
+        # Two retries were scheduled (attempts 1 and 2 both crashed).
+        schedule_line = next(
+            line for line in message.splitlines()
+            if "backoff schedule" in line
+        )
+        assert schedule_line.count("s") >= 2
+
+    def test_backoff_can_be_disabled(self, tmp_path):
+        with pytest.raises(RuntimeError) as err:
+            run_scenario(
+                SCENARIO, trials=2, seed=3,
+                backend=ShardedBackend(
+                    1, workdir=tmp_path / "work",
+                    env={"REPRO_CHAOS": "crash-start"},
+                    retries=1, chunk_size=2, retry_backoff=False,
+                ),
+            )
+        message = str(err.value)
+        assert "retry budget exhausted" in message
+        assert "backoff schedule" not in message
+
+    def test_delays_are_capped_exponential_with_deterministic_jitter(self):
+        backend = ShardedBackend(1, backoff_base=0.5, backoff_cap=4.0)
+        delays = [backend._backoff_delay(7, a) for a in range(1, 7)]
+        # Deterministic: same (chunk, attempt) -> same delay.
+        assert delays == [backend._backoff_delay(7, a) for a in range(1, 7)]
+        # Exponential envelope with up-to-25% jitter, capped at 4s*1.25.
+        for attempt, delay in enumerate(delays, start=1):
+            base = min(4.0, 0.5 * 2 ** (attempt - 1))
+            assert base <= delay <= base * 1.25
+        assert max(delays) <= 5.0
+
+    def test_validates_backoff_arguments(self):
+        with pytest.raises(ValueError):
+            ShardedBackend(1, backoff_base=0.0)
+        with pytest.raises(ValueError):
+            ShardedBackend(1, backoff_base=2.0, backoff_cap=1.0)
+        with pytest.raises(ValueError):
+            ShardedBackend(1, heartbeat_interval=0.0)
+
+
+class TestAdaptiveChunkSizing:
+    def test_latency_feedback_shrinks_the_next_lease(self):
+        backend = ShardedBackend(2, timeout=None)
+        initial = 4
+        # No observations yet: stick with the initial carve size.
+        assert backend._next_chunk_size(remaining=32, initial=initial) == 4
+        backend._observe_latency(elapsed=40.0, recorded=4)  # 10s/trial
+        # 5s target / 10s per trial -> single-trial leases.
+        assert backend._next_chunk_size(remaining=32, initial=initial) == 1
+        # Fast trials grow the lease, but never past initial*4.
+        backend._ewma_trial_s = None
+        backend._observe_latency(elapsed=0.04, recorded=4)  # 10ms/trial
+        assert backend._next_chunk_size(remaining=1000, initial=4) == 16
+
+    def test_fair_share_clamp_near_the_end_of_the_pool(self):
+        backend = ShardedBackend(4, timeout=None)
+        backend._observe_latency(elapsed=0.04, recorded=4)
+        # Only 8 trials left across 4 shards: no lease bigger than 2.
+        assert backend._next_chunk_size(remaining=8, initial=4) == 2
+
+    def test_trial_cost_hints_order_the_pending_pool(self, tmp_path):
+        from repro.experiments import unregister
+        from repro.experiments.registry import scenario as scenario_decorator
+
+        @scenario_decorator(
+            "_cost-hinted", title="t", source="s",
+            trial_cost=lambda i, params: float(i % 3),
+        )
+        def _trial(ctx):  # pragma: no cover - never dispatched
+            return {"m": 0.0}
+
+        try:
+            backend = ShardedBackend(2)
+            from repro.experiments.backends import ExecutionPlan
+            from repro.experiments.registry import get_scenario
+
+            plan = ExecutionPlan(
+                scenario="_cost-hinted", spec=get_scenario("_cost-hinted"),
+                trials=6, seed=0, seeds=[0] * 6, params={},
+                pending=list(range(6)), cache=None, profile_cache=None,
+                record=lambda *a: None,
+            )
+            ordered = backend._order_pending(plan, range(6))
+            assert ordered == [2, 5, 1, 4, 0, 3]
+        finally:
+            unregister("_cost-hinted")
+
+    def test_broken_cost_hint_degrades_to_index_order(self, tmp_path):
+        from repro.experiments import unregister
+        from repro.experiments.registry import scenario as scenario_decorator
+
+        @scenario_decorator(
+            "_cost-broken", title="t", source="s",
+            trial_cost=lambda i, params: 1 / 0,
+        )
+        def _trial(ctx):  # pragma: no cover - never dispatched
+            return {"m": 0.0}
+
+        try:
+            backend = ShardedBackend(2)
+            from repro.experiments.backends import ExecutionPlan
+            from repro.experiments.registry import get_scenario
+
+            plan = ExecutionPlan(
+                scenario="_cost-broken", spec=get_scenario("_cost-broken"),
+                trials=4, seed=0, seeds=[0] * 4, params={},
+                pending=list(range(4)), cache=None, profile_cache=None,
+                record=lambda *a: None,
+            )
+            with pytest.warns(RuntimeWarning, match="trial_cost hint"):
+                assert backend._order_pending(plan, range(4)) == [0, 1, 2, 3]
+        finally:
+            unregister("_cost-broken")
+
+
+class TestTransportCLIFlags:
+    @pytest.mark.parametrize("tail", [
+        ["--hosts", "a,b"],
+        ["--remote-python", "py3"],
+        ["--chaos-seed", "4"],
+        ["--transport", "ssh", "--hosts", "a", "--chaos-rate", "0.5"],
+    ])
+    def test_transport_scoped_flags_require_their_transport(self, tail):
+        from repro.cli import main
+
+        argv = ["run", "fig6", "--backend", "sharded"] + tail
+        with pytest.raises(SystemExit, match="requires --transport"):
+            main(argv)
+
+    def test_scheduler_flags_rejected_outside_sharded_backend(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="--backend sharded"):
+            main(["run", "fig6", "--transport", "chaos"])
+
+    def test_cli_chaos_transport_end_to_end(self, tmp_path, capsys):
+        """The acceptance invocation: a sharded sweep through
+        ``--transport chaos`` matches a serial artifact byte-for-byte."""
+        from repro.cli import main
+
+        serial_dir = tmp_path / "serial"
+        chaos_dir = tmp_path / "chaos"
+        assert main([
+            "run", SCENARIO, "--trials", "4", "--seed", "3",
+            "--out", str(serial_dir), "--quiet",
+        ]) == 0
+        assert main([
+            "run", SCENARIO, "--trials", "4", "--seed", "3",
+            "--backend", "sharded", "--shards", "2",
+            "--shard-timeout", "6", "--retries", "4",
+            "--transport", "chaos", "--chaos-seed", "1",
+            "--chaos-rate", "0.9",
+            "--heartbeat-interval", "0.2", "--backoff-base", "0.05",
+            "--out", str(chaos_dir), "--quiet",
+        ]) == 0
+        assert (
+            (serial_dir / "fig6.json").read_bytes()
+            == (chaos_dir / "fig6.json").read_bytes()
+        )
