@@ -1,0 +1,78 @@
+"""Rendering for ``repro lint``: text diagnostics, stats tables, JSON.
+
+Output is deliberately boring and stable: findings print as
+``path:line:col: REP### message`` with an indented fix hint, sorted by
+location, so diffs of lint output are meaningful and editors/CI annotate
+them directly.  The JSON payload shape is pinned by
+``tests/analysis/test_lint_engine.py`` — the future run-database service
+(ROADMAP) ingests it, so schema changes must bump ``version``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.lint.engine import LintReport
+from repro.analysis.lint.registry import iter_rules
+from repro.utils.tabulate import format_table
+
+__all__ = ["format_findings", "format_stats", "format_rules", "to_json_text"]
+
+
+def format_findings(report: LintReport) -> str:
+    """The classic compiler-style diagnostic listing plus a tally line."""
+    lines = [finding.format_text() for finding in report.findings]
+    for error in report.parse_errors:
+        lines.append(f"error: cannot analyze {error}")
+    tally = (
+        f"{len(report.findings)} finding(s) in {report.files_checked} "
+        f"file(s)"
+    )
+    extras = []
+    if report.suppressed:
+        extras.append(f"{report.suppressed} suppressed by pragma")
+    if report.baselined:
+        extras.append(f"{report.baselined} baselined")
+    if extras:
+        tally += f" ({', '.join(extras)})"
+    lines.append(tally)
+    return "\n".join(lines)
+
+
+def format_stats(report: LintReport) -> str:
+    """``--stats``: findings per rule and per package, as tables."""
+    stats = report.stats()
+    rule_rows = [
+        [rule_id, str(count)]
+        for rule_id, count in stats["by_rule"].items()
+    ] or [["-", "0"]]
+    package_rows = [
+        [package, str(count)]
+        for package, count in stats["by_package"].items()
+    ] or [["-", "0"]]
+    sections = [
+        format_table(["rule", "findings"], rule_rows,
+                     title="findings per rule"),
+        format_table(["package", "findings"], package_rows,
+                     title="findings per package"),
+        (
+            f"total: {stats['total']}  suppressed: {stats['suppressed']}  "
+            f"baselined: {stats['baselined']}  "
+            f"files: {stats['files_checked']}"
+        ),
+    ]
+    return "\n\n".join(sections)
+
+
+def format_rules() -> str:
+    """``--list-rules``: the registered rule catalogue."""
+    rows = [
+        [spec.id, spec.name, spec.summary]
+        for spec in iter_rules()
+    ]
+    return format_table(["id", "name", "checks for"], rows,
+                        title="repro lint rules")
+
+
+def to_json_text(report: LintReport) -> str:
+    return json.dumps(report.to_json(), indent=2, sort_keys=True) + "\n"

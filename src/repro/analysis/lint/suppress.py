@@ -1,0 +1,132 @@
+"""Suppression mechanics: ``noqa`` pragmas and the committed baseline.
+
+Two escape hatches with different lifetimes:
+
+* **Pragmas** are permanent, reviewed-in-place waivers.  A trailing
+  ``# repro: noqa[REP003]`` on the offending line (or a module-level
+  ``# repro: noqa-file[REP003]`` line) says "this site intentionally
+  violates the rule, and the adjacent comment explains why".  A bare
+  ``# repro: noqa`` waives every rule on that line — reserved for
+  fixtures and generated code.
+
+* The **baseline** is a committed JSON ledger of *grandfathered*
+  findings: pre-existing violations tolerated while the rule ramps in.
+  Entries are content-fingerprinted (rule + path + line text +
+  occurrence index), so they survive unrelated edits but die with the
+  line they describe — fixing the code shrinks the baseline for free.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import re
+from dataclasses import dataclass, field
+
+__all__ = ["Pragmas", "Baseline", "BASELINE_VERSION"]
+
+BASELINE_VERSION = 1
+
+_LINE_PRAGMA = re.compile(r"#\s*repro:\s*noqa(?:\[([A-Z0-9,\s]+)\])?")
+_FILE_PRAGMA = re.compile(r"^\s*#\s*repro:\s*noqa-file\[([A-Z0-9,\s]+)\]")
+
+_ALL = "*"
+
+
+@dataclass
+class Pragmas:
+    """Per-file suppression map parsed from comments."""
+
+    by_line: dict[int, set[str]] = field(default_factory=dict)
+    file_wide: set[str] = field(default_factory=set)
+
+    @classmethod
+    def scan(cls, lines: list[str]) -> "Pragmas":
+        pragmas = cls()
+        for lineno, text in enumerate(lines, start=1):
+            file_match = _FILE_PRAGMA.match(text)
+            if file_match:
+                pragmas.file_wide.update(_parse_rule_list(file_match.group(1)))
+                continue
+            line_match = _LINE_PRAGMA.search(text)
+            if line_match:
+                rules = (
+                    _parse_rule_list(line_match.group(1))
+                    if line_match.group(1)
+                    else {_ALL}
+                )
+                pragmas.by_line.setdefault(lineno, set()).update(rules)
+        return pragmas
+
+    def suppresses(self, line: int, rule_id: str) -> bool:
+        if rule_id in self.file_wide:
+            return True
+        rules = self.by_line.get(line)
+        if rules is None:
+            return False
+        return _ALL in rules or rule_id in rules
+
+
+def _parse_rule_list(text: str) -> set[str]:
+    return {part.strip() for part in text.split(",") if part.strip()}
+
+
+@dataclass
+class Baseline:
+    """Fingerprint set of grandfathered findings (committed as JSON)."""
+
+    fingerprints: dict[str, dict] = field(default_factory=dict)
+    path: pathlib.Path | None = None
+
+    @classmethod
+    def load(cls, path: str | pathlib.Path) -> "Baseline":
+        path = pathlib.Path(path)
+        if not path.exists():
+            return cls(path=path)
+        payload = json.loads(path.read_text())
+        version = payload.get("version")
+        if version != BASELINE_VERSION:
+            raise ValueError(
+                f"{path}: unsupported baseline version {version!r} "
+                f"(expected {BASELINE_VERSION})"
+            )
+        entries = payload.get("findings", {})
+        if not isinstance(entries, dict):
+            raise ValueError(f"{path}: baseline 'findings' must be an object")
+        return cls(fingerprints=dict(entries), path=path)
+
+    def contains(self, finding) -> bool:
+        return finding.fingerprint in self.fingerprints
+
+    def to_json(self) -> dict:
+        return {
+            "version": BASELINE_VERSION,
+            "findings": {
+                fp: self.fingerprints[fp] for fp in sorted(self.fingerprints)
+            },
+        }
+
+    @classmethod
+    def from_findings(
+        cls, findings, path: str | pathlib.Path | None = None
+    ) -> "Baseline":
+        """Build a baseline grandfathering every finding in ``findings``."""
+        entries = {
+            f.fingerprint: {"rule": f.rule, "path": f.path, "message": f.message}
+            for f in findings
+        }
+        return cls(
+            fingerprints=entries,
+            path=pathlib.Path(path) if path is not None else None,
+        )
+
+    def save(self, path: str | pathlib.Path | None = None) -> pathlib.Path:
+        from repro.utils.io import atomic_write_text
+
+        target = pathlib.Path(path) if path is not None else self.path
+        if target is None:
+            raise ValueError("no baseline path to save to")
+        atomic_write_text(
+            target, json.dumps(self.to_json(), indent=2, sort_keys=True) + "\n"
+        )
+        return target

@@ -83,6 +83,8 @@ from repro.nn import QuantizedModel, make_resnet20
 from repro.nn.data import cifar10_like
 from repro.nn.quant import BitLocation
 from repro.nn.train import loss_and_grads
+from repro.utils.env import env_str
+from repro.utils.io import atomic_write_text
 
 __all__ = ["HOTPATH_BENCHMARKS", "run_hotpath_suite", "format_suite"]
 
@@ -106,7 +108,7 @@ def _stats(times_s: list[float]) -> dict:
 @contextlib.contextmanager
 def _env_override(var: str, value: str):
     """Set one environment variable for the duration of a bench variant."""
-    saved = os.environ.get(var)
+    saved = env_str(var)
     os.environ[var] = value
     try:
         yield
@@ -574,12 +576,12 @@ def bench_straggler_sweep(quick: bool) -> dict:
     stealing_size = 2
     tmp = pathlib.Path(tempfile.mkdtemp(prefix="repro-straggler-bench-"))
     try:
-        (tmp / f"{_STRAGGLER_MODULE}.py").write_text(_STRAGGLER_SOURCE)
+        atomic_write_text(tmp / f"{_STRAGGLER_MODULE}.py", _STRAGGLER_SOURCE)
         worker_env = {
             # Workers import the scenario module from the temp dir; the
             # ShardedBackend prepends this checkout's package root itself.
             "PYTHONPATH": os.pathsep.join(
-                filter(None, [str(tmp), os.environ.get("PYTHONPATH", "")])
+                filter(None, [str(tmp), env_str("PYTHONPATH", "")])
             ),
             "REPRO_SCENARIO_MODULES": _STRAGGLER_MODULE,
             "REPRO_BENCH_STRAGGLER_HEAVY_S": str(heavy_s),

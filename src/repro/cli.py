@@ -28,6 +28,11 @@ Subcommands:
   command stream to JSONL, replay a trace through a fresh controller
   (diffing the reproduced ``CommandStats`` against the recorded footer,
   optionally under strict/audit timing-rule checking), or print a trace.
+* ``lint [paths]`` — static determinism & resource-safety analysis (the
+  REP rule set over ``src/`` by default): ``--format text|json``,
+  ``--select/--ignore RULES``, ``--baseline FILE`` for grandfathered
+  findings, ``--write-baseline``, ``--stats`` summary tables and
+  ``--list-rules``.  Exits 1 when findings remain, so CI can gate on it.
 * ``cache info | clear`` — inspect or empty the trained-preset and
   attack-profile caches.
 
@@ -247,6 +252,33 @@ def build_parser() -> argparse.ArgumentParser:
         "cache", help="trained-preset / attack-profile cache tools"
     )
     cache_cmd.add_argument("action", choices=("info", "clear"))
+
+    lint_cmd = sub.add_parser(
+        "lint",
+        help="static determinism/resource-safety analysis (REP rules)",
+    )
+    lint_cmd.add_argument("paths", nargs="*", metavar="path",
+                          help="files/directories to analyze "
+                               "(default: src/ under the repo root)")
+    lint_cmd.add_argument("--format", default="text",
+                          choices=("text", "json"),
+                          help="diagnostic output format (default: text)")
+    lint_cmd.add_argument("--select", default=None, metavar="REP001,...",
+                          help="only run these rule ids")
+    lint_cmd.add_argument("--ignore", default=None, metavar="REP001,...",
+                          help="skip these rule ids")
+    lint_cmd.add_argument("--baseline", default="auto", metavar="FILE",
+                          help="baseline of grandfathered findings "
+                               "(default: lint-baseline.json at the repo "
+                               "root when present; 'none' disables)")
+    lint_cmd.add_argument("--write-baseline", action="store_true",
+                          help="grandfather every current finding into "
+                               "the baseline file and exit 0")
+    lint_cmd.add_argument("--stats", action="store_true",
+                          help="print findings-per-rule/package summary "
+                               "tables (text format)")
+    lint_cmd.add_argument("--list-rules", action="store_true",
+                          help="print the rule catalogue and exit")
 
     return parser
 
@@ -784,6 +816,57 @@ def _record_to_event(record):
     )
 
 
+def _cmd_lint(args) -> int:
+    """``repro lint``: run the static analyzer; exit 1 on findings."""
+    from repro.analysis.lint import (
+        Baseline,
+        format_findings,
+        format_rules,
+        format_stats,
+        repo_root,
+        run_lint,
+        to_json_text,
+    )
+
+    if args.list_rules:
+        print(format_rules())
+        return 0
+    select = args.select.split(",") if args.select else None
+    ignore = args.ignore.split(",") if args.ignore else None
+    baseline_path = None
+    if args.baseline == "auto":
+        default_path = repo_root() / "lint-baseline.json"
+        if default_path.exists():
+            baseline_path = default_path
+    elif args.baseline not in ("none", ""):
+        baseline_path = pathlib.Path(args.baseline)
+    if args.write_baseline:
+        target = baseline_path or repo_root() / "lint-baseline.json"
+        # Grandfather what the rules currently find (pragmas already
+        # applied), so a ratcheting rollout starts from a green gate.
+        report = run_lint(args.paths or None, select=select, ignore=ignore)
+        Baseline.from_findings(report.findings).save(target)
+        print(
+            f"baseline: {len(report.findings)} finding(s) grandfathered "
+            f"-> {target}"
+        )
+        return 0
+    report = run_lint(
+        args.paths or None,
+        select=select,
+        ignore=ignore,
+        baseline=baseline_path,
+    )
+    if args.format == "json":
+        print(to_json_text(report), end="")
+    else:
+        print(format_findings(report))
+        if args.stats:
+            print()
+            print(format_stats(report))
+    return 1 if (report.findings or report.parse_errors) else 0
+
+
 def _cmd_cache(args) -> int:
     caches = (("presets", PresetCache()), ("profiles", ProfileCache()))
     if args.action == "clear":
@@ -826,6 +909,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_trace(args)
         if args.command == "cache":
             return _cmd_cache(args)
+        if args.command == "lint":
+            return _cmd_lint(args)
     except (KeyError, ValueError) as exc:
         message = exc.args[0] if exc.args else str(exc)
         print(f"error: {message}", file=sys.stderr)

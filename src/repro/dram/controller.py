@@ -21,7 +21,6 @@ refresh interval.
 
 from __future__ import annotations
 
-import os
 from collections.abc import Callable, Iterable
 
 import numpy as np
@@ -37,6 +36,7 @@ from repro.dram.commands import (
 from repro.dram.device import DramDevice
 from repro.dram.faults import BitFlipEvent
 from repro.dram.timing import TimingParams
+from repro.utils.env import env_flag
 
 __all__ = ["MemoryController", "fast_path_default"]
 
@@ -51,7 +51,7 @@ def fast_path_default() -> bool:
     anything else (including unset) enables the memoized fast path.  The
     ``repro bench`` harness uses the toggle to measure before/after.
     """
-    return os.environ.get("REPRO_DRAM_FAST_PATH", "1") != "0"
+    return env_flag("REPRO_DRAM_FAST_PATH", True)
 
 
 class MemoryController:

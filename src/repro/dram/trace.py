@@ -47,6 +47,7 @@ from repro.dram.controller import MemoryController
 from repro.dram.device import DramDevice
 from repro.dram.geometry import DramGeometry
 from repro.dram.timing import TimingParams
+from repro.utils.io import atomic_write_text
 
 __all__ = [
     "TRACE_FORMAT_VERSION",
@@ -300,7 +301,7 @@ class CommandTrace:
             "aggregates": self.aggregates(),
         }))
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text("\n".join(lines) + "\n")
+        atomic_write_text(path, "\n".join(lines) + "\n")
         return path
 
 

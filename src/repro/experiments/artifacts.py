@@ -9,13 +9,13 @@ then ``benchmarks/results/`` relative to the repository root.
 
 from __future__ import annotations
 
-import contextlib
 import json
 import os
 import pathlib
-import threading
 
 from repro.experiments.runner import ScenarioResult
+from repro.utils.env import env_str
+from repro.utils.io import atomic_write_text
 
 __all__ = [
     "default_results_dir",
@@ -31,7 +31,7 @@ _REPO_ROOT = pathlib.Path(__file__).resolve().parents[3]
 
 def default_results_dir() -> pathlib.Path:
     """Resolve the artifact directory (env override, then repo-relative)."""
-    env = os.environ.get("REPRO_RESULTS_DIR")
+    env = env_str("REPRO_RESULTS_DIR")
     if env:
         return pathlib.Path(env)
     return _REPO_ROOT / "benchmarks" / "results"
@@ -43,7 +43,7 @@ def default_bench_dir() -> pathlib.Path:
     ``BENCH_*.json`` files live at the repository root so the perf
     trajectory is tracked in version control next to the code it measures.
     """
-    env = os.environ.get("REPRO_BENCH_DIR")
+    env = env_str("REPRO_BENCH_DIR")
     if env:
         return pathlib.Path(env)
     return _REPO_ROOT
@@ -52,21 +52,12 @@ def default_bench_dir() -> pathlib.Path:
 def _atomic_write_text(path: pathlib.Path, text: str) -> None:
     """Write ``text`` to ``path`` via tmp file + ``os.replace``.
 
-    The same pattern ``cache.py`` uses for ``.npz`` stores: a crash (or
-    kill) mid-write can never leave a truncated artifact behind, and
-    concurrent writers are last-writer-wins with every observable file
-    state a complete document.  The tmp name carries pid and thread id
-    so concurrent writers never clobber each other's partial output.
+    Kept as a module-level name because callers across the repo import
+    it from here; the implementation lives in
+    :func:`repro.utils.io.atomic_write_text` so ``repro lint`` (REP005)
+    has a single sanctioned write path to recognise.
     """
-    tmp = path.with_name(
-        f"{path.name}.{os.getpid()}-{threading.get_ident()}.tmp"
-    )
-    try:
-        tmp.write_text(text)
-        os.replace(tmp, path)
-    finally:
-        with contextlib.suppress(FileNotFoundError):
-            tmp.unlink()
+    atomic_write_text(path, text)
 
 
 def write_artifact(

@@ -86,6 +86,7 @@ from repro.experiments.transport import (
     WorkerSpec,
     chunk_stream_path,
 )
+from repro.utils.env import env_float, env_str
 
 __all__ = [
     "Backend",
@@ -263,10 +264,10 @@ def _maybe_inject_chaos(
     heartbeat thread must stop beating, or the liveness signal would
     report the hang as mere slowness forever.
     """
-    spec = os.environ.get("REPRO_CHAOS", "")
+    spec = env_str("REPRO_CHAOS", "")
     if not spec:
         return
-    per_worker = os.environ.get("REPRO_CHAOS_SCOPE", "") == "worker"
+    per_worker = env_str("REPRO_CHAOS_SCOPE", "") == "worker"
 
     def claim(mode: str) -> bool:
         if per_worker:
@@ -286,7 +287,7 @@ def _maybe_inject_chaos(
         if stage != "trial":
             continue
         if mode == "slow":
-            time.sleep(float(os.environ.get("REPRO_CHAOS_SLOW_S", "0.75")))
+            time.sleep(env_float("REPRO_CHAOS_SLOW_S", 0.75))
             continue
         if mode not in ("crash", "hang", "stall-io", "truncate-stream"):
             continue

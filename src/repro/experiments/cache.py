@@ -37,6 +37,7 @@ import pathlib
 import numpy as np
 
 from repro.presets import PresetSpec, TrainedPreset, preset_spec
+from repro.utils.env import env_str
 
 __all__ = [
     "PresetCache",
@@ -56,7 +57,7 @@ CACHE_FORMAT_VERSION = 2
 
 def default_cache_root() -> pathlib.Path:
     """Resolve the preset-cache directory (env override, then ~/.cache)."""
-    env = os.environ.get("REPRO_CACHE_DIR")
+    env = env_str("REPRO_CACHE_DIR")
     if env:
         return pathlib.Path(env)
     return pathlib.Path.home() / ".cache" / "dnn-defender-repro" / "presets"
@@ -71,10 +72,10 @@ def default_profile_root() -> pathlib.Path:
     profiles in a ``profiles/`` subdirectory so tests pointing the cache
     at a tmp dir isolate both kinds at once.
     """
-    env = os.environ.get("REPRO_PROFILE_DIR")
+    env = env_str("REPRO_PROFILE_DIR")
     if env:
         return pathlib.Path(env)
-    env = os.environ.get("REPRO_CACHE_DIR")
+    env = env_str("REPRO_CACHE_DIR")
     if env:
         return pathlib.Path(env) / "profiles"
     return pathlib.Path.home() / ".cache" / "dnn-defender-repro" / "profiles"
@@ -174,7 +175,9 @@ class PresetCache:
         # truncate each other mid-write; the final rename is atomic and
         # last-writer-wins with identical content.
         tmp = path.with_suffix(f".{os.getpid()}.tmp.npz")
-        with open(tmp, "wb") as fh:
+        # repro: noqa[REP005] — binary npz stream; tmp + atomic replace
+        # is done manually here because the text helper cannot carry it.
+        with open(tmp, "wb") as fh:  # repro: noqa[REP005]
             np.savez_compressed(fh, **arrays, **{_META_KEY: np.str_(meta)})
         tmp.replace(path)
 
@@ -316,7 +319,9 @@ class ProfileCache:
             for i, round_bits in enumerate(rounds)
         }
         tmp = path.with_suffix(f".{os.getpid()}.tmp.npz")
-        with open(tmp, "wb") as fh:
+        # repro: noqa[REP005] — binary npz stream; tmp + atomic replace
+        # is done manually here because the text helper cannot carry it.
+        with open(tmp, "wb") as fh:  # repro: noqa[REP005]
             np.savez_compressed(fh, **arrays, **{_META_KEY: np.str_(meta)})
         tmp.replace(path)
 

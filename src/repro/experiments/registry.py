@@ -222,10 +222,11 @@ def _ensure_builtins() -> None:
     module named here.
     """
     import importlib
-    import os
 
     import repro.experiments.scenarios  # noqa: F401  (registers on import)
 
-    extra = os.environ.get("REPRO_SCENARIO_MODULES", "")
+    from repro.utils.env import env_str
+
+    extra = env_str("REPRO_SCENARIO_MODULES", "")
     for module in filter(None, (m.strip() for m in extra.split(","))):
         importlib.import_module(module)

@@ -24,7 +24,6 @@ from __future__ import annotations
 import dataclasses
 import json
 import math
-import os
 import pathlib
 import threading
 import time
@@ -36,6 +35,7 @@ import numpy as np
 
 from repro.experiments.cache import PresetCache, ProfileCache
 from repro.presets import TrainedPreset
+from repro.utils.io import atomic_write_text
 
 __all__ = [
     "TrialContext",
@@ -363,7 +363,10 @@ class TrialStream:
             if self._resume_existing(header):
                 return
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._fh = open(self.path, "w")
+        # Streaming sink by design: records are flushed one line at a time
+        # as trials finish, so there is no final document to write
+        # atomically; torn tails are healed on resume by scan_stream_lines.
+        self._fh = open(self.path, "w")  # repro: noqa[REP005]
         self._fh.write(json.dumps(header) + "\n")
         self._fh.flush()
 
@@ -399,12 +402,10 @@ class TrialStream:
             }
         if torn:
             # Truncate the torn tail before appending, or the next
-            # record would concatenate onto the partial line.  Atomic
-            # (tmp + replace): a crash mid-rewrite must not lose the
-            # intact records this rewrite exists to preserve.
-            tmp = self.path.with_name(f"{self.path.name}.{os.getpid()}.tmp")
-            tmp.write_text("\n".join(intact) + "\n")
-            os.replace(tmp, self.path)
+            # record would concatenate onto the partial line.  Atomic:
+            # a crash mid-rewrite must not lose the intact records this
+            # rewrite exists to preserve.
+            atomic_write_text(self.path, "\n".join(intact) + "\n")
         self._fh = open(self.path, "a")
         return True
 

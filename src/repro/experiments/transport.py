@@ -42,6 +42,8 @@ import time
 import uuid
 from dataclasses import dataclass, field, replace
 
+from repro.utils.env import env_str
+
 __all__ = [
     "TransportError",
     "WorkerSpec",
@@ -347,7 +349,10 @@ class LocalSubprocessTransport(Transport):
         self.env = dict(env or {})
 
     def _full_env(self, spec: WorkerSpec) -> dict[str, str]:
-        env = dict(os.environ)
+        # The local transport intentionally ships the coordinator's
+        # full environment; the worker-env *contract* (explicit extras
+        # only) is enforced one layer up in backends.py.
+        env = dict(os.environ)  # repro: noqa[REP003]
         env.update(self.env)
         env.update(spec.env)
         package_root = _repro_package_root()
@@ -359,7 +364,8 @@ class LocalSubprocessTransport(Transport):
 
     def start(self, spec: WorkerSpec) -> WorkerHandle:
         log_path = spec.workdir / spec.log_name
-        log_file = open(log_path, "w")
+        # Live Popen log sink, not an artifact: must be an open handle.
+        log_file = open(log_path, "w")  # repro: noqa[REP005]
         try:
             proc = subprocess.Popen(
                 chunk_worker_command(self.python, spec, str(spec.workdir)),
@@ -512,7 +518,8 @@ class SSHTransport(Transport):
                 f"(quarantined: {sorted(self.health.quarantined) or 'none'})",
             )
         log_path = spec.workdir / spec.log_name
-        log_file = open(log_path, "w")
+        # Live Popen log sink, not an artifact: must be an open handle.
+        log_file = open(log_path, "w")  # repro: noqa[REP005]
         command = (
             list(self.ssh_command) + list(self.ssh_options)
             + [host, self._remote_command(spec)]
@@ -772,7 +779,8 @@ class _ChaosWorkerHandle(WorkerHandle):
             return  # header plus one record: nothing mid-file to corrupt
         victim = len(lines) // 2 or 1
         lines[victim] = lines[victim][: max(4, len(lines[victim]) // 2)]
-        self.stream_path.write_text("\n".join(lines) + "\n")
+        # Chaos transport: the torn write is the point of this test hook.
+        self.stream_path.write_text("\n".join(lines) + "\n")  # repro: noqa[REP005]
 
     def kill(self) -> None:
         self._inner.kill()
@@ -815,7 +823,7 @@ def build_transport(
     if kind in (None, "local"):
         return None
     if kind == "ssh":
-        spec = hosts or os.environ.get("REPRO_HOSTS", "")
+        spec = hosts or env_str("REPRO_HOSTS", "")
         if not spec:
             raise ValueError(
                 "--transport ssh needs --hosts host1[,host2:N,...] "

@@ -21,7 +21,6 @@ rows usually hold unrelated data, as in a real co-located deployment.
 
 from __future__ import annotations
 
-import os
 from collections.abc import Sequence
 from dataclasses import dataclass
 
@@ -30,6 +29,7 @@ import numpy as np
 from repro.dram.address import RowAddress
 from repro.dram.controller import MemoryController
 from repro.nn.quant import BitLocation, QuantizedModel
+from repro.utils.env import env_str
 
 __all__ = ["RowSlot", "WeightLayout", "place_model"]
 
@@ -215,7 +215,7 @@ class WeightLayout:
         callers that mutated the model directly must request ``full``.
         """
         if full is None:
-            full = os.environ.get("REPRO_SYNC_MODE", "") == "full"
+            full = env_str("REPRO_SYNC_MODE", "") == "full"
         if full:
             self._sync_model_full()
         else:

@@ -26,12 +26,11 @@ graph, never the floating-point reduction order.
 
 from __future__ import annotations
 
-import os
-
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
 from repro.nn.tensor import Tensor, _unbroadcast, is_grad_enabled
+from repro.utils.env import env_flag
 
 __all__ = [
     "vectorized_default",
@@ -61,7 +60,7 @@ def vectorized_default() -> bool:
     vectorized path.  The ``repro bench`` harness uses the toggle to
     measure before/after on the same process.
     """
-    return os.environ.get(_VEC_ENV, "1") != "0"
+    return env_flag(_VEC_ENV, True)
 
 
 def _pair(value) -> tuple[int, int]:

@@ -17,10 +17,11 @@ matter).
 
 from __future__ import annotations
 
-import os
 import warnings
 
 import numpy as np
+
+from repro.utils.env import env_str
 
 __all__ = ["UnseededRngWarning", "fallback_rng"]
 
@@ -41,7 +42,7 @@ def fallback_rng(
     """
     if rng is not None:
         return rng
-    if os.environ.get("REPRO_ALLOW_UNSEEDED_RNG") != "1":
+    if env_str("REPRO_ALLOW_UNSEEDED_RNG") != "1":
         warnings.warn(
             f"{site}: no rng was supplied, falling back to OS-entropy "
             "randomness — results will not be reproducible. Thread a "

@@ -1,0 +1,38 @@
+"""Atomic file writes shared by every artifact/trace/baseline producer.
+
+One implementation of the tmp-file + ``os.replace`` pattern, so a crash
+(or kill) mid-write can never leave a truncated file behind and
+concurrent writers are last-writer-wins with every observable file state
+a complete document.  The ``repro lint`` rule REP005 treats this module
+as the sanctioned write path: ``open(..., "w")`` / ``write_text`` calls
+elsewhere in ``src/`` are findings unless justified with a pragma.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import pathlib
+import threading
+
+__all__ = ["atomic_write_text"]
+
+
+def atomic_write_text(path: str | pathlib.Path, text: str) -> None:
+    """Write ``text`` to ``path`` via tmp file + ``os.replace``.
+
+    The tmp name carries pid and thread id so concurrent writers never
+    clobber each other's partial output; the final rename is atomic on
+    POSIX (same directory), so readers — or a ``cmp`` in CI — observe
+    either the old complete file or the new complete file, never a mix.
+    """
+    path = pathlib.Path(path)
+    tmp = path.with_name(
+        f"{path.name}.{os.getpid()}-{threading.get_ident()}.tmp"
+    )
+    try:
+        tmp.write_text(text)
+        os.replace(tmp, path)
+    finally:
+        with contextlib.suppress(FileNotFoundError):
+            tmp.unlink()

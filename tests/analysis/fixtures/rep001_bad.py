@@ -1,0 +1,23 @@
+"""Fixture: REP001 violations — unseeded / global-state RNG."""
+import random
+
+import numpy as np
+
+
+def init_weights(shape):
+    rng = np.random.default_rng()  # expect[REP001]
+    return rng.normal(size=shape)
+
+
+def legacy_noise(n):
+    np.random.seed(0)  # expect[REP001]
+    return np.random.randn(n)  # expect[REP001]
+
+
+def pick(items):
+    coin = random.Random()  # expect[REP001]
+    return coin.choice(items)
+
+
+def sample_floats(n):
+    return [random.random() for _ in range(n)]  # expect[REP001]

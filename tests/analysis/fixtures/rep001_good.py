@@ -1,0 +1,20 @@
+"""Fixture: REP001-clean — seeded generators threaded explicitly."""
+import random
+
+import numpy as np
+
+
+def init_weights(shape, rng):
+    return rng.normal(size=shape)
+
+
+def make_rng(seed):
+    return np.random.default_rng(seed)
+
+
+def make_rng_kw(seed):
+    return np.random.default_rng(seed=seed)
+
+
+def pick(items, seed):
+    return random.Random(seed).choice(items)

@@ -1,0 +1,22 @@
+"""Fixture: REP002 violations — nondeterminism inside serialization."""
+import datetime
+import time
+import uuid
+
+
+class TrialRecord:
+    def __init__(self, metrics):
+        self.metrics = metrics
+
+    def to_json(self):
+        payload = dict(self.metrics)
+        payload["written_at"] = time.time()  # expect[REP002]
+        payload["id"] = str(uuid.uuid4())  # expect[REP002]
+        for tag in {"x", "y"}:  # expect[REP002]
+            payload[tag] = True
+        return payload
+
+    def save(self, path):
+        stamp = datetime.datetime.now()  # expect[REP002]
+        names = [t for t in {"m", "n"}]  # expect[REP002]
+        return stamp, names

@@ -1,0 +1,18 @@
+"""Fixture: REP002-clean — serialization derived from inputs only."""
+import time
+
+
+class TrialRecord:
+    def __init__(self, metrics, tags):
+        self.metrics = metrics
+        self.tags = set(tags)
+
+    def to_json(self):
+        payload = dict(self.metrics)
+        for tag in sorted(self.tags):
+            payload[tag] = True
+        return payload
+
+    def run(self):
+        started = time.time()  # timing outside a serialization path: fine
+        return started

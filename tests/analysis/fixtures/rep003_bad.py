@@ -1,0 +1,18 @@
+"""Fixture: REP003 violations — raw environment reads."""
+import os
+
+
+def cache_dir():
+    return os.environ["REPRO_CACHE_DIR"]  # expect[REP003]
+
+
+def results_dir():
+    return os.environ.get("REPRO_RESULTS_DIR", "")  # expect[REP003]
+
+
+def flag():
+    return os.getenv("REPRO_FLAG")  # expect[REP003]
+
+
+def snapshot():
+    return dict(os.environ)  # expect[REP003]

@@ -1,0 +1,16 @@
+"""Fixture: REP004 violation — hooks attached with no detach path."""
+
+
+class LeakyProbe:  # expect[REP004]
+    """Attaches to the controller and never lets go."""
+
+    def __init__(self, controller):
+        self.events = []
+        controller.register_activate_hook(self._on_activate)
+        controller.register_command_hook(self._on_command)
+
+    def _on_activate(self, event):
+        self.events.append(event)
+
+    def _on_command(self, event):
+        self.events.append(event)

@@ -1,0 +1,21 @@
+"""Fixture: REP004-clean — hook attach paired with close()/__exit__."""
+
+
+class TidyProbe:
+    def __init__(self, controller):
+        self.controller = controller
+        self.events = []
+        controller.register_activate_hook(self._on_activate)
+
+    def _on_activate(self, event):
+        self.events.append(event)
+
+    def close(self):
+        self.controller.unregister_activate_hook(self._on_activate)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False

@@ -1,0 +1,21 @@
+"""Fixture: REP005 violations — in-place writes that can tear."""
+import json
+import pathlib
+
+
+def dump_metrics(path: pathlib.Path, metrics: dict) -> None:
+    path.write_text(json.dumps(metrics))  # expect[REP005]
+
+
+def dump_blob(path: pathlib.Path, blob: bytes) -> None:
+    path.write_bytes(blob)  # expect[REP005]
+
+
+def dump_lines(path: pathlib.Path, lines) -> None:
+    with open(path, "w") as fh:  # expect[REP005]
+        fh.writelines(lines)
+
+
+def rewrite(path: pathlib.Path, text: str) -> None:
+    with path.open(mode="w") as fh:  # expect[REP005]
+        fh.write(text)

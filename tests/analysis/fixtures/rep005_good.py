@@ -1,0 +1,28 @@
+"""Fixture: REP005-clean — atomic writes and read-only opens."""
+import json
+import os
+import pathlib
+
+
+def atomic_write_text(path: pathlib.Path, text: str) -> None:
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        tmp.write_text(text)  # sanctioned: inside the atomic helper
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():
+            tmp.unlink()
+
+
+def dump_metrics(path, metrics):
+    atomic_write_text(path, json.dumps(metrics))
+
+
+def read_metrics(path):
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def read_explicit(path):
+    with open(path, "r") as fh:
+        return fh.read()

@@ -1,0 +1,22 @@
+"""Fixture: REP006 violations — float-order hazards."""
+import numpy as np
+
+
+def fast_contract(a, b):
+    return np.einsum("ij,jk->ik", a, b, optimize=True)  # expect[REP006]
+
+
+def greedy_contract(a, b):
+    return np.einsum("ij,jk->ik", a, b, optimize="greedy")  # expect[REP006]
+
+
+def dot(a, b):
+    return np.tensordot(a, b, axes=1)  # expect[REP006]
+
+
+def total(values):
+    return sum({v * v for v in values})  # expect[REP006]
+
+
+def total_gen():
+    return sum(v for v in {1.0, 2.0, 3.0})  # expect[REP006]

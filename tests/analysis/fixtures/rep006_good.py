@@ -1,0 +1,18 @@
+"""Fixture: REP006-clean — reference-order contractions only."""
+import numpy as np
+
+
+def contract(a, b):
+    return np.einsum("ij,jk->ik", a, b)
+
+
+def contract_explicit(a, b):
+    return np.einsum("ij,jk->ik", a, b, optimize=False)
+
+
+def total(values):
+    return sum(sorted(values))
+
+
+def total_list(values):
+    return sum(values)

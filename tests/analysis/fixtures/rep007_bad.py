@@ -1,0 +1,11 @@
+"""Fixture: REP007 violations — fork-unsafe module state."""
+import collections
+
+cache = {}  # expect[REP007]
+pending = []  # expect[REP007]
+by_kind = collections.defaultdict(list)  # expect[REP007]
+
+
+def remember(key, value):
+    global cache  # expect[REP007]
+    cache[key] = value

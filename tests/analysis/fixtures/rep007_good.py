@@ -1,0 +1,11 @@
+"""Fixture: REP007-clean — import-time registries, immutable globals."""
+
+REGISTRY = {}
+_DEFAULTS = {"trials": 32}
+__all__ = ["REGISTRY", "lookup"]
+
+limit = 8  # immutable module constant: fine
+
+
+def lookup(name):
+    return REGISTRY.get(name)

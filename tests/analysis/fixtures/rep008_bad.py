@@ -1,0 +1,17 @@
+"""Fixture: REP008 violations — scenario trial fns off-contract."""
+import json
+
+from repro.experiments import scenario
+
+
+@scenario("fixture-unseeded", trials=4)
+def unseeded_trial(ctx):  # expect[REP008]
+    return {"accuracy": 0.5}
+
+
+@scenario("fixture-direct-write", trials=4)
+def writing_trial(ctx):
+    rng = ctx.rng("noise")
+    value = float(rng.normal())
+    ctx.params["out"].write_text(json.dumps({"value": value}))  # expect[REP008]
+    return {"value": value}

@@ -1,0 +1,23 @@
+"""Fixture: REP008-clean — seeded trials, runner-owned artifacts."""
+
+from repro.experiments import scenario
+
+
+@scenario("fixture-seeded", trials=4)
+def seeded_trial(ctx):
+    rng = ctx.rng("trial")
+    return {"value": float(rng.normal())}
+
+
+@scenario("fixture-deterministic", trials=1, deterministic=True)
+def deterministic_trial(ctx):
+    return {"value": 1.0}
+
+
+@scenario("fixture-delegated", trials=2)
+def delegated_trial(ctx):
+    return run_body(ctx)
+
+
+def run_body(ctx):
+    return {"seed": ctx.seed}

@@ -1,0 +1,301 @@
+"""Engine/registry/CLI behaviour of ``repro lint``.
+
+Covers the pieces the fixture corpus does not: registry invariants,
+pragma parsing edge cases, baseline round-trips, select/ignore
+filtering, fingerprint stability under line drift, the CLI surface and
+the pinned JSON schema (the future run-database service ingests it).
+"""
+
+import ast
+import json
+
+import pytest
+
+from repro.analysis.lint import (
+    Baseline,
+    Pragmas,
+    run_lint,
+    to_json_text,
+)
+from repro.analysis.lint.registry import (
+    LintRule,
+    get_rule,
+    iter_rules,
+    path_is_exempt,
+    register,
+    rule_ids,
+    unregister,
+)
+from repro.cli import main
+
+
+# --------------------------------------------------------------------- #
+# registry
+# --------------------------------------------------------------------- #
+
+def test_rule_ids_sorted_and_complete():
+    ids = rule_ids()
+    assert ids == sorted(ids)
+    assert ids == [f"REP{n:03d}" for n in range(1, 9)]
+
+
+def test_rules_carry_docs_metadata():
+    for spec in iter_rules():
+        assert spec.name and spec.summary and spec.hint
+        assert spec.rationale, f"{spec.id} must cite the bug class it codifies"
+
+
+def test_unknown_rule_raises_with_catalogue():
+    with pytest.raises(KeyError, match="REP001"):
+        get_rule("REP999")
+
+
+def test_register_rejects_bad_id_and_duplicates():
+    spec = LintRule(
+        id="REP900", name="t", summary="t", hint="t",
+        check=lambda ctx: iter(()),
+    )
+    register(spec)
+    try:
+        with pytest.raises(ValueError, match="already registered"):
+            register(spec)
+    finally:
+        unregister("REP900")
+    with pytest.raises(ValueError, match="REP"):
+        register(
+            LintRule(id="X1", name="t", summary="t", hint="t",
+                     check=lambda ctx: iter(()))
+        )
+
+
+def test_path_is_exempt_matches_segment_suffix_only():
+    spec = LintRule(
+        id="REP901", name="t", summary="t", hint="t",
+        check=lambda ctx: iter(()), exempt=("cli.py", "nn/seeding.py"),
+    )
+    assert path_is_exempt("src/repro/cli.py", spec)
+    assert path_is_exempt("cli.py", spec)
+    assert path_is_exempt("src/repro/nn/seeding.py", spec)
+    assert not path_is_exempt("tools/mycli.py", spec)
+    assert not path_is_exempt("src/repro/nn/other.py", spec)
+
+
+# --------------------------------------------------------------------- #
+# pragmas
+# --------------------------------------------------------------------- #
+
+def test_line_pragma_scopes_to_listed_rules():
+    pragmas = Pragmas.scan(["x = 1  # repro: noqa[REP001, REP005]"])
+    assert pragmas.suppresses(1, "REP001")
+    assert pragmas.suppresses(1, "REP005")
+    assert not pragmas.suppresses(1, "REP003")
+    assert not pragmas.suppresses(2, "REP001")
+
+
+def test_bare_pragma_waives_every_rule_on_that_line():
+    pragmas = Pragmas.scan(["x = 1  # repro: noqa"])
+    assert pragmas.suppresses(1, "REP001")
+    assert pragmas.suppresses(1, "REP008")
+
+
+def test_file_pragma_waives_rule_everywhere():
+    pragmas = Pragmas.scan(["# repro: noqa-file[REP007]", "x = 1"])
+    assert pragmas.suppresses(99, "REP007")
+    assert not pragmas.suppresses(99, "REP001")
+
+
+# --------------------------------------------------------------------- #
+# baseline round-trip + fingerprint stability
+# --------------------------------------------------------------------- #
+
+BAD_SNIPPET = (
+    "import os\n"
+    "\n"
+    "def cache_dir():\n"
+    '    return os.environ["REPRO_CACHE_DIR"]\n'
+)
+
+
+def test_baseline_save_load_round_trip(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text(BAD_SNIPPET)
+    report = run_lint([target], root=tmp_path, select=["REP003"])
+    assert len(report.findings) == 1
+    base_path = tmp_path / "baseline.json"
+    Baseline.from_findings(report.findings).save(base_path)
+    reloaded = Baseline.load(base_path)
+    again = run_lint(
+        [target], root=tmp_path, select=["REP003"], baseline=reloaded
+    )
+    assert again.findings == []
+    assert again.baselined == 1
+
+
+def test_baseline_load_rejects_wrong_version(tmp_path):
+    bad = tmp_path / "baseline.json"
+    bad.write_text(json.dumps({"version": 99, "findings": {}}))
+    with pytest.raises(ValueError, match="version"):
+        Baseline.load(bad)
+
+
+def test_missing_baseline_file_loads_empty(tmp_path):
+    base = Baseline.load(tmp_path / "absent.json")
+    assert base.fingerprints == {}
+
+
+def test_fingerprint_survives_line_drift(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text(BAD_SNIPPET)
+    before = run_lint([target], root=tmp_path, select=["REP003"])
+    target.write_text("# an unrelated comment above\n" + BAD_SNIPPET)
+    after = run_lint([target], root=tmp_path, select=["REP003"])
+    assert before.findings[0].line != after.findings[0].line
+    assert before.findings[0].fingerprint == after.findings[0].fingerprint
+
+
+def test_duplicate_lines_get_distinct_fingerprints(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text(
+        "import os\n"
+        'a = os.getenv("X")\n'
+        'a = os.getenv("X")\n'
+    )
+    report = run_lint([target], root=tmp_path, select=["REP003"])
+    prints = [f.fingerprint for f in report.findings]
+    assert len(prints) == 2
+    assert len(set(prints)) == 2
+
+
+# --------------------------------------------------------------------- #
+# select / ignore / parse errors
+# --------------------------------------------------------------------- #
+
+def test_select_and_ignore_filter_rules(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text(
+        "import os\n"
+        "cache = {}\n"
+        'a = os.getenv("X")\n'
+    )
+    everything = run_lint([target], root=tmp_path)
+    assert {f.rule for f in everything.findings} == {"REP003", "REP007"}
+    only_env = run_lint([target], root=tmp_path, select=["REP003"])
+    assert {f.rule for f in only_env.findings} == {"REP003"}
+    no_env = run_lint([target], root=tmp_path, ignore=["REP003"])
+    assert {f.rule for f in no_env.findings} == {"REP007"}
+
+
+def test_syntax_error_is_reported_not_raised(tmp_path):
+    target = tmp_path / "broken.py"
+    target.write_text("def oops(:\n")
+    report = run_lint([target], root=tmp_path)
+    assert report.findings == []
+    assert len(report.parse_errors) == 1
+    assert "broken.py" in report.parse_errors[0]
+
+
+# --------------------------------------------------------------------- #
+# CLI
+# --------------------------------------------------------------------- #
+
+def test_cli_exit_codes_and_text_output(tmp_path, capsys):
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text(BAD_SNIPPET)
+    clean = tmp_path / "clean.py"
+    clean.write_text("VALUE = 1\n")
+    assert main(["lint", str(clean), "--baseline", "none"]) == 0
+    assert main(["lint", str(dirty), "--baseline", "none"]) == 1
+    out = capsys.readouterr().out
+    assert "REP003" in out
+    assert "hint:" in out
+
+
+def test_cli_select_and_list_rules(tmp_path, capsys):
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text(BAD_SNIPPET)
+    assert main(
+        ["lint", str(dirty), "--select", "REP001", "--baseline", "none"]
+    ) == 0
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    assert "unseeded-rng" in out and "REP008" in out
+
+
+def test_cli_write_baseline_then_green(tmp_path, capsys):
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text(BAD_SNIPPET)
+    base = tmp_path / "baseline.json"
+    assert main(
+        ["lint", str(dirty), "--baseline", str(base), "--write-baseline"]
+    ) == 0
+    assert base.exists()
+    # Grandfathered finding: gated run is green; dropping the baseline
+    # resurfaces it.
+    assert main(["lint", str(dirty), "--baseline", str(base)]) == 0
+    capsys.readouterr()
+    assert main(["lint", str(dirty), "--baseline", "none"]) == 1
+
+
+def test_cli_stats_output(tmp_path, capsys):
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text(BAD_SNIPPET)
+    assert main(
+        ["lint", str(dirty), "--baseline", "none", "--stats"]
+    ) == 1
+    out = capsys.readouterr().out
+    assert "findings per rule" in out
+    assert "findings per package" in out
+
+
+# --------------------------------------------------------------------- #
+# JSON schema (pinned)
+# --------------------------------------------------------------------- #
+
+def test_json_schema_is_stable(tmp_path, capsys):
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text(BAD_SNIPPET)
+    assert main(
+        ["lint", str(dirty), "--format", "json", "--baseline", "none"]
+    ) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert set(payload) == {
+        "version", "tool", "files_checked", "findings", "stats",
+        "parse_errors",
+    }
+    assert payload["version"] == 1
+    assert payload["tool"] == "repro-lint"
+    assert payload["files_checked"] == 1
+    (finding,) = payload["findings"]
+    assert set(finding) == {
+        "path", "line", "col", "rule", "message", "hint", "fingerprint",
+    }
+    assert finding["rule"] == "REP003"
+    assert finding["line"] == 4 and finding["col"] >= 1
+    assert set(payload["stats"]) == {
+        "total", "by_rule", "by_package", "suppressed", "baselined",
+        "files_checked",
+    }
+    assert payload["stats"]["by_rule"] == {"REP003": 1}
+
+
+def test_to_json_text_is_deterministic(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text(BAD_SNIPPET)
+    first = to_json_text(run_lint([target], root=tmp_path))
+    second = to_json_text(run_lint([target], root=tmp_path))
+    assert first == second
+    assert first.endswith("\n")
+
+
+def test_rules_are_pure_ast_checks(tmp_path):
+    # Sanity: the engine must never import/execute the analyzed file.
+    target = tmp_path / "sideeffect.py"
+    marker = tmp_path / "ran.txt"
+    target.write_text(
+        "import pathlib\n"
+        f"pathlib.Path({str(marker)!r}).write_text('ran')"
+        "  # repro: noqa[REP005]\n"
+    )
+    run_lint([target], root=tmp_path)
+    assert not marker.exists()
+    assert isinstance(ast.parse(target.read_text()), ast.Module)

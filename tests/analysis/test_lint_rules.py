@@ -1,0 +1,99 @@
+"""Per-rule fixture corpus: bad fixtures fire, good twins stay silent.
+
+Each ``repNNN_bad.py`` fixture marks every line expected to produce a
+finding with a trailing ``# expect[REPNNN]`` comment; the tests parse
+the markers and compare them against the engine's actual diagnostics,
+so a rule that drifts (fires elsewhere, or goes quiet) fails loudly.
+"""
+
+import pathlib
+import re
+
+import pytest
+
+from repro.analysis.lint import run_lint
+from repro.analysis.lint.registry import rule_ids
+from repro.analysis.lint.suppress import Baseline
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+RULES = [f"REP{n:03d}" for n in range(1, 9)]
+
+_MARKER = re.compile(r"#\s*expect\[(REP\d{3})\]")
+
+
+def expected_lines(path: pathlib.Path, rule_id: str) -> list[int]:
+    lines = []
+    for lineno, text in enumerate(path.read_text().splitlines(), start=1):
+        match = _MARKER.search(text)
+        if match and match.group(1) == rule_id:
+            lines.append(lineno)
+    return lines
+
+
+def test_corpus_covers_every_registered_rule():
+    assert rule_ids() == RULES
+    for rule_id in RULES:
+        assert (FIXTURES / f"{rule_id.lower()}_bad.py").exists()
+        assert (FIXTURES / f"{rule_id.lower()}_good.py").exists()
+
+
+@pytest.mark.parametrize("rule_id", RULES)
+def test_bad_fixture_fires_on_marked_lines(rule_id):
+    path = FIXTURES / f"{rule_id.lower()}_bad.py"
+    report = run_lint([path], root=FIXTURES, select=[rule_id])
+    assert report.parse_errors == []
+    want = expected_lines(path, rule_id)
+    assert want, f"{path.name} has no expect[{rule_id}] markers"
+    got = sorted(finding.line for finding in report.findings)
+    assert got == want
+    for finding in report.findings:
+        assert finding.rule == rule_id
+        assert finding.hint  # every rule must ship a fix hint
+        assert finding.fingerprint
+
+
+@pytest.mark.parametrize("rule_id", RULES)
+def test_good_fixture_is_silent(rule_id):
+    path = FIXTURES / f"{rule_id.lower()}_good.py"
+    report = run_lint([path], root=FIXTURES, select=[rule_id])
+    assert report.parse_errors == []
+    assert [f.format_text() for f in report.findings] == []
+
+
+@pytest.mark.parametrize("rule_id", RULES)
+def test_noqa_pragma_suppresses_each_finding(rule_id, tmp_path):
+    source = FIXTURES / f"{rule_id.lower()}_bad.py"
+    lines = source.read_text().splitlines()
+    marked = expected_lines(source, rule_id)
+    for lineno in marked:
+        lines[lineno - 1] += f"  # repro: noqa[{rule_id}]"
+    patched = tmp_path / source.name
+    patched.write_text("\n".join(lines) + "\n")
+    report = run_lint([patched], root=tmp_path, select=[rule_id])
+    assert report.findings == []
+    assert report.suppressed == len(marked)
+
+
+@pytest.mark.parametrize("rule_id", RULES)
+def test_file_pragma_suppresses_whole_file(rule_id, tmp_path):
+    source = FIXTURES / f"{rule_id.lower()}_bad.py"
+    patched = tmp_path / source.name
+    patched.write_text(
+        f"# repro: noqa-file[{rule_id}]\n" + source.read_text()
+    )
+    report = run_lint([patched], root=tmp_path, select=[rule_id])
+    assert report.findings == []
+    assert report.suppressed == len(expected_lines(source, rule_id))
+
+
+@pytest.mark.parametrize("rule_id", RULES)
+def test_baseline_grandfathers_each_finding(rule_id):
+    path = FIXTURES / f"{rule_id.lower()}_bad.py"
+    first = run_lint([path], root=FIXTURES, select=[rule_id])
+    baseline = Baseline.from_findings(first.findings)
+    second = run_lint(
+        [path], root=FIXTURES, select=[rule_id], baseline=baseline
+    )
+    assert second.findings == []
+    assert second.baselined == len(first.findings)

@@ -1,0 +1,41 @@
+"""The repo lints itself clean: ``repro lint src/`` has no live findings.
+
+This is the regression gate behind the CI ``lint`` job: every REP rule
+ran over every file under ``src/repro`` must come back empty after the
+committed baseline (grandfathered findings) is applied. A new violation
+anywhere in ``src/`` fails this test with the full diagnostic text.
+"""
+
+from repro.analysis.lint import repo_root, run_lint
+
+
+def _lint_src():
+    root = repo_root()
+    baseline = root / "lint-baseline.json"
+    return run_lint(
+        [root / "src"],
+        root=root,
+        baseline=baseline if baseline.exists() else None,
+    )
+
+
+def test_src_tree_has_no_live_findings():
+    report = _lint_src()
+    assert report.parse_errors == []
+    rendered = "\n".join(f.format_text() for f in report.findings)
+    assert report.findings == [], f"new lint findings:\n{rendered}"
+
+
+def test_src_tree_was_actually_scanned():
+    report = _lint_src()
+    # The analyzer must really have walked the tree — guard against a
+    # silently-empty discovery making the gate vacuous.
+    assert report.files_checked > 80
+
+
+def test_baseline_is_not_a_dumping_ground():
+    # The committed baseline exists to ramp new rules in, not to bury
+    # violations forever; keep it empty-or-tiny and force a conscious
+    # review when it grows.
+    report = _lint_src()
+    assert report.baselined <= 5
