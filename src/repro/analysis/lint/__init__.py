@@ -5,15 +5,19 @@ the rest of this repo can only spot-check at runtime: seeded RNG
 everywhere (REP001), byte-stable serialization (REP002), the worker-env
 contract (REP003), hook hygiene (REP004), atomic artifact writes
 (REP005), float-order discipline (REP006), fork-safe module state
-(REP007) and the scenario-registration contract (REP008).
+(REP007) and the scenario-registration contract (REP008) — plus, under
+``--flow``, the whole-program REP1xx tier (seed provenance REP101, env
+flow REP102, fork-safety races REP103, unchecked hook flow REP104) run
+over a conservative call graph of the scanned tree.
 
 Entry points::
 
     python -m repro lint [paths] [--format text|json] [--select/--ignore]
-                         [--baseline FILE] [--stats]
+                         [--baseline FILE] [--stats] [--flow]
+    python -m repro lint graph repro.experiments.runner.run_scenario
 
     from repro.analysis.lint import run_lint
-    report = run_lint(["src/repro"])
+    report = run_lint(["src/repro"], flow=True)
 
 Suppress a reviewed, intentional violation in place::
 
@@ -27,6 +31,7 @@ from repro.analysis.lint.engine import (
     FileContext,
     Finding,
     LintReport,
+    build_index,
     repo_root,
     run_lint,
 )
@@ -38,7 +43,9 @@ from repro.analysis.lint.registry import (
     rule_ids,
 )
 from repro.analysis.lint.report import (
+    format_dead_suppressions,
     format_findings,
+    format_graph,
     format_rules,
     format_stats,
     to_json_text,
@@ -51,6 +58,7 @@ __all__ = [
     "LintReport",
     "repo_root",
     "run_lint",
+    "build_index",
     "LintRule",
     "get_rule",
     "iter_rules",
@@ -59,6 +67,8 @@ __all__ = [
     "format_findings",
     "format_rules",
     "format_stats",
+    "format_graph",
+    "format_dead_suppressions",
     "to_json_text",
     "Baseline",
     "Pragmas",

@@ -1,0 +1,545 @@
+"""Pass 1 of the whole-program analyzer: the project index.
+
+``repro lint --flow`` runs in two passes.  This module is the first:
+it digests every parsed :class:`repro.analysis.lint.engine.FileContext`
+into a :class:`ProjectIndex` — per-module symbol tables (functions,
+classes with resolved base chains, module-level assignments), import
+resolution across modules (including re-exports through ``__init__``
+packages), and a *conservative* call graph over every function def in
+the scanned tree.
+
+Conservatism is one-sided by design: an edge is only added when the
+callee resolves statically (a local or module-level def, an imported
+name, a ``self``/``cls`` method through the class MRO, or a method on a
+local variable whose class was inferred from a straight-line
+constructor assignment).  Dynamic dispatch — ``getattr`` calls, calls
+through parameters, callables stored in containers — is
+over-approximated to *no edge* and counted per function in
+:attr:`ProjectIndex.unresolved`, which ``--stats`` reports so the blind
+spot stays measured rather than silent.  The documented escape hatch
+for entry points the graph cannot see is the
+``# repro: flow-entry[...]`` pragma (see
+:mod:`repro.analysis.lint.flow_rules`).
+
+Module bodies are indexed as pseudo-functions (``pkg.mod.<module>``) so
+import-time calls participate in reachability, but they are excluded
+from the "every function def has a node" guarantee and from the
+function count in ``--stats``.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.analysis.lint.engine import FileContext
+
+__all__ = [
+    "module_name",
+    "iter_scope",
+    "FunctionInfo",
+    "ClassInfo",
+    "ModuleInfo",
+    "CallSite",
+    "ProjectIndex",
+]
+
+MODULE_BODY = "<module>"
+
+# Resolution kinds a call site can land on.
+PROJECT = "project"       # a function def in the scanned tree
+CLASS = "class"           # instantiation of a scanned class
+EXTERNAL = "external"     # resolved dotted name outside the project
+UNRESOLVED = "unresolved"  # dynamic dispatch: no edge, counted
+
+
+def module_name(relpath: str) -> str:
+    """Dotted module name for a repo-relative posix path.
+
+    ``src/repro/experiments/runner.py`` → ``repro.experiments.runner``;
+    a package ``__init__.py`` names the package itself.  Trees scanned
+    from other roots (fixtures, tmp dirs) drop only a leading ``src``.
+    """
+    parts = relpath.split("/")
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) or "<root>"
+
+
+def iter_scope(body: Iterable[ast.stmt]) -> Iterator[ast.AST]:
+    """Preorder walk of one scope, not descending into nested defs/classes.
+
+    The nested ``def``/``class`` *statements* themselves are yielded (so
+    a collector can register them) but their bodies belong to their own
+    scope.  Lambdas stay in the enclosing scope: they share its locals
+    and are never call-graph nodes of their own.
+    """
+    stack = list(body)[::-1]
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            continue
+        stack.extend(list(ast.iter_child_nodes(node))[::-1])
+
+
+@dataclass
+class FunctionInfo:
+    """One call-graph node: a function/method def, or a module body."""
+
+    qualname: str
+    module: str
+    relpath: str
+    node: ast.AST  # FunctionDef/AsyncFunctionDef, or ast.Module for bodies
+    ctx: FileContext
+    class_qualname: str | None = None  # owning class for methods
+    parent: str | None = None  # enclosing function qualname (nested defs)
+    decorators: tuple[str, ...] = ()  # resolved decorator names
+    is_module_body: bool = False
+    nested: dict[str, str] = field(default_factory=dict)  # name -> qualname
+
+    @property
+    def name(self) -> str:
+        return self.qualname.rsplit(".", 1)[1]
+
+    @property
+    def lineno(self) -> int:
+        return getattr(self.node, "lineno", 1)
+
+    def body(self) -> list[ast.stmt]:
+        return self.node.body
+
+    def scope(self) -> Iterator[ast.AST]:
+        """All nodes belonging to this function's own scope."""
+        return iter_scope(self.body())
+
+
+@dataclass
+class ClassInfo:
+    """A scanned class: direct methods plus resolved project bases."""
+
+    qualname: str
+    module: str
+    node: ast.ClassDef
+    ctx: FileContext
+    methods: dict[str, str] = field(default_factory=dict)
+    bases: tuple[str, ...] = ()  # project base class qualnames (resolved)
+
+
+@dataclass
+class ModuleInfo:
+    """Per-module symbol table."""
+
+    name: str
+    relpath: str
+    ctx: FileContext
+    body_qualname: str = ""
+    functions: dict[str, str] = field(default_factory=dict)  # top-level name -> qualname
+    classes: dict[str, str] = field(default_factory=dict)  # top-level name -> class qualname
+    assigns: dict[str, ast.stmt] = field(default_factory=dict)  # module-level name -> stmt
+
+
+@dataclass
+class CallSite:
+    """One resolved-or-not call expression inside a function scope."""
+
+    caller: str
+    kind: str  # PROJECT / CLASS / EXTERNAL / UNRESOLVED
+    target: str | None
+    node: ast.Call
+
+
+class ProjectIndex:
+    """The whole-program index: symbols, imports, call graph."""
+
+    def __init__(self) -> None:
+        self.modules: dict[str, ModuleInfo] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        self.callees: dict[str, list[str]] = {}
+        self.callers: dict[str, list[str]] = {}
+        self.external_calls: dict[str, list[str]] = {}
+        self.unresolved: dict[str, int] = {}
+        self.call_sites: list[CallSite] = []
+        self.facts_cache: dict = {}  # flow_rules memoizes analyses here
+        self._local_types: dict[str, dict[str, str]] = {}
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def build(cls, contexts: Iterable[FileContext]) -> "ProjectIndex":
+        index = cls()
+        ordered = sorted(contexts, key=lambda c: c.relpath)
+        for ctx in ordered:
+            index._collect_module(ctx)
+        index._resolve_class_bases()
+        for qualname in sorted(index.functions):
+            index._collect_edges(index.functions[qualname])
+        for qualname, targets in index.callees.items():
+            index.callees[qualname] = sorted(set(targets))
+        for qualname, targets in index.external_calls.items():
+            index.external_calls[qualname] = sorted(set(targets))
+        index.callers = _invert(index.callees)
+        return index
+
+    def _collect_module(self, ctx: FileContext) -> None:
+        mod_name = module_name(ctx.relpath)
+        if mod_name in self.modules:
+            # Two roots mapping onto one dotted name (e.g. scanning both
+            # a tree and a copy): keep the first, the rest stay visible
+            # through their own file contexts only.
+            return
+        mod = ModuleInfo(name=mod_name, relpath=ctx.relpath, ctx=ctx)
+        self.modules[mod_name] = mod
+        body_qual = self._unique_function(f"{mod_name}.{MODULE_BODY}")
+        mod.body_qualname = body_qual
+        self.functions[body_qual] = FunctionInfo(
+            qualname=body_qual, module=mod_name, relpath=ctx.relpath,
+            node=ctx.tree, ctx=ctx, is_module_body=True,
+        )
+        for stmt in ctx.tree.body:
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        mod.assigns.setdefault(target.id, stmt)
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                if isinstance(stmt.target, ast.Name):
+                    mod.assigns.setdefault(stmt.target.id, stmt)
+        self._collect_scope(mod, ctx, ctx.tree.body, prefix=mod_name,
+                            class_qual=None, owner=body_qual, top_level=True)
+
+    def _collect_scope(
+        self,
+        mod: ModuleInfo,
+        ctx: FileContext,
+        body: list[ast.stmt],
+        *,
+        prefix: str,
+        class_qual: str | None,
+        owner: str,
+        top_level: bool,
+    ) -> None:
+        for node in iter_scope(body):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = self._unique_function(f"{prefix}.{node.name}")
+                owner_fn = self.functions[owner]
+                info = FunctionInfo(
+                    qualname=qual, module=mod.name, relpath=ctx.relpath,
+                    node=node, ctx=ctx, class_qualname=class_qual,
+                    parent=None if owner_fn.is_module_body else owner,
+                    decorators=_decorator_names(node, ctx),
+                )
+                self.functions[qual] = info
+                if class_qual is not None:
+                    cls_info = self.classes[class_qual]
+                    cls_info.methods.setdefault(node.name, qual)
+                elif top_level:
+                    mod.functions.setdefault(node.name, qual)
+                else:
+                    # Nested def: callable by name from the enclosing
+                    # function; record a defines-edge so its body stays
+                    # reachable even when only passed as a callback.
+                    owner_fn.nested.setdefault(node.name, qual)
+                    self.callees.setdefault(owner, []).append(qual)
+                self._collect_scope(
+                    mod, ctx, node.body, prefix=qual, class_qual=None,
+                    owner=qual, top_level=False,
+                )
+            elif isinstance(node, ast.ClassDef):
+                cqual = self._unique_class(f"{prefix}.{node.name}")
+                self.classes[cqual] = ClassInfo(
+                    qualname=cqual, module=mod.name, node=node, ctx=ctx,
+                )
+                if top_level:
+                    mod.classes.setdefault(node.name, cqual)
+                self._collect_scope(
+                    mod, ctx, node.body, prefix=cqual, class_qual=cqual,
+                    owner=owner, top_level=False,
+                )
+
+    def _unique_function(self, qual: str) -> str:
+        return _unique_key(self.functions, qual)
+
+    def _unique_class(self, qual: str) -> str:
+        return _unique_key(self.classes, qual)
+
+    def _resolve_class_bases(self) -> None:
+        for cqual in sorted(self.classes):
+            info = self.classes[cqual]
+            resolved = []
+            for base in info.node.bases:
+                target = self._resolve_class_expr(info.ctx, info.module, base)
+                if target is not None:
+                    resolved.append(target)
+            info.bases = tuple(resolved)
+
+    def _resolve_class_expr(
+        self, ctx: FileContext, module: str, expr: ast.AST
+    ) -> str | None:
+        """A base-class (or constructor-name) expression → class qualname."""
+        if isinstance(expr, ast.Name):
+            mod = self.modules[module]
+            if expr.id in mod.classes:
+                return mod.classes[expr.id]
+            dotted = ctx.imports.get(expr.id)
+            if dotted is not None:
+                kind, target = self._resolve_dotted(dotted)
+                if kind == CLASS:
+                    return target
+            return None
+        if isinstance(expr, ast.Attribute):
+            dotted = ctx.qualname(expr)
+            if dotted is not None:
+                kind, target = self._resolve_dotted(dotted)
+                if kind == CLASS:
+                    return target
+        return None
+
+    # ------------------------------------------------------------------ #
+    # resolution
+    # ------------------------------------------------------------------ #
+
+    def _resolve_dotted(self, dotted: str, depth: int = 0) -> tuple[str, str | None]:
+        """A dotted import-qualified name → (kind, target)."""
+        if depth > 8:
+            return EXTERNAL, dotted
+        parts = dotted.split(".")
+        for i in range(len(parts) - 1, 0, -1):
+            mod = self.modules.get(".".join(parts[:i]))
+            if mod is not None:
+                return self._resolve_in_module(mod, parts[i:], depth)
+        return EXTERNAL, dotted
+
+    def _resolve_in_module(
+        self, mod: ModuleInfo, rest: list[str], depth: int
+    ) -> tuple[str, str | None]:
+        head = rest[0]
+        if len(rest) == 1:
+            if head in mod.functions:
+                return PROJECT, mod.functions[head]
+            if head in mod.classes:
+                return CLASS, mod.classes[head]
+            if head in mod.ctx.imports:  # re-export chain
+                return self._resolve_dotted(mod.ctx.imports[head], depth + 1)
+            return UNRESOLVED, None
+        if head in mod.classes and len(rest) == 2:
+            target = self.method_lookup(mod.classes[head], rest[1])
+            if target is not None:
+                return PROJECT, target
+            return UNRESOLVED, None
+        if head in mod.ctx.imports:
+            tail = ".".join([mod.ctx.imports[head]] + rest[1:])
+            return self._resolve_dotted(tail, depth + 1)
+        return UNRESOLVED, None
+
+    def method_lookup(self, class_qual: str, name: str,
+                      _seen: frozenset = frozenset()) -> str | None:
+        """Resolve a method through the class and its project bases."""
+        if class_qual in _seen:
+            return None
+        info = self.classes.get(class_qual)
+        if info is None:
+            return None
+        if name in info.methods:
+            return info.methods[name]
+        for base in info.bases:
+            found = self.method_lookup(base, name, _seen | {class_qual})
+            if found is not None:
+                return found
+        return None
+
+    def local_class_types(self, fn: FunctionInfo) -> dict[str, str]:
+        """Local name → class qualname, from straight-line constructors.
+
+        ``x = TimingChecker(...)`` (or ``with CommandTrace(...) as x:``)
+        types ``x`` for method resolution and hook-flow analysis; any
+        fancier flow leaves the variable untyped (no edge, counted).
+        """
+        cached = self._local_types.get(fn.qualname)
+        if cached is not None:
+            return cached
+        types: dict[str, str] = {}
+        if not fn.is_module_body:
+            for node in fn.scope():
+                if (
+                    isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                ):
+                    cqual = self.class_of_call(fn, node.value)
+                    if cqual is not None:
+                        types[node.targets[0].id] = cqual
+                elif isinstance(node, (ast.With, ast.AsyncWith)):
+                    for item in node.items:
+                        if isinstance(item.optional_vars, ast.Name):
+                            cqual = self.class_of_call(fn, item.context_expr)
+                            if cqual is not None:
+                                types[item.optional_vars.id] = cqual
+        self._local_types[fn.qualname] = types
+        return types
+
+    def class_of_call(self, fn: FunctionInfo, expr: ast.AST) -> str | None:
+        """The project class an expression instantiates, if resolvable."""
+        if not isinstance(expr, ast.Call):
+            return None
+        return self._resolve_class_expr(fn.ctx, fn.module, expr.func)
+
+    def resolve_call(self, fn: FunctionInfo, call: ast.Call) -> tuple[str, str | None]:
+        """Resolve one call site to (kind, target qualname)."""
+        func = call.func
+        if isinstance(func, ast.Name):
+            name = func.id
+            walker: FunctionInfo | None = fn
+            while walker is not None:
+                if name in walker.nested:
+                    return PROJECT, walker.nested[name]
+                walker = (
+                    self.functions.get(walker.parent)
+                    if walker.parent is not None else None
+                )
+            mod = self.modules[fn.module]
+            if name in mod.functions:
+                return PROJECT, mod.functions[name]
+            if name in mod.classes:
+                return CLASS, mod.classes[name]
+            dotted = fn.ctx.imports.get(name)
+            if dotted is not None:
+                return self._resolve_dotted(dotted)
+            if hasattr(builtins, name):
+                return EXTERNAL, f"builtins.{name}"
+            return UNRESOLVED, None
+        if isinstance(func, ast.Attribute):
+            dotted = fn.ctx.qualname(func)
+            if dotted is not None:
+                return self._resolve_dotted(dotted)
+            if isinstance(func.value, ast.Name):
+                receiver = func.value.id
+                class_qual: str | None = None
+                if fn.class_qualname is not None and not fn.is_module_body:
+                    args = fn.node.args
+                    first = args.posonlyargs + args.args
+                    if first and receiver == first[0].arg:
+                        class_qual = fn.class_qualname
+                if class_qual is None:
+                    class_qual = self.local_class_types(fn).get(receiver)
+                if class_qual is not None:
+                    target = self.method_lookup(class_qual, func.attr)
+                    if target is not None:
+                        return PROJECT, target
+            return UNRESOLVED, None
+        return UNRESOLVED, None
+
+    # ------------------------------------------------------------------ #
+    # edges
+    # ------------------------------------------------------------------ #
+
+    def _collect_edges(self, fn: FunctionInfo) -> None:
+        scope = (
+            iter_scope(fn.node.body) if not fn.is_module_body
+            else iter_scope(fn.ctx.tree.body)
+        )
+        for node in scope:
+            if not isinstance(node, ast.Call):
+                continue
+            kind, target = self.resolve_call(fn, node)
+            if kind == CLASS and target is not None:
+                init = self.method_lookup(target, "__init__")
+                if init is not None:
+                    self.callees.setdefault(fn.qualname, []).append(init)
+            elif kind == PROJECT and target is not None:
+                self.callees.setdefault(fn.qualname, []).append(target)
+            elif kind == EXTERNAL and target is not None:
+                self.external_calls.setdefault(fn.qualname, []).append(target)
+            else:
+                self.unresolved[fn.qualname] = (
+                    self.unresolved.get(fn.qualname, 0) + 1
+                )
+            self.call_sites.append(
+                CallSite(caller=fn.qualname, kind=kind, target=target,
+                         node=node)
+            )
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    def function_defs(self) -> list[FunctionInfo]:
+        """Every real function def node (module bodies excluded)."""
+        return [
+            self.functions[q] for q in sorted(self.functions)
+            if not self.functions[q].is_module_body
+        ]
+
+    def resolve_symbol(self, qualname: str) -> FunctionInfo | None:
+        """Exact-qualname lookup with a re-export fallback.
+
+        ``repro.experiments.run_scenario`` (the package re-export) finds
+        ``repro.experiments.runner.run_scenario``.
+        """
+        found = self.functions.get(qualname)
+        if found is not None:
+            return found
+        kind, target = self._resolve_dotted(qualname)
+        if kind == PROJECT and target is not None:
+            return self.functions.get(target)
+        if kind == CLASS and target is not None:
+            init = self.method_lookup(target, "__init__")
+            if init is not None:
+                return self.functions.get(init)
+        return None
+
+    def summary(self) -> dict:
+        """Deterministic ``--stats``/JSON payload for the graph pass."""
+        return {
+            "modules": len(self.modules),
+            "functions": len(self.function_defs()),
+            "call_edges": sum(len(v) for v in self.callees.values()),
+            "external_calls": sum(
+                len(v) for v in self.external_calls.values()
+            ),
+            "unresolved_calls": sum(self.unresolved.values()),
+        }
+
+
+def _unique_key(table: dict, qual: str) -> str:
+    """Disambiguate qualname collisions (property setters, overloads)."""
+    if qual not in table:
+        return qual
+    n = 2
+    while f"{qual}@{n}" in table:
+        n += 1
+    return f"{qual}@{n}"
+
+
+def _decorator_names(
+    node: ast.FunctionDef | ast.AsyncFunctionDef, ctx: FileContext
+) -> tuple[str, ...]:
+    """Resolved (or bare) decorator names, for entry-point detection."""
+    names: list[str] = []
+    for deco in node.decorator_list:
+        expr = deco.func if isinstance(deco, ast.Call) else deco
+        dotted = ctx.qualname(expr)
+        if dotted is not None:
+            names.append(dotted)
+        elif isinstance(expr, ast.Name):
+            names.append(expr.id)
+        elif isinstance(expr, ast.Attribute):
+            names.append(expr.attr)
+    return tuple(names)
+
+
+def _invert(edges: dict[str, list[str]]) -> dict[str, list[str]]:
+    inverted: dict[str, set[str]] = {}
+    for src in sorted(edges):
+        for dst in edges[src]:
+            inverted.setdefault(dst, set()).add(src)
+    return {dst: sorted(srcs) for dst, srcs in sorted(inverted.items())}

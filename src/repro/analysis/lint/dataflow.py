@@ -1,0 +1,144 @@
+"""Pass 2 of the whole-program analyzer: worklist dataflow.
+
+Small, deterministic fixpoint machinery the REP1xx flow rules share:
+
+* :func:`reachable` — transitive closure over the call graph from a
+  root set (used for "every helper a trial body can reach", worker/
+  coordinator path partitioning, downstream env re-reads).
+* :func:`propagate` — the general worklist engine: facts seeded at
+  nodes flow monotonically to their successors until saturation.  The
+  lattice is sets-of-strings under union, so termination is immediate
+  and the result is independent of work order; iteration is sorted
+  anyway so intermediate states (and any debug output) are stable under
+  hash randomization.
+* :func:`param_derived_names` / :func:`expr_names` — the
+  intraprocedural half: which local names (transitively, through
+  straight-line assignments and walrus bindings) derive from the
+  function's parameters.  Seed-provenance (REP101) treats a parameter
+  as "the caller threaded it" and anything else as ambient state.
+
+Everything here is pure data → data; the rules own all policy.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Mapping, Sequence
+
+from repro.analysis.lint.callgraph import iter_scope
+
+__all__ = [
+    "reachable",
+    "propagate",
+    "invert_edges",
+    "param_derived_names",
+    "expr_names",
+]
+
+
+def reachable(
+    edges: Mapping[str, Sequence[str]], roots: Iterable[str]
+) -> set[str]:
+    """Every node reachable from ``roots`` (roots included) over ``edges``."""
+    seen: set[str] = set()
+    stack = sorted(set(roots), reverse=True)
+    while stack:
+        current = stack.pop()
+        if current in seen:
+            continue
+        seen.add(current)
+        stack.extend(edges.get(current, ()))
+    return seen
+
+
+def propagate(
+    edges: Mapping[str, Sequence[str]],
+    initial: Mapping[str, Iterable[str]],
+) -> dict[str, frozenset[str]]:
+    """Saturate facts along edges: a node's facts join into each successor.
+
+    Returns the complete node → fact-set map (nodes never reached by a
+    fact are absent).  Monotone over a finite lattice, so the fixpoint
+    is unique regardless of work order.
+    """
+    facts: dict[str, frozenset[str]] = {
+        node: frozenset(values) for node, values in initial.items()
+    }
+    worklist = sorted(facts)
+    while worklist:
+        current = worklist.pop()
+        current_facts = facts.get(current)
+        if not current_facts:
+            continue
+        for successor in edges.get(current, ()):
+            have = facts.get(successor, frozenset())
+            merged = have | current_facts
+            if merged != have:
+                facts[successor] = merged
+                worklist.append(successor)
+    return facts
+
+
+def invert_edges(
+    edges: Mapping[str, Sequence[str]]
+) -> dict[str, list[str]]:
+    """callee → sorted callers, from a caller → callees map."""
+    inverted: dict[str, set[str]] = {}
+    for src in sorted(edges):
+        for dst in edges[src]:
+            inverted.setdefault(dst, set()).add(src)
+    return {dst: sorted(srcs) for dst, srcs in sorted(inverted.items())}
+
+
+def expr_names(expr: ast.AST) -> set[str]:
+    """Every bare name read anywhere inside an expression."""
+    return {
+        node.id for node in ast.walk(expr) if isinstance(node, ast.Name)
+    }
+
+
+def param_derived_names(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """Names that (transitively) derive from the function's parameters.
+
+    Seeded with every parameter, then closed over the function scope's
+    straight-line ``Assign``/``AnnAssign``/``AugAssign`` statements and
+    walrus bindings: a target joins the set when any name in its value
+    is already in it.  Control flow is ignored (any-path
+    over-approximation): the analysis prefers staying silent over
+    inventing provenance findings for values that *might* be threaded.
+    """
+    args = fn.args
+    derived = {
+        arg.arg
+        for arg in args.posonlyargs + args.args + args.kwonlyargs
+    }
+    if args.vararg is not None:
+        derived.add(args.vararg.arg)
+    if args.kwarg is not None:
+        derived.add(args.kwarg.arg)
+    changed = True
+    while changed:
+        changed = False
+        for node in iter_scope(fn.body):
+            targets: list[ast.AST]
+            if isinstance(node, ast.Assign):
+                value, targets = node.value, list(node.targets)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                value, targets = node.value, [node.target]
+            elif isinstance(node, ast.AugAssign):
+                value, targets = node.value, [node.target]
+            elif isinstance(node, ast.NamedExpr):
+                value, targets = node.value, [node.target]
+            else:
+                continue
+            if not (expr_names(value) & derived):
+                continue
+            for target in targets:
+                for name_node in ast.walk(target):
+                    if (
+                        isinstance(name_node, ast.Name)
+                        and name_node.id not in derived
+                    ):
+                        derived.add(name_node.id)
+                        changed = True
+    return derived

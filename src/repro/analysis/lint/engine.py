@@ -6,9 +6,17 @@ safe to run over worker entry points, chaos-injection modules and
 scenario definitions without side effects.
 
 Pipeline per file: parse → build a :class:`FileContext` (source lines,
-import-alias map, parent links) → run every selected rule → attach
-suppression state (``# repro: noqa[REP###]`` pragmas, then the committed
-baseline) → collect the survivors into a :class:`LintReport`.
+import-alias map, parent links) → run every selected per-file rule →
+attach suppression state (``# repro: noqa[REP###]`` pragmas, then the
+committed baseline) → collect the survivors into a :class:`LintReport`.
+
+Under ``--flow`` a whole-program phase runs between rule dispatch and
+suppression: every parsed context feeds one
+:class:`~repro.analysis.lint.callgraph.ProjectIndex`, the REP1xx flow
+rules (see :mod:`repro.analysis.lint.flow_rules`) emit findings against
+arbitrary files in the index, and those findings then flow through the
+*same* pragma/baseline/fingerprint plumbing as per-file ones —
+suppression and CI behavior are uniform across both tiers.
 
 Diagnostics are stable: findings are sorted by (path, line, col, rule)
 and fingerprinted by content rather than line number, so unrelated edits
@@ -31,7 +39,14 @@ from repro.analysis.lint.registry import (
 )
 from repro.analysis.lint.suppress import Baseline, Pragmas
 
-__all__ = ["Finding", "FileContext", "LintReport", "run_lint", "repo_root"]
+__all__ = [
+    "Finding",
+    "FileContext",
+    "LintReport",
+    "run_lint",
+    "build_index",
+    "repo_root",
+]
 
 _REPO_ROOT = pathlib.Path(__file__).resolve().parents[4]
 
@@ -171,6 +186,8 @@ class LintReport:
     suppressed: int = 0
     baselined: int = 0
     parse_errors: list[str] = field(default_factory=list)
+    graph: dict | None = None  # call-graph + entry-set summary (--flow)
+    dead_suppressions: list[dict] = field(default_factory=list)
 
     def stats(self) -> dict:
         by_rule: dict[str, int] = {}
@@ -186,17 +203,20 @@ class LintReport:
             "suppressed": self.suppressed,
             "baselined": self.baselined,
             "files_checked": self.files_checked,
+            "dead_suppressions": len(self.dead_suppressions),
         }
 
     def to_json(self) -> dict:
         """Stable machine-readable payload (schema pinned by tests)."""
         return {
-            "version": 1,
+            "version": 2,
             "tool": "repro-lint",
             "files_checked": self.files_checked,
             "findings": [f.to_json() for f in self.findings],
             "stats": self.stats(),
             "parse_errors": list(self.parse_errors),
+            "graph": self.graph,
+            "dead_suppressions": list(self.dead_suppressions),
         }
 
 
@@ -254,40 +274,33 @@ def _select_rules(
     return rules
 
 
-def lint_file(
-    path: pathlib.Path,
-    root: pathlib.Path,
-    rules: Sequence[LintRule],
-) -> tuple[list[Finding], int, str | None]:
-    """Lint one file: (active findings, suppressed count, parse error)."""
-    relpath = _relpath(path, root)
-    try:
-        source = path.read_text()
-        ctx = FileContext(path, relpath, source)
-    except (SyntaxError, UnicodeDecodeError, OSError) as exc:
-        return [], 0, f"{relpath}: {type(exc).__name__}: {exc}"
-    pragmas = Pragmas.scan(ctx.lines)
-    raw: list[tuple[int, int, str, str, str]] = []
-    for spec in rules:
-        if path_is_exempt(relpath, spec):
-            continue
-        for node, message in spec.check(ctx):
-            raw.append(
-                (
-                    getattr(node, "lineno", 1),
-                    getattr(node, "col_offset", 0) + 1,
-                    spec.id,
-                    message,
-                    spec.hint,
-                )
-            )
-    raw.sort()
-    # Occurrence-index fingerprints: two identical lines violating the
-    # same rule stay distinguishable without depending on line numbers.
+_RawFinding = tuple[int, int, str, str, str]  # line, col, rule, msg, hint
+
+
+def _raw_from_check(spec: LintRule, node: ast.AST, message: str) -> _RawFinding:
+    return (
+        getattr(node, "lineno", 1),
+        getattr(node, "col_offset", 0) + 1,
+        spec.id,
+        message,
+        spec.hint,
+    )
+
+
+def _finalize_file(
+    ctx: FileContext,
+    pragmas: Pragmas,
+    raw: list[_RawFinding],
+) -> tuple[list[Finding], int]:
+    """Apply pragmas and mint fingerprints for one file's raw findings.
+
+    Occurrence-index fingerprints: two identical lines violating the
+    same rule stay distinguishable without depending on line numbers.
+    """
     occurrences: dict[tuple[str, str], int] = {}
     findings: list[Finding] = []
     suppressed = 0
-    for line, col, rule_id, message, hint in raw:
+    for line, col, rule_id, message, hint in sorted(raw):
         if pragmas.suppresses(line, rule_id):
             suppressed += 1
             continue
@@ -297,16 +310,66 @@ def lint_file(
         occurrences[key] = occurrence + 1
         findings.append(
             Finding(
-                path=relpath,
+                path=ctx.relpath,
                 line=line,
                 col=col,
                 rule=rule_id,
                 message=message,
                 hint=hint,
-                fingerprint=_fingerprint(rule_id, relpath, text, occurrence),
+                fingerprint=_fingerprint(
+                    rule_id, ctx.relpath, text, occurrence
+                ),
             )
         )
+    return findings, suppressed
+
+
+def lint_file(
+    path: pathlib.Path,
+    root: pathlib.Path,
+    rules: Sequence[LintRule],
+) -> tuple[list[Finding], int, str | None]:
+    """Lint one file with per-file rules only (flow rules need an index)."""
+    relpath = _relpath(path, root)
+    try:
+        source = path.read_text()
+        ctx = FileContext(path, relpath, source)
+    except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+        return [], 0, f"{relpath}: {type(exc).__name__}: {exc}"
+    pragmas = Pragmas.scan(ctx.lines)
+    raw: list[_RawFinding] = []
+    for spec in rules:
+        if spec.flow or path_is_exempt(relpath, spec):
+            continue
+        for node, message in spec.check(ctx):
+            raw.append(_raw_from_check(spec, node, message))
+    findings, suppressed = _finalize_file(ctx, pragmas, raw)
     return findings, suppressed, None
+
+
+def build_index(
+    paths: Iterable[str | pathlib.Path] | None = None,
+    *,
+    root: str | pathlib.Path | None = None,
+):
+    """Parse ``paths`` and build the whole-program :class:`ProjectIndex`.
+
+    Returns ``(index, parse_errors)`` — the entry point for
+    ``repro lint graph`` and for tests poking the graph directly.
+    """
+    from repro.analysis.lint.callgraph import ProjectIndex
+
+    root = pathlib.Path(root).resolve() if root is not None else _REPO_ROOT
+    targets = [pathlib.Path(p) for p in paths] if paths else [root / "src"]
+    contexts: list[FileContext] = []
+    parse_errors: list[str] = []
+    for path in discover_files(targets):
+        relpath = _relpath(path, root)
+        try:
+            contexts.append(FileContext(path, relpath, path.read_text()))
+        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+            parse_errors.append(f"{relpath}: {type(exc).__name__}: {exc}")
+    return ProjectIndex.build(contexts), parse_errors
 
 
 def run_lint(
@@ -316,6 +379,7 @@ def run_lint(
     select: Sequence[str] | None = None,
     ignore: Sequence[str] | None = None,
     baseline: Baseline | str | pathlib.Path | None = None,
+    flow: bool = False,
 ) -> LintReport:
     """Lint ``paths`` (default: ``src/`` under the repo root).
 
@@ -324,29 +388,104 @@ def run_lint(
         root: Base for repo-relative diagnostic paths (default: the
             repository root inferred from this package's location).
         select: Only run these rule ids (default: all registered).
+            Explicitly selecting a flow rule enables the flow phase for
+            it even without ``flow=True``.
         ignore: Drop these rule ids from the run.
         baseline: A :class:`Baseline`, or a path to load one from —
             grandfathered fingerprints are filtered out and counted.
+        flow: Run the whole-program phase (project index + REP1xx flow
+            rules) over every parsed file.
     """
-    root = pathlib.Path(root) if root is not None else _REPO_ROOT
+    root = pathlib.Path(root).resolve() if root is not None else _REPO_ROOT
     targets = (
         [pathlib.Path(p) for p in paths] if paths else [root / "src"]
     )
     rules = _select_rules(select, ignore)
+    file_rules = [spec for spec in rules if not spec.flow]
+    flow_specs = [spec for spec in rules if spec.flow]
+    if not flow and not select:
+        flow_specs = []
     if isinstance(baseline, (str, pathlib.Path)):
         baseline = Baseline.load(baseline)
     report = LintReport()
+
+    # Pass 0: parse everything once; run the per-file tier.
+    by_file: dict[str, tuple[FileContext, Pragmas, list[_RawFinding]]] = {}
     for path in discover_files(targets):
-        findings, suppressed, error = lint_file(path, root, rules)
         report.files_checked += 1
-        report.suppressed += suppressed
-        if error is not None:
-            report.parse_errors.append(error)
+        relpath = _relpath(path, root)
+        try:
+            source = path.read_text()
+            ctx = FileContext(path, relpath, source)
+        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+            report.parse_errors.append(
+                f"{relpath}: {type(exc).__name__}: {exc}"
+            )
             continue
+        pragmas = Pragmas.scan(ctx.lines)
+        raw: list[_RawFinding] = []
+        for spec in file_rules:
+            if path_is_exempt(relpath, spec):
+                continue
+            for node, message in spec.check(ctx):
+                raw.append(_raw_from_check(spec, node, message))
+        by_file[relpath] = (ctx, pragmas, raw)
+
+    # Whole-program phase: one index, flow rules yield (ctx, node, msg)
+    # against any file in it; findings join that file's raw list so the
+    # pragma/fingerprint/baseline plumbing below treats both tiers alike.
+    if flow_specs and by_file:
+        from repro.analysis.lint.callgraph import ProjectIndex
+        from repro.analysis.lint.flow_rules import entry_summary
+
+        index = ProjectIndex.build(ctx for ctx, _, _ in by_file.values())
+        for spec in flow_specs:
+            for ctx, node, message in spec.check(index):
+                if path_is_exempt(ctx.relpath, spec):
+                    continue
+                entry = by_file.get(ctx.relpath)
+                if entry is not None:
+                    entry[2].append(_raw_from_check(spec, node, message))
+        report.graph = dict(index.summary())
+        report.graph["entries"] = entry_summary(index)
+
+    # Finalize: suppression, fingerprints, baseline, dead-suppression.
+    matched_baseline: set[str] = set()
+    for relpath in sorted(by_file):
+        ctx, pragmas, raw = by_file[relpath]
+        findings, suppressed = _finalize_file(ctx, pragmas, raw)
+        report.suppressed += suppressed
         for finding in findings:
             if baseline is not None and baseline.contains(finding):
                 report.baselined += 1
+                matched_baseline.add(finding.fingerprint)
             else:
                 report.findings.append(finding)
+        report.dead_suppressions.extend(pragmas.dead_entries(relpath))
+    scanned = sorted(by_file)
+    for spec in sorted(file_rules + flow_specs, key=lambda s: s.id):
+        for pattern in spec.exempt:
+            if not any(
+                rel == pattern or rel.endswith("/" + pattern)
+                for rel in scanned
+            ):
+                report.dead_suppressions.append(
+                    {
+                        "kind": "exempt",
+                        "path": pattern,
+                        "line": 0,
+                        "detail": (
+                            f"{spec.id} exempt {pattern!r} matches no "
+                            "scanned file"
+                        ),
+                    }
+                )
+    if baseline is not None:
+        report.dead_suppressions.extend(
+            baseline.dead_entries(matched_baseline)
+        )
+    report.dead_suppressions.sort(
+        key=lambda d: (d["kind"], d["path"], d["line"], d["detail"])
+    )
     report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return report

@@ -60,9 +60,15 @@ class LintRule:
         hint: Fix hint appended to every finding this rule emits.
         rationale: Which recurring bug class / past PR fix the rule
             codifies (shown in the docs rule table).
-        check: Generator of ``(node, message)`` pairs for one file.
+        check: Generator of ``(node, message)`` pairs for one file —
+            or, for flow rules, ``(ctx, node, message)`` triples over
+            the whole-program index.
         exempt: Repo-relative path suffixes the rule skips — the
             sanctioned implementation sites of the invariant itself.
+        flow: True for REP1xx whole-program rules: ``check`` receives a
+            :class:`~repro.analysis.lint.callgraph.ProjectIndex` instead
+            of one file's context, and only runs under ``--flow`` (or
+            when explicitly ``--select``-ed).
     """
 
     id: str
@@ -72,6 +78,7 @@ class LintRule:
     check: Callable = field(repr=False, compare=False)
     rationale: str = ""
     exempt: tuple[str, ...] = ()
+    flow: bool = False
 
 
 def register(spec: LintRule) -> LintRule:
@@ -97,6 +104,7 @@ def rule(
     hint: str,
     rationale: str = "",
     exempt: tuple[str, ...] = (),
+    flow: bool = False,
 ) -> Callable[[Callable], LintRule]:
     """Decorator: register the wrapped check function as a lint rule.
 
@@ -114,6 +122,7 @@ def rule(
                 check=fn,
                 rationale=rationale,
                 exempt=tuple(exempt),
+                flow=flow,
             )
         )
 
@@ -165,4 +174,5 @@ def _ensure_builtins() -> None:
     standalone while guaranteeing the REP rules are present whenever the
     registry is queried.
     """
+    import repro.analysis.lint.flow_rules  # noqa: F401  (registers on import)
     import repro.analysis.lint.rules  # noqa: F401  (registers on import)

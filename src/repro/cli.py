@@ -33,6 +33,11 @@ Subcommands:
   ``--select/--ignore RULES``, ``--baseline FILE`` for grandfathered
   findings, ``--write-baseline``, ``--stats`` summary tables and
   ``--list-rules``.  Exits 1 when findings remain, so CI can gate on it.
+  ``--flow`` adds the whole-program REP1xx tier (call graph + taint
+  dataflow over the scanned tree); ``lint graph QUALNAME`` prints one
+  symbol's callers/callees/taint facts; ``--check-suppressions`` fails
+  on dead noqa/baseline/exempt entries and ``--ratchet OLD_FILE`` fails
+  when the committed baseline gained entries over ``OLD_FILE``.
 * ``cache info | clear`` — inspect or empty the trained-preset and
   attack-profile caches.
 
@@ -259,10 +264,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint_cmd.add_argument("paths", nargs="*", metavar="path",
                           help="files/directories to analyze "
-                               "(default: src/ under the repo root)")
+                               "(default: src/ under the repo root); or "
+                               "'graph QUALNAME' to print one symbol's "
+                               "callers/callees/taint facts")
     lint_cmd.add_argument("--format", default="text",
                           choices=("text", "json"),
                           help="diagnostic output format (default: text)")
+    lint_cmd.add_argument("--flow", default=False,
+                          action=argparse.BooleanOptionalAction,
+                          help="run the whole-program flow phase "
+                               "(call graph + REP1xx rules)")
     lint_cmd.add_argument("--select", default=None, metavar="REP001,...",
                           help="only run these rule ids")
     lint_cmd.add_argument("--ignore", default=None, metavar="REP001,...",
@@ -277,6 +288,14 @@ def build_parser() -> argparse.ArgumentParser:
     lint_cmd.add_argument("--stats", action="store_true",
                           help="print findings-per-rule/package summary "
                                "tables (text format)")
+    lint_cmd.add_argument("--check-suppressions", action="store_true",
+                          help="also fail (exit 1) when dead suppressions "
+                               "exist: noqa pragmas, baseline entries or "
+                               "exempt paths that no longer match anything")
+    lint_cmd.add_argument("--ratchet", default=None, metavar="OLD_FILE",
+                          help="compare the committed baseline against "
+                               "OLD_FILE and fail if it gained entries "
+                               "(shrinking is allowed), then exit")
     lint_cmd.add_argument("--list-rules", action="store_true",
                           help="print the rule catalogue and exit")
 
@@ -820,7 +839,10 @@ def _cmd_lint(args) -> int:
     """``repro lint``: run the static analyzer; exit 1 on findings."""
     from repro.analysis.lint import (
         Baseline,
+        build_index,
+        format_dead_suppressions,
         format_findings,
+        format_graph,
         format_rules,
         format_stats,
         repo_root,
@@ -830,6 +852,33 @@ def _cmd_lint(args) -> int:
 
     if args.list_rules:
         print(format_rules())
+        return 0
+    if args.paths and args.paths[0] == "graph":
+        if len(args.paths) < 2:
+            raise ValueError("lint graph needs a symbol: "
+                             "repro lint graph pkg.mod.func [paths]")
+        qualname = args.paths[1]
+        index, parse_errors = build_index(args.paths[2:] or None)
+        for error in parse_errors:
+            print(f"error: cannot analyze {error}", file=sys.stderr)
+        print(format_graph(index, qualname))
+        return 0
+    if args.ratchet is not None:
+        committed = repo_root() / "lint-baseline.json"
+        current = Baseline.load(committed)
+        old = Baseline.load(args.ratchet)
+        gained = current.gained_over(old)
+        if gained:
+            print(f"ratchet: {committed} gained {len(gained)} entr(ies) "
+                  f"over {args.ratchet} — the baseline may only shrink:")
+            for fp in gained:
+                entry = current.fingerprints[fp]
+                print(f"  + {fp}  {entry.get('rule', '?')} "
+                      f"{entry.get('path', '?')}")
+            return 1
+        shrunk = len(old.fingerprints) - len(current.fingerprints)
+        print(f"ratchet ok: no new baseline entries "
+              f"({shrunk} removed since {args.ratchet})")
         return 0
     select = args.select.split(",") if args.select else None
     ignore = args.ignore.split(",") if args.ignore else None
@@ -844,7 +893,8 @@ def _cmd_lint(args) -> int:
         target = baseline_path or repo_root() / "lint-baseline.json"
         # Grandfather what the rules currently find (pragmas already
         # applied), so a ratcheting rollout starts from a green gate.
-        report = run_lint(args.paths or None, select=select, ignore=ignore)
+        report = run_lint(args.paths or None, select=select, ignore=ignore,
+                          flow=args.flow)
         Baseline.from_findings(report.findings).save(target)
         print(
             f"baseline: {len(report.findings)} finding(s) grandfathered "
@@ -856,6 +906,7 @@ def _cmd_lint(args) -> int:
         select=select,
         ignore=ignore,
         baseline=baseline_path,
+        flow=args.flow,
     )
     if args.format == "json":
         print(to_json_text(report), end="")
@@ -864,7 +915,13 @@ def _cmd_lint(args) -> int:
         if args.stats:
             print()
             print(format_stats(report))
-    return 1 if (report.findings or report.parse_errors) else 0
+        if args.check_suppressions and report.dead_suppressions:
+            print()
+            print(format_dead_suppressions(report))
+    failed = bool(report.findings or report.parse_errors)
+    if args.check_suppressions and report.dead_suppressions:
+        failed = True
+    return 1 if failed else 0
 
 
 def _cmd_cache(args) -> int:

@@ -175,8 +175,8 @@ class PresetCache:
         # truncate each other mid-write; the final rename is atomic and
         # last-writer-wins with identical content.
         tmp = path.with_suffix(f".{os.getpid()}.tmp.npz")
-        # repro: noqa[REP005] — binary npz stream; tmp + atomic replace
-        # is done manually here because the text helper cannot carry it.
+        # Binary npz stream; tmp + atomic replace is done manually
+        # here because the text helper cannot carry it.
         with open(tmp, "wb") as fh:  # repro: noqa[REP005]
             np.savez_compressed(fh, **arrays, **{_META_KEY: np.str_(meta)})
         tmp.replace(path)
@@ -319,8 +319,8 @@ class ProfileCache:
             for i, round_bits in enumerate(rounds)
         }
         tmp = path.with_suffix(f".{os.getpid()}.tmp.npz")
-        # repro: noqa[REP005] — binary npz stream; tmp + atomic replace
-        # is done manually here because the text helper cannot carry it.
+        # Binary npz stream; tmp + atomic replace is done manually
+        # here because the text helper cannot carry it.
         with open(tmp, "wb") as fh:  # repro: noqa[REP005]
             np.savez_compressed(fh, **arrays, **{_META_KEY: np.str_(meta)})
         tmp.replace(path)

@@ -1,0 +1,33 @@
+"""REP101 fixture: helpers on a trial path that reseed or use fresh entropy."""
+
+import random
+
+import numpy as np
+
+
+def run_trial(ctx):  # repro: flow-entry[scenario]
+    noise = helper_reseeds()
+    jitter = helper_fresh()
+    shuffle = helper_stdlib()
+    good = helper_threads(ctx.seed)
+    return noise + jitter + shuffle + good
+
+
+def helper_reseeds():
+    rng = np.random.default_rng(1234)  # expect[REP101]
+    return rng.normal()
+
+
+def helper_fresh():
+    rng = np.random.default_rng()  # expect[REP101]
+    return rng.normal()
+
+
+def helper_stdlib():
+    rng = random.Random(42)  # expect[REP101]
+    return rng.random()
+
+
+def helper_threads(seed):
+    rng = np.random.default_rng(seed)
+    return rng.normal()

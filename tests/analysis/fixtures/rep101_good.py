@@ -1,0 +1,26 @@
+"""REP101 good twin: every RNG on the trial path flows from a parameter."""
+
+import numpy as np
+
+
+def run_trial(ctx):  # repro: flow-entry[scenario]
+    child_seed = ctx.seed + 1
+    return helper_threads(ctx.seed) + helper_derives(child_seed)
+
+
+def helper_threads(seed):
+    rng = np.random.default_rng(seed)
+    return rng.normal()
+
+
+def helper_derives(seed):
+    stream = np.random.SeedSequence(seed)
+    rng = np.random.default_rng(stream)
+    return rng.normal()
+
+
+def offline_tool():
+    # Not reachable from any scenario entry: REP101 stays out of the
+    # way (REP001/REP008 own the per-file story for sites like this).
+    rng = np.random.default_rng(7)
+    return rng.normal()

@@ -1,0 +1,18 @@
+"""REP102 fixture: env re-read downstream + worker env from os.environ."""
+
+import os
+import subprocess
+
+from repro.utils.env import env_str
+
+
+def coordinate():
+    mode = env_str("REPRO_MODE", "fast")
+    return launch(mode)
+
+
+def launch(mode):
+    again = env_str("REPRO_MODE", "fast")  # expect[REP102]
+    cmd = ["repro", "run", again or mode]
+    env = dict(os.environ)
+    return subprocess.run(cmd, env=env)  # expect[REP102]

@@ -1,0 +1,16 @@
+"""REP102 good twin: read the env once, thread the value, ship extras only."""
+
+import subprocess
+
+from repro.utils.env import env_str
+
+
+def coordinate():
+    mode = env_str("REPRO_MODE", "fast")
+    return launch(mode)
+
+
+def launch(mode):
+    cmd = ["repro", "run", mode]
+    extras = {"REPRO_MODE": mode}
+    return subprocess.run(cmd, env=extras)

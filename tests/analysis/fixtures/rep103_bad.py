@@ -1,0 +1,23 @@
+"""REP103 fixture: coordinator-side writes raced against worker reads."""
+
+_CACHE: dict = {}
+
+_EVENTS: list = []
+
+
+def dispatch(plan):  # repro: flow-entry[coordinator]
+    _CACHE["plan"] = plan  # expect[REP103]
+    return [work(item) for item in plan]
+
+
+def work(item):  # repro: flow-entry[worker]
+    return _CACHE.get("plan", 0) + item
+
+
+def coordinate_retries(n):  # repro: flow-entry[coordinator]
+    _EVENTS.append(n)  # expect[REP103]
+    return drain()
+
+
+def drain():  # repro: flow-entry[worker]
+    return list(_EVENTS)

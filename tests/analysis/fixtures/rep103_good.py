@@ -1,0 +1,27 @@
+"""REP103 good twin: worker-local lazy caches and coordinator-only state."""
+
+_MEMO: dict = {}
+
+_AUDIT: list = []
+
+
+def run_worker(item):  # repro: flow-entry[worker]
+    # Lazy cache the worker path itself populates: every process fills
+    # its own copy, so there is no coordinator/worker divergence.
+    if item not in _MEMO:
+        _MEMO[item] = compute(item)
+    return _MEMO[item]
+
+
+def compute(item):
+    return item * 2
+
+
+def coordinate(plan):  # repro: flow-entry[coordinator]
+    # Written and read on the coordinator side only.
+    _AUDIT.append(plan)
+    return summarize()
+
+
+def summarize():
+    return len(_AUDIT)

@@ -1,0 +1,7 @@
+"""Cross-module REP103 pair, module 1: the shared mutable registry."""
+
+REGISTRY: dict = {}
+
+
+def read_plan():  # repro: flow-entry[worker]
+    return REGISTRY.get("plan")

@@ -1,0 +1,8 @@
+"""Cross-module REP103 pair, module 2: a coordinator writing module 1's state."""
+
+import rep103_pair_state as state
+
+
+def coordinate(plan):  # repro: flow-entry[coordinator]
+    state.REGISTRY["plan"] = plan  # expect[REP103]
+    return plan

@@ -1,0 +1,37 @@
+"""REP104 fixture: hook objects that never reach close() on every path."""
+
+
+class Probe:
+    """Attaches itself to the controller's activate-hook list."""
+
+    def __init__(self, controller):
+        self.controller = controller
+        controller.register_activate_hook(self.on_activate)
+
+    def on_activate(self, command):
+        pass
+
+    def close(self):
+        self.controller.unregister_activate_hook(self.on_activate)
+
+
+class SubProbe(Probe):
+    """Hookiness is inherited through the project base chain."""
+
+
+def leak_plain(controller):
+    probe = Probe(controller)  # expect[REP104]
+    return controller.stats()
+
+
+def leak_on_early_return(controller, skip):
+    probe = Probe(controller)  # expect[REP104]
+    if skip:
+        return None
+    probe.close()
+    return controller.stats()
+
+
+def leak_subclass(controller):
+    probe = SubProbe(controller)  # expect[REP104]
+    return controller.stats()

@@ -1,0 +1,50 @@
+"""REP104 good twin: every hook object is detached or handed off."""
+
+
+class Tracker:
+    def __init__(self, controller):
+        self.controller = controller
+        controller.register_command_hook(self.on_command)
+
+    def on_command(self, command):
+        pass
+
+    def close(self):
+        self.controller.unregister_command_hook(self.on_command)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+
+def managed_by_finally(controller):
+    tracker = Tracker(controller)
+    try:
+        return controller.stats()
+    finally:
+        tracker.close()
+
+
+def managed_by_with(controller):
+    tracker = Tracker(controller)
+    with tracker:
+        return controller.stats()
+
+
+def ownership_returned(controller):
+    tracker = Tracker(controller)
+    return tracker
+
+
+def ownership_stored(registry, controller):
+    tracker = Tracker(controller)
+    registry["tracker"] = tracker
+    return registry
+
+
+def ownership_passed(bus, controller):
+    tracker = Tracker(controller)
+    bus.adopt(tracker)
+    return bus

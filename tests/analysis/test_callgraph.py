@@ -1,0 +1,300 @@
+"""Unit tests for the whole-program index (pass 1) and dataflow (pass 2).
+
+The fixture-corpus tests prove the REP1xx rules behave end to end; this
+file pins the machinery underneath: symbol collection, import and
+re-export resolution, method lookup through project base classes, the
+conservative no-edge treatment of dynamic dispatch (counted, never
+guessed), and the worklist engine's fixpoint/determinism properties.
+"""
+
+import ast
+import pathlib
+import textwrap
+
+import pytest
+
+from repro.analysis.lint.callgraph import (
+    ProjectIndex,
+    iter_scope,
+    module_name,
+)
+from repro.analysis.lint.dataflow import (
+    expr_names,
+    invert_edges,
+    param_derived_names,
+    propagate,
+    reachable,
+)
+from repro.analysis.lint.engine import FileContext, build_index
+
+
+def make_tree(tmp_path: pathlib.Path, files: dict[str, str]) -> pathlib.Path:
+    for relpath, source in files.items():
+        target = tmp_path / relpath
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source))
+    return tmp_path
+
+
+def index_of(tmp_path, files) -> ProjectIndex:
+    root = make_tree(tmp_path, files)
+    index, errors = build_index([root], root=root)
+    assert errors == []
+    return index
+
+
+# --------------------------------------------------------------------- #
+# naming and scopes
+# --------------------------------------------------------------------- #
+
+def test_module_name_shapes():
+    assert module_name("src/repro/experiments/runner.py") == (
+        "repro.experiments.runner"
+    )
+    assert module_name("src/repro/nn/__init__.py") == "repro.nn"
+    assert module_name("rep101_bad.py") == "rep101_bad"
+
+
+def test_iter_scope_stops_at_nested_defs_but_yields_them():
+    tree = ast.parse(
+        "def outer():\n"
+        "    a = 1\n"
+        "    def inner():\n"
+        "        hidden = 2\n"
+        "    b = (lambda: shared)\n"
+    )
+    outer = tree.body[0]
+    names = {
+        node.id for node in iter_scope(outer.body)
+        if isinstance(node, ast.Name)
+    }
+    assert "a" in names and "b" in names
+    assert "shared" in names  # lambdas share the enclosing scope
+    assert "hidden" not in names  # nested def bodies are their own scope
+    kinds = [type(node).__name__ for node in iter_scope(outer.body)]
+    assert "FunctionDef" in kinds  # the nested def statement is yielded
+
+
+# --------------------------------------------------------------------- #
+# symbol tables and call edges
+# --------------------------------------------------------------------- #
+
+def test_local_and_imported_calls_resolve(tmp_path):
+    index = index_of(tmp_path, {
+        "pkg/__init__.py": "",
+        "pkg/util.py": "def helper():\n    return 1\n",
+        "pkg/main.py": (
+            "from pkg.util import helper\n"
+            "def entry():\n"
+            "    local()\n"
+            "    return helper()\n"
+            "def local():\n"
+            "    return 2\n"
+        ),
+    })
+    assert index.callees["pkg.main.entry"] == [
+        "pkg.main.local", "pkg.util.helper",
+    ]
+    assert index.callers["pkg.util.helper"] == ["pkg.main.entry"]
+
+
+def test_reexport_through_package_init_resolves(tmp_path):
+    index = index_of(tmp_path, {
+        "pkg/__init__.py": "from pkg.impl import api\n",
+        "pkg/impl.py": "def api():\n    return 1\n",
+        "user.py": (
+            "from pkg import api\n"
+            "def caller():\n"
+            "    return api()\n"
+        ),
+    })
+    assert index.callees["user.caller"] == ["pkg.impl.api"]
+    # resolve_symbol follows the same chain for the graph CLI.
+    assert index.resolve_symbol("pkg.api").qualname == "pkg.impl.api"
+
+
+def test_method_resolution_through_self_and_bases(tmp_path):
+    index = index_of(tmp_path, {
+        "mod.py": (
+            "class Base:\n"
+            "    def shared(self):\n"
+            "        return 1\n"
+            "class Child(Base):\n"
+            "    def run(self):\n"
+            "        return self.shared()\n"
+        ),
+    })
+    assert index.classes["mod.Child"].bases == ("mod.Base",)
+    assert index.callees["mod.Child.run"] == ["mod.Base.shared"]
+
+
+def test_local_constructor_types_methods_and_init_edge(tmp_path):
+    index = index_of(tmp_path, {
+        "mod.py": (
+            "class Widget:\n"
+            "    def __init__(self):\n"
+            "        self.n = 0\n"
+            "    def poke(self):\n"
+            "        return self.n\n"
+            "def use():\n"
+            "    w = Widget()\n"
+            "    return w.poke()\n"
+        ),
+    })
+    assert index.callees["mod.use"] == [
+        "mod.Widget.__init__", "mod.Widget.poke",
+    ]
+
+
+def test_nested_def_gets_a_defines_edge(tmp_path):
+    index = index_of(tmp_path, {
+        "mod.py": (
+            "def outer(items):\n"
+            "    def key(item):\n"
+            "        return item.rank\n"
+            "    return sorted(items, key=key)\n"
+        ),
+    })
+    # Even though `key` is only passed as a callback (a dynamic call the
+    # graph cannot see), the defines-edge keeps its body reachable.
+    assert "mod.outer.key" in index.callees["mod.outer"]
+
+
+def test_dynamic_dispatch_is_counted_not_guessed(tmp_path):
+    index = index_of(tmp_path, {
+        "mod.py": (
+            "def call_through(fn, obj):\n"
+            "    fn()\n"
+            "    getattr(obj, 'method')()\n"
+            "    obj.anything()\n"
+        ),
+    })
+    assert index.callees.get("mod.call_through", []) == []
+    # fn(), the getattr(...)() result, and obj.anything() are dynamic;
+    # getattr itself resolves to builtins (external).
+    assert index.unresolved["mod.call_through"] == 3
+    assert "builtins.getattr" in index.external_calls["mod.call_through"]
+    assert index.summary()["unresolved_calls"] == 3
+
+
+def test_module_bodies_are_nodes_but_not_function_defs(tmp_path):
+    index = index_of(tmp_path, {
+        "mod.py": (
+            "def setup():\n"
+            "    return 1\n"
+            "STATE = setup()\n"
+        ),
+    })
+    assert index.callees["mod.<module>"] == ["mod.setup"]
+    assert [fn.qualname for fn in index.function_defs()] == ["mod.setup"]
+    assert index.summary()["functions"] == 1
+
+
+def test_build_is_deterministic(tmp_path):
+    files = {
+        "a.py": "from b import go\ndef one():\n    return go()\n",
+        "b.py": "def go():\n    return 2\ndef two():\n    return go()\n",
+    }
+    root = make_tree(tmp_path, files)
+    first, _ = build_index([root], root=root)
+    second, _ = build_index([root], root=root)
+    assert first.callees == second.callees
+    assert first.callers == second.callers
+    assert first.summary() == second.summary()
+
+
+# --------------------------------------------------------------------- #
+# dataflow primitives
+# --------------------------------------------------------------------- #
+
+def test_reachable_includes_roots_and_closes_transitively():
+    edges = {"a": ["b"], "b": ["c"], "x": ["y"]}
+    assert reachable(edges, ["a"]) == {"a", "b", "c"}
+    assert reachable(edges, ["b", "x"]) == {"b", "c", "x", "y"}
+    assert reachable(edges, []) == set()
+
+
+def test_reachable_handles_cycles():
+    edges = {"a": ["b"], "b": ["a", "c"]}
+    assert reachable(edges, ["a"]) == {"a", "b", "c"}
+
+
+def test_propagate_saturates_facts_over_cycles():
+    edges = {"a": ["b"], "b": ["c", "a"]}
+    facts = propagate(edges, {"a": {"seed"}})
+    assert facts["a"] == frozenset({"seed"})
+    assert facts["b"] == frozenset({"seed"})
+    assert facts["c"] == frozenset({"seed"})
+
+
+def test_propagate_merges_facts_from_multiple_roots():
+    edges = {"a": ["c"], "b": ["c"]}
+    facts = propagate(edges, {"a": {"env"}, "b": {"seed"}})
+    assert facts["c"] == frozenset({"env", "seed"})
+
+
+def test_invert_edges():
+    assert invert_edges({"a": ["b", "c"], "c": ["b"]}) == {
+        "b": ["a", "c"], "c": ["a"],
+    }
+
+
+def test_expr_names_walks_whole_expression():
+    expr = ast.parse("f(x) + obj.attr[key]", mode="eval").body
+    assert expr_names(expr) == {"f", "x", "obj", "key"}
+
+
+@pytest.mark.parametrize("body,derived,ambient", [
+    ("rng_seed = seed + 1", {"rng_seed"}, set()),
+    ("a = 1\nb = a + seed\nc = b * 2", {"b", "c"}, {"a"}),
+    ("(walrus := seed)", {"walrus"}, set()),
+    ("fixed = 1234", set(), {"fixed"}),
+])
+def test_param_derived_names_closure(body, derived, ambient):
+    src = "def fn(seed):\n" + textwrap.indent(body, "    ") + "\n"
+    fn = ast.parse(src).body[0]
+    got = param_derived_names(fn)
+    assert "seed" in got
+    assert derived <= got
+    assert not (ambient & got)
+
+
+# --------------------------------------------------------------------- #
+# entry-point detection
+# --------------------------------------------------------------------- #
+
+def test_flow_entry_pragma_and_scenario_decorator(tmp_path):
+    from repro.analysis.lint.flow_rules import entry_summary
+
+    index = index_of(tmp_path, {
+        "mod.py": (
+            "from repro.experiments.registry import scenario\n"
+            "@scenario('demo')\n"
+            "def trial(ctx):\n"
+            "    return 1\n"
+            "def pump():  # repro: flow-entry[coordinator]\n"
+            "    return 2\n"
+            "def grind():  # repro: flow-entry[worker]\n"
+            "    return 3\n"
+            "def bystander():\n"
+            "    return 4\n"
+        ),
+    })
+    summary = entry_summary(index)
+    assert summary["scenario_entries"] == 1
+    assert summary["coordinator_entries"] == 1
+    # @scenario trial bodies execute inside chunk workers too.
+    assert summary["worker_entries"] == 2
+
+
+def test_file_context_qualname_resolves_aliases(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text(
+        "import numpy as np\n"
+        "x = np.random.default_rng(0)\n"
+    )
+    ctx = FileContext(target, "mod.py", target.read_text())
+    call = next(
+        node for node in ast.walk(ctx.tree) if isinstance(node, ast.Call)
+    )
+    assert ctx.qualname(call.func) == "numpy.random.default_rng"

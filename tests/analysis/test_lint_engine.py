@@ -36,7 +36,9 @@ from repro.cli import main
 def test_rule_ids_sorted_and_complete():
     ids = rule_ids()
     assert ids == sorted(ids)
-    assert ids == [f"REP{n:03d}" for n in range(1, 9)]
+    assert ids == [f"REP{n:03d}" for n in range(1, 9)] + [
+        f"REP{n}" for n in range(101, 105)
+    ]
 
 
 def test_rules_carry_docs_metadata():
@@ -260,11 +262,12 @@ def test_json_schema_is_stable(tmp_path, capsys):
     payload = json.loads(capsys.readouterr().out)
     assert set(payload) == {
         "version", "tool", "files_checked", "findings", "stats",
-        "parse_errors",
+        "parse_errors", "graph", "dead_suppressions",
     }
-    assert payload["version"] == 1
+    assert payload["version"] == 2
     assert payload["tool"] == "repro-lint"
     assert payload["files_checked"] == 1
+    assert payload["graph"] is None  # flow phase off by default
     (finding,) = payload["findings"]
     assert set(finding) == {
         "path", "line", "col", "rule", "message", "hint", "fingerprint",
@@ -273,9 +276,29 @@ def test_json_schema_is_stable(tmp_path, capsys):
     assert finding["line"] == 4 and finding["col"] >= 1
     assert set(payload["stats"]) == {
         "total", "by_rule", "by_package", "suppressed", "baselined",
-        "files_checked",
+        "files_checked", "dead_suppressions",
     }
     assert payload["stats"]["by_rule"] == {"REP003": 1}
+
+
+def test_json_graph_payload_under_flow(tmp_path, capsys):
+    target = tmp_path / "mod.py"
+    target.write_text("def helper():\n    return 1\n")
+    assert main(
+        ["lint", str(target), "--flow", "--format", "json",
+         "--baseline", "none"]
+    ) == 0
+    payload = json.loads(capsys.readouterr().out)
+    graph = payload["graph"]
+    assert set(graph) == {
+        "modules", "functions", "call_edges", "external_calls",
+        "unresolved_calls", "entries",
+    }
+    assert graph["modules"] == 1 and graph["functions"] == 1
+    assert set(graph["entries"]) == {
+        "scenario_entries", "worker_entries", "coordinator_entries",
+        "scenario_reachable", "worker_reachable", "coordinator_reachable",
+    }
 
 
 def test_to_json_text_is_deterministic(tmp_path):
@@ -299,3 +322,248 @@ def test_rules_are_pure_ast_checks(tmp_path):
     run_lint([target], root=tmp_path)
     assert not marker.exists()
     assert isinstance(ast.parse(target.read_text()), ast.Module)
+
+
+# --------------------------------------------------------------------- #
+# fingerprint robustness under line drift
+# --------------------------------------------------------------------- #
+
+DRIFT_SNIPPETS = {
+    "multiline-statement": (
+        "import os\n"
+        "value = os.environ[\n"
+        '    "REPRO_X"\n'
+        "]\n"
+    ),
+    "decorated-def": (
+        "import functools\n"
+        "import os\n"
+        "@functools.lru_cache\n"
+        "def f():\n"
+        '    return os.getenv("REPRO_X")\n'
+    ),
+    "walrus-body": (
+        "import os\n"
+        'y = (z := os.getenv("REPRO_X"))\n'
+    ),
+    "lambda-body": (
+        "import os\n"
+        'f = lambda: os.getenv("REPRO_X")\n'
+    ),
+    "duplicate-identical-lines": (
+        "import os\n"
+        'a = os.getenv("REPRO_X")\n'
+        'a = os.getenv("REPRO_X")\n'
+    ),
+}
+
+
+@pytest.mark.parametrize("shape", sorted(DRIFT_SNIPPETS))
+def test_fingerprints_stable_under_line_drift(shape, tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text(DRIFT_SNIPPETS[shape])
+    before = run_lint([target], root=tmp_path, select=["REP003"])
+    assert before.findings, f"snippet {shape!r} produced no findings"
+    target.write_text("# drift\n# drift\n" + DRIFT_SNIPPETS[shape])
+    after = run_lint([target], root=tmp_path, select=["REP003"])
+    assert [f.fingerprint for f in before.findings] == [
+        f.fingerprint for f in after.findings
+    ]
+    for old, new in zip(before.findings, after.findings):
+        assert new.line == old.line + 2
+
+
+# --------------------------------------------------------------------- #
+# dead-suppression detection
+# --------------------------------------------------------------------- #
+
+def _dead_of_kind(report, kind):
+    # Linting one tmp file legitimately reports the selected rule's
+    # repo-tree exempt paths as unmatched; these tests care about the
+    # pragma/baseline kinds only.
+    return [d for d in report.dead_suppressions if d["kind"] == kind]
+
+
+def test_dead_noqa_pragma_is_reported(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text("VALUE = 1  # repro: noqa[REP003]\n")
+    report = run_lint([target], root=tmp_path, select=["REP003"])
+    assert report.findings == []
+    assert [(d["kind"], d["line"]) for d in _dead_of_kind(report, "noqa")] == [
+        ("noqa", 1)
+    ]
+    assert report.stats()["dead_suppressions"] == len(report.dead_suppressions)
+
+
+def test_live_noqa_pragma_is_not_reported(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text(
+        "import os\n"
+        'a = os.getenv("X")  # repro: noqa[REP003]\n'
+    )
+    report = run_lint([target], root=tmp_path, select=["REP003"])
+    assert report.suppressed == 1
+    assert _dead_of_kind(report, "noqa") == []
+
+
+def test_pragma_in_docstring_is_inert(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text(
+        '"""Example docs: suppress with ``# repro: noqa[REP003]``."""\n'
+        "import os\n"
+        'a = os.getenv("X")\n'
+    )
+    report = run_lint([target], root=tmp_path, select=["REP003"])
+    # Mentioning pragma syntax in a docstring neither suppresses the
+    # finding on that line nor registers as a dead suppression.
+    assert len(report.findings) == 1
+    assert _dead_of_kind(report, "noqa") == []
+
+
+def test_dead_baseline_entry_is_reported(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text("import os\n" 'a = os.getenv("X")\n')
+    first = run_lint([target], root=tmp_path, select=["REP003"])
+    baseline = Baseline.from_findings(first.findings)
+    target.write_text("VALUE = 1\n")  # the violation is gone
+    second = run_lint(
+        [target], root=tmp_path, select=["REP003"], baseline=baseline
+    )
+    assert second.findings == []
+    assert [d["kind"] for d in _dead_of_kind(second, "baseline")] == [
+        "baseline"
+    ]
+
+
+def test_dead_exempt_path_is_reported(tmp_path):
+    spec = LintRule(
+        id="REP902", name="t", summary="t", hint="t",
+        check=lambda ctx: iter(()), exempt=("ghost/only_on_paper.py",),
+    )
+    register(spec)
+    try:
+        target = tmp_path / "mod.py"
+        target.write_text("VALUE = 1\n")
+        report = run_lint([target], root=tmp_path, select=["REP902"])
+    finally:
+        unregister("REP902")
+    assert [(d["kind"], d["path"]) for d in report.dead_suppressions] == [
+        ("exempt", "ghost/only_on_paper.py")
+    ]
+
+
+def test_cli_check_suppressions_gates(tmp_path, capsys):
+    target = tmp_path / "mod.py"
+    target.write_text("VALUE = 1  # repro: noqa[REP003]\n")
+    assert main(
+        ["lint", str(target), "--baseline", "none", "--select", "REP003"]
+    ) == 0
+    assert main(
+        ["lint", str(target), "--baseline", "none", "--select", "REP003",
+         "--check-suppressions"]
+    ) == 1
+    out = capsys.readouterr().out
+    assert "dead suppressions" in out
+
+
+# --------------------------------------------------------------------- #
+# baseline ratchet
+# --------------------------------------------------------------------- #
+
+def test_baseline_gained_over():
+    old = Baseline(fingerprints={"aa": {"rule": "REP003"}})
+    same = Baseline(fingerprints={"aa": {"rule": "REP003"}})
+    grown = Baseline(
+        fingerprints={"aa": {"rule": "REP003"}, "bb": {"rule": "REP007"}}
+    )
+    shrunk = Baseline(fingerprints={})
+    assert same.gained_over(old) == []
+    assert grown.gained_over(old) == ["bb"]
+    assert shrunk.gained_over(old) == []
+
+
+def test_cli_ratchet_fails_on_growth(tmp_path, capsys, monkeypatch):
+    repo = tmp_path / "repo"
+    repo.mkdir()
+    old = tmp_path / "old-baseline.json"
+    Baseline(fingerprints={"aa": {"rule": "REP003", "path": "x.py"}}).save(old)
+    Baseline(
+        fingerprints={
+            "aa": {"rule": "REP003", "path": "x.py"},
+            "bb": {"rule": "REP007", "path": "y.py"},
+        }
+    ).save(repo / "lint-baseline.json")
+    import repro.analysis.lint.engine as engine_mod
+
+    monkeypatch.setattr(engine_mod, "_REPO_ROOT", repo)
+    assert main(["lint", "--ratchet", str(old)]) == 1
+    out = capsys.readouterr().out
+    assert "gained" in out and "bb" in out
+    # Shrinking (or staying equal) passes.
+    Baseline(fingerprints={}).save(repo / "lint-baseline.json")
+    assert main(["lint", "--ratchet", str(old)]) == 0
+    assert "ratchet ok" in capsys.readouterr().out
+
+
+# --------------------------------------------------------------------- #
+# graph debug command
+# --------------------------------------------------------------------- #
+
+def test_cli_graph_prints_callers_callees_and_facts(tmp_path, capsys,
+                                                    monkeypatch):
+    target = tmp_path / "mod.py"
+    target.write_text(
+        "def outer():  # repro: flow-entry[coordinator]\n"
+        "    return inner()\n"
+        "\n"
+        "def inner():\n"
+        "    return 1\n"
+    )
+    import repro.analysis.lint.engine as engine_mod
+
+    monkeypatch.setattr(engine_mod, "_REPO_ROOT", tmp_path)
+    assert main(["lint", "graph", "mod.inner", str(target)]) == 0
+    out = capsys.readouterr().out
+    assert "mod.inner" in out
+    assert "<- mod.outer" in out
+    assert "coordinator-reachable" in out
+
+
+def test_cli_graph_unknown_symbol_is_user_error(tmp_path, capsys):
+    target = tmp_path / "mod.py"
+    target.write_text("def f():\n    return 1\n")
+    assert main(["lint", "graph", "no.such.symbol", str(target)]) == 2
+    assert "unknown symbol" in capsys.readouterr().err
+
+
+# --------------------------------------------------------------------- #
+# flow determinism (byte-identical across runs and hash seeds)
+# --------------------------------------------------------------------- #
+
+def test_flow_json_deterministic_across_hash_seeds(tmp_path):
+    import os
+    import subprocess
+    import sys
+
+    script = (
+        "import json, pathlib, sys\n"
+        "from repro.analysis.lint import run_lint, to_json_text\n"
+        "root = pathlib.Path(sys.argv[1])\n"
+        "report = run_lint([root / 'src'], root=root, flow=True)\n"
+        "sys.stdout.write(to_json_text(report))\n"
+    )
+    from repro.analysis.lint import repo_root
+
+    outputs = []
+    for hash_seed in ("1", "4242"):
+        env = dict(os.environ)
+        env["PYTHONHASHSEED"] = hash_seed
+        env["PYTHONPATH"] = str(repo_root() / "src")
+        proc = subprocess.run(
+            [sys.executable, "-c", script, str(repo_root())],
+            capture_output=True, text=True, env=env, check=True,
+        )
+        outputs.append(proc.stdout)
+    assert outputs[0] == outputs[1]
+    payload = json.loads(outputs[0])
+    assert payload["graph"]["functions"] > 500

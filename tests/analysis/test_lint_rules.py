@@ -17,7 +17,10 @@ from repro.analysis.lint.suppress import Baseline
 
 FIXTURES = pathlib.Path(__file__).parent / "fixtures"
 
-RULES = [f"REP{n:03d}" for n in range(1, 9)]
+# Per-file tier (REP0xx) plus the whole-program flow tier (REP1xx).
+RULES = [f"REP{n:03d}" for n in range(1, 9)] + [
+    f"REP{n}" for n in range(101, 105)
+]
 
 _MARKER = re.compile(r"#\s*expect\[(REP\d{3})\]")
 
@@ -97,3 +100,42 @@ def test_baseline_grandfathers_each_finding(rule_id):
     )
     assert second.findings == []
     assert second.baselined == len(first.findings)
+
+
+# --------------------------------------------------------------------- #
+# flow-tier specifics
+# --------------------------------------------------------------------- #
+
+def test_flow_rules_are_marked_and_gated():
+    from repro.analysis.lint.registry import get_rule
+
+    for rule_id in RULES:
+        assert get_rule(rule_id).flow == rule_id.startswith("REP1")
+    # Without flow=True and without an explicit select, the flow tier
+    # stays off: the bad fixture comes back clean.
+    path = FIXTURES / "rep101_bad.py"
+    report = run_lint([path], root=FIXTURES)
+    assert [f for f in report.findings if f.rule.startswith("REP1")] == []
+    # flow=True turns it on without any select.
+    report = run_lint([path], root=FIXTURES, flow=True, ignore=None)
+    assert any(f.rule == "REP101" for f in report.findings)
+
+
+def test_cross_module_propagation_fires():
+    # The two-module pair: a coordinator in one file mutating mutable
+    # module state that a worker entry in another file reads. Scanning
+    # both files must produce the finding at the cross-module write.
+    pair = [
+        FIXTURES / "rep103_pair_writer.py",
+        FIXTURES / "rep103_pair_state.py",
+    ]
+    report = run_lint(pair, root=FIXTURES, select=["REP103"])
+    assert [(f.path, f.rule) for f in report.findings] == [
+        ("rep103_pair_writer.py", "REP103")
+    ]
+    want = expected_lines(pair[0], "REP103")
+    assert [f.line for f in report.findings] == want
+    # Scanning the writer alone severs the import edge: the state
+    # module is unknown, so the conservative graph stays silent.
+    alone = run_lint([pair[0]], root=FIXTURES, select=["REP103"])
+    assert alone.findings == []
