@@ -31,6 +31,9 @@ __all__ = [
     "secured_bits_sweep",
     "DefenseComparisonRow",
     "evaluate_defense_row",
+    "TOURNAMENT_CELL_METRICS",
+    "evaluate_tournament_cell",
+    "tournament_matrix_rows",
 ]
 
 
@@ -233,6 +236,116 @@ class DefenseComparisonRow:
     clean_accuracy: float
     post_attack_accuracy: float
     bit_flips: int
+
+
+# ---------------------------------------------------------------------- #
+# Tournament matrix: attacker x defense cells (generalizes Figs. 6/7)
+# ---------------------------------------------------------------------- #
+
+# The fixed per-cell metric vocabulary.  Every tournament trial reports
+# exactly these keys (plus the cell coordinates), because the runner's
+# aggregation requires each metric to be present in every trial.
+TOURNAMENT_CELL_METRICS: tuple[str, ...] = (
+    "clean_accuracy",
+    "floor_accuracy",
+    "recovery_accuracy",
+    "accuracy_drop",
+    "recovery_gain",
+    "attempts",
+    "flips_landed",
+    "flips_blocked",
+    "detections",
+    "detection_rate",
+    "recovered_weights",
+    "detection_ns",
+    "defense_reactions",
+)
+
+
+def evaluate_tournament_cell(
+    attacker_name: str,
+    defense,
+    dataset: Dataset,
+    budget: int,
+    seed: int,
+    params: dict | None = None,
+) -> dict[str, float]:
+    """Run one tournament cell: a registered attacker vs a live defense.
+
+    The cell protocol mirrors a real deployment's lifetime: measure the
+    defended model's clean accuracy, run the attack through the
+    defense's executor (ticking the defense as it goes), measure the
+    post-attack accuracy *floor*, give the defense its post-attack
+    :meth:`~repro.defenses.protocol.Defense.recover` pass, and measure
+    the recovered accuracy.  Detection counters and the detection-ns
+    cost come out of the defense's
+    :class:`~repro.defenses.base.DefenseStats` notes.
+
+    Returns the flat scalar metrics of :data:`TOURNAMENT_CELL_METRICS`
+    (artifact- and merge-safe).  The caller owns ``defense.close()``.
+    """
+    from repro.attacks.protocol import AttackContext
+    from repro.attacks.registry import build_attacker
+
+    deployed = defense.qmodel  # transforms may have replaced the model
+    clean = evaluate(deployed.model, dataset.x_test, dataset.y_test)
+    context = AttackContext(
+        qmodel=deployed,
+        dataset=dataset,
+        seed=seed,
+        budget=int(budget),
+        executor=defense.executor(),
+        defense=defense,
+        params=dict(params or {}),
+        eval_x=dataset.x_test,
+        eval_y=dataset.y_test,
+    )
+    outcome = build_attacker(attacker_name).execute(context)
+    floor = evaluate(deployed.model, dataset.x_test, dataset.y_test)
+    recovered_weights = int(defense.recover())
+    recovery = evaluate(deployed.model, dataset.x_test, dataset.y_test)
+    stats = defense.finalize()
+    detections = int(stats.notes.get("detections", 0))
+    landed = outcome.num_flips
+    return {
+        "clean_accuracy": float(clean),
+        "floor_accuracy": float(floor),
+        "recovery_accuracy": float(recovery),
+        "accuracy_drop": float(clean - floor),
+        "recovery_gain": float(recovery - floor),
+        "attempts": float(outcome.attempts),
+        "flips_landed": float(landed),
+        "flips_blocked": float(outcome.blocked),
+        "detections": float(detections),
+        "detection_rate": float(detections / landed) if landed else 0.0,
+        "recovered_weights": float(recovered_weights),
+        "detection_ns": float(stats.notes.get("detection_ns", 0)),
+        "defense_reactions": float(stats.reactions),
+    }
+
+
+def tournament_matrix_rows(
+    cells: list[tuple],
+    per_trial_metrics: list[dict],
+) -> dict[tuple, dict[str, float]]:
+    """Re-assemble the matrix from a run's raw per-trial metrics.
+
+    ``cells`` is the grid order the scenario derived from its params;
+    each trial carries its ``cell_index`` metric, so replicated trials of
+    the same cell average together.  Returns ``{cell: {metric: mean}}``
+    keyed by the (model, defense, attacker, budget) tuples.
+    """
+    grouped: dict[tuple, list[dict]] = {}
+    for metrics in per_trial_metrics:
+        cell = tuple(cells[int(metrics["cell_index"])])
+        grouped.setdefault(cell, []).append(metrics)
+    rows: dict[tuple, dict[str, float]] = {}
+    for cell, group in grouped.items():
+        rows[cell] = {
+            key: float(np.mean([m[key] for m in group]))
+            for key in TOURNAMENT_CELL_METRICS
+        }
+    return rows
 
 
 def evaluate_defense_row(

@@ -1,4 +1,5 @@
-"""Adversarial weight attacks: BFA, random flips, RowHammer driver."""
+"""Adversarial weight attacks: BFA, random flips, RowHammer driver, and
+the registry-backed ``Attacker`` protocol (``@attacker``)."""
 
 from repro.attacks.adaptive import (
     SemiWhiteBoxResult,
@@ -15,15 +16,39 @@ from repro.attacks.executor import (
 )
 from repro.attacks.hammer import HammerExecutor, RowHammerAttacker, TickingDefense
 from repro.attacks.profile import ProfileResult, profile_vulnerable_bits
+from repro.attacks.protocol import AttackContext, Attacker, AttackOutcome
 from repro.attacks.random_attack import (
     RandomAttackResult,
     random_bit_attack,
     sample_random_bits,
 )
+from repro.attacks.registry import (
+    AttackerSpec,
+    attacker,
+    attacker_names,
+    build_attacker,
+    get_attacker,
+    iter_attackers,
+    register_attacker,
+    unregister_attacker,
+)
+from repro.attacks.smart_bfa import SmartBfaAttacker
 from repro.attacks.tbfa import TargetedBitFlipAttack, TbfaConfig, TbfaResult
 from repro.attacks.threat import SEMI_WHITE_BOX, WHITE_BOX, ThreatModel
 
 __all__ = [
+    "AttackContext",
+    "Attacker",
+    "AttackOutcome",
+    "AttackerSpec",
+    "attacker",
+    "attacker_names",
+    "build_attacker",
+    "get_attacker",
+    "iter_attackers",
+    "register_attacker",
+    "unregister_attacker",
+    "SmartBfaAttacker",
     "SemiWhiteBoxResult",
     "semi_white_box_attack",
     "white_box_adaptive_attack",

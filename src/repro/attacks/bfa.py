@@ -119,6 +119,10 @@ class BitFlipAttack:
         config: search parameters.
         skip: bits the attacker will not target (adaptive attacker skipping
             bits it knows are secured, or bits burned in earlier rounds).
+        skip_bit_positions: whole bit *columns* (0..7) the attacker avoids
+            in every weight of every layer — the smart-bfa attacker's way
+            of staying invisible to checksum defenses that only guard the
+            high bit positions.  ``None`` (default) targets all columns.
         executor: how committed flips are attempted; defaults to the
             undefended software executor.
         eval_x / eval_y: held-out data for the reported accuracy curve;
@@ -135,12 +139,25 @@ class BitFlipAttack:
         executor: FlipExecutor | None = None,
         eval_x: np.ndarray | None = None,
         eval_y: np.ndarray | None = None,
+        skip_bit_positions: frozenset[int] | None = None,
     ):
         self.qmodel = qmodel
         self.attack_x = attack_x
         self.attack_y = attack_y
         self.config = config or BfaConfig()
         self.skip = set(skip or ())
+        self.skip_bit_positions = frozenset(skip_bit_positions or ())
+        if any(b < 0 or b > 7 for b in self.skip_bit_positions):
+            raise ValueError(
+                f"skip_bit_positions must be in 0..7, "
+                f"got {sorted(self.skip_bit_positions)}"
+            )
+        # Column index array for vectorised masking (None when unused so
+        # the default path stays byte-for-byte identical).
+        self._skip_columns = (
+            np.array(sorted(self.skip_bit_positions), dtype=np.intp)
+            if self.skip_bit_positions else None
+        )
         self.executor = executor or SoftwareFlipExecutor(qmodel)
         self.eval_x = attack_x if eval_x is None else eval_x
         self.eval_y = attack_y if eval_y is None else eval_y
@@ -198,6 +215,8 @@ class BitFlipAttack:
         if mask is None:
             layer = self.qmodel.layer(layer_index)
             mask = np.zeros(layer.num_weights * 8, dtype=bool)
+            if self._skip_columns is not None:
+                mask.reshape(-1, 8)[:, self._skip_columns] = True
             for location in self.skip:
                 if location.layer == layer_index:
                     mask[location.index * 8 + location.bit] = True
@@ -262,6 +281,8 @@ class BitFlipAttack:
         grad = layer.grad_flat().astype(np.float64)
         deltas = self._bit_deltas(layer.weight_int) * layer.scale
         scores = grad[:, None] * deltas        # estimated dL per (weight, bit)
+        if self._skip_columns is not None:
+            scores[:, self._skip_columns] = -np.inf
         order = np.argsort(scores, axis=None)[::-1]
         budget = 64 + self._skip_per_layer.get(layer_index, 0) + len(self.tried)
         limit = min(order.size, budget)

@@ -1,0 +1,142 @@
+"""Attacker registry: named :class:`Attacker` factories (``@attacker``).
+
+The exact counterpart of the defense registry
+(:mod:`repro.defenses.registry`): an :class:`AttackerSpec` describes one
+registered attacker — a zero-argument factory returning a fresh
+:class:`repro.attacks.protocol.Attacker` — and the ``@attacker``
+decorator registers it by name.  The ``tournament-matrix`` scenario and
+``repro list --kind attackers`` resolve attackers here.
+
+``REPRO_ATTACKER_MODULES`` (comma-separated module names) names extra
+modules to import for their registration side effects, so shard worker
+subprocesses see dynamically registered attackers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.attacks.protocol import Attacker
+
+__all__ = [
+    "AttackerSpec",
+    "attacker",
+    "register_attacker",
+    "unregister_attacker",
+    "get_attacker",
+    "attacker_names",
+    "iter_attackers",
+    "build_attacker",
+]
+
+_REGISTRY: dict[str, "AttackerSpec"] = {}
+
+
+@dataclass
+class AttackerSpec:
+    """One registered attacker.
+
+    Attributes:
+        name: Registry identifier (``bfa``, ``smart-bfa`` …).
+        build: ``() -> Attacker`` factory (attackers carry no build-time
+            state; everything arrives through the ``AttackContext``).
+        title: One-line description (shown by ``repro list``).
+        kind: Threat-model class — ``"baseline"`` (no gradient access),
+            ``"white-box"`` (full gradients, defense-blind),
+            ``"adaptive"`` (defense-aware), or ``"targeted"``.
+        cost: Relative attack cost hint (1.0 = a random-flip campaign);
+            feeds the tournament's ``trial_cost`` scheduling hint.
+            Never affects results.
+        tournament: Whether the attacker is in the default
+            ``tournament-matrix`` roster.
+    """
+
+    name: str
+    build: Callable[[], Attacker]
+    title: str = ""
+    kind: str = "white-box"
+    cost: float = 1.0
+    tournament: bool = True
+
+    def __call__(self) -> Attacker:
+        return self.build()
+
+
+def register_attacker(spec: AttackerSpec) -> AttackerSpec:
+    """Add ``spec`` to the registry; duplicate names are an error."""
+    if spec.name in _REGISTRY:
+        raise ValueError(f"attacker {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def unregister_attacker(name: str) -> None:
+    """Remove an attacker (tests registering throwaway attackers)."""
+    _REGISTRY.pop(name, None)
+
+
+def attacker(
+    name: str,
+    *,
+    title: str = "",
+    kind: str = "white-box",
+    cost: float = 1.0,
+    tournament: bool = True,
+) -> Callable[[Callable[[], Attacker]], AttackerSpec]:
+    """Decorator: register the wrapped factory as a named attacker."""
+
+    def wrap(fn: Callable[[], Attacker]) -> AttackerSpec:
+        return register_attacker(
+            AttackerSpec(
+                name=name, build=fn, title=title, kind=kind, cost=cost,
+                tournament=tournament,
+            )
+        )
+
+    return wrap
+
+
+def get_attacker(name: str) -> AttackerSpec:
+    """Resolve an attacker by name; raise with the catalogue on miss."""
+    _ensure_builtins()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "<none>"
+        raise KeyError(
+            f"unknown attacker {name!r}; registered attackers: {known}"
+        ) from None
+
+
+def attacker_names() -> list[str]:
+    """Sorted names of all registered attackers."""
+    _ensure_builtins()
+    return sorted(_REGISTRY)
+
+
+def iter_attackers(kind: str | None = None) -> Iterator[AttackerSpec]:
+    """Iterate attackers in name order, optionally filtered by kind."""
+    _ensure_builtins()
+    for name in sorted(_REGISTRY):
+        spec = _REGISTRY[name]
+        if kind is None or spec.kind == kind:
+            yield spec
+
+
+def build_attacker(name: str) -> Attacker:
+    """Resolve + instantiate in one call (the scenario entry point)."""
+    return get_attacker(name).build()
+
+
+def _ensure_builtins() -> None:
+    """Import the built-in attacker registrations exactly once."""
+    import importlib
+
+    import repro.attacks.builtin  # noqa: F401  (registers on import)
+
+    from repro.utils.env import env_str
+
+    extra = env_str("REPRO_ATTACKER_MODULES", "")
+    for module in filter(None, (m.strip() for m in extra.split(","))):
+        importlib.import_module(module)

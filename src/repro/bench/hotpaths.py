@@ -37,6 +37,15 @@ variants — the optimized fast path (``after``) and the legacy slow path
   (``ShardedBackend(static=True)``) vs small work-stealing leases;
   tracks end-to-end sweep throughput (``trials_per_s``) under load
   imbalance.
+* ``radar_detection_sweep`` — one full-model RADAR checksum sweep:
+  vectorized per-layer signature recompute vs the pure-Python serial
+  reference; parity demands identical signatures and identical
+  mismatched-group lists over a tampered model.
+* ``tournament_trial`` — one tournament-matrix cell (build the RADAR
+  defense, run smart-bfa through its executor, recover, collect stats)
+  with the vectorized ``nn.functional`` kernels vs the legacy serial
+  kernels (``REPRO_NN_VECTORIZED=0``); parity compares the full cell
+  metric payload.
 * ``defended_vs_undefended`` — one hammer window with DNN-Defender
   ticking vs undefended (an overhead measurement, not a before/after).
 * ``timing_checker`` — one hammer window with an audit-mode
@@ -640,6 +649,99 @@ def bench_straggler_sweep(quick: bool) -> dict:
     )
 
 
+def bench_radar_detection_sweep(quick: bool) -> dict:
+    """One full-model RADAR sweep: vectorized vs pure-Python signatures.
+
+    Tampers a handful of guarded MSBs first so the sweep has real
+    detections to report; ``sweep`` never repairs, so the mismatch set
+    is stable across reps.  Parity demands the two recompute paths
+    agree on every per-layer signature vector *and* on the mismatched
+    ``(layer, group)`` list.
+    """
+    from repro.defenses.radar import RadarDefense
+
+    reps = 5 if quick else 20
+    qmodel = _bench_model()
+    radar = RadarDefense(qmodel, group_size=32)
+    for target in _hammer_targets(qmodel, 4):  # bit 6: guarded column
+        qmodel.flip_bit(target)
+
+    before = _timed(lambda: radar.sweep(reference=True), reps)
+    after = _timed(lambda: radar.sweep(), reps)
+    mismatched = radar.sweep()
+    parity = (
+        len(mismatched) > 0
+        and mismatched == radar.sweep(reference=True)
+        and all(
+            np.array_equal(
+                radar._layer_signatures(i),
+                radar._layer_signatures_reference(i),
+            )
+            for i in range(qmodel.num_layers)
+        )
+    )
+    return _entry(
+        "radar_detection_sweep",
+        f"full-model RADAR checksum sweep ({radar.num_groups} groups, "
+        f"{qmodel.total_weights} weights, {len(mismatched)} tampered): "
+        "pure-Python reference vs vectorized",
+        reps,
+        {"before": _stats(before), "after": _stats(after)},
+        parity,
+    )
+
+
+def bench_tournament_trial(quick: bool) -> dict:
+    """One tournament-matrix cell: legacy vs vectorized nn kernels.
+
+    Runs the full cell pipeline — build the RADAR defense over a fresh
+    model, drive smart-bfa through its executor, recover, collect the
+    cell metric vocabulary — exactly as one ``tournament-matrix`` trial
+    does, minus the preset load (the bench model is untrained, keeping
+    the suite CI-safe).  ``before`` runs the legacy per-``(kh, kw)``
+    kernels (``REPRO_NN_VECTORIZED=0``); parity compares the complete
+    metric payload, which requires byte-identical accuracies and
+    detection accounting from both stacks.
+    """
+    from repro.analysis.defense_eval import evaluate_tournament_cell
+    from repro.defenses.protocol import DefenseContext
+    from repro.defenses.registry import build_defense
+
+    reps = 2 if quick else 4
+    budget = 3 if quick else 5
+    dataset = cifar10_like(n_train=128, n_test=128, seed=0)
+
+    def cell() -> dict:
+        qmodel = _bench_model()
+        defense = build_defense(
+            "radar", DefenseContext(qmodel=qmodel, dataset=dataset, seed=0)
+        )
+        try:
+            return evaluate_tournament_cell(
+                "smart-bfa", defense, dataset, budget=budget, seed=0
+            )
+        finally:
+            defense.close()
+
+    def run(vectorized: str):
+        with _env_override("REPRO_NN_VECTORIZED", vectorized):
+            times = _timed(cell, reps, warmup=1)
+            payload = cell()
+        return times, payload
+
+    before, payload_slow = run("0")
+    after, payload_fast = run("1")
+    parity = payload_fast == payload_slow
+    return _entry(
+        "tournament_trial",
+        f"one tournament cell (radar vs smart-bfa, budget {budget}, "
+        "eval batch 128): legacy kernels vs vectorized",
+        reps,
+        {"before": _stats(before), "after": _stats(after)},
+        parity,
+    )
+
+
 def bench_defended_vs_undefended(quick: bool) -> dict:
     """Hammer-window cost with DNN-Defender ticking vs undefended."""
     reps = 6 if quick else 20
@@ -728,6 +830,8 @@ HOTPATH_BENCHMARKS: dict[str, Callable[[bool], dict]] = {
     "fig6_trial": bench_fig6_trial,
     "sweep_trial": bench_sweep_trial,
     "straggler_sweep": bench_straggler_sweep,
+    "radar_detection_sweep": bench_radar_detection_sweep,
+    "tournament_trial": bench_tournament_trial,
     "defended_vs_undefended": bench_defended_vs_undefended,
     "timing_checker": bench_timing_checker,
 }

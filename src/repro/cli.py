@@ -71,9 +71,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    list_cmd = sub.add_parser("list", help="list registered scenarios")
+    list_cmd = sub.add_parser(
+        "list", help="list registered scenarios, defenses, or attackers"
+    )
     list_cmd.add_argument("--tag", default=None,
                           help="only scenarios carrying this tag")
+    list_cmd.add_argument("--kind", default="scenarios",
+                          choices=("scenarios", "defenses", "attackers",
+                                   "all"),
+                          help="which registry to list (default: scenarios)")
 
     run_cmd = sub.add_parser("run", help="run one or more scenarios")
     run_cmd.add_argument("scenarios", nargs="+", metavar="scenario")
@@ -339,7 +345,48 @@ def _parse_params(pairs: list[str]) -> dict:
     return params
 
 
+def _list_specs(label: str, specs: list, run_hint: str) -> int:
+    """Shared listing for defense/attacker registries."""
+    if not specs:
+        print(f"no {label} registered")
+        return 1
+    name_width = max(len(s.name) for s in specs)
+    kind_width = max(len(s.kind) for s in specs)
+    for spec in specs:
+        extras = [f"cost {spec.cost:g}"]
+        if spec.tournament:
+            extras.append("tournament")
+        print(
+            f"{spec.name:<{name_width}}  {spec.kind:<{kind_width}}  "
+            f"{spec.title}  [{'; '.join(extras)}]"
+        )
+    print(f"\n{len(specs)} {label}; {run_hint}")
+    return 0
+
+
 def _cmd_list(args) -> int:
+    kind = getattr(args, "kind", "scenarios")
+    status = 0
+    if kind in ("defenses", "all"):
+        from repro.defenses.registry import iter_defenses
+
+        status |= _list_specs(
+            "defenses", list(iter_defenses()),
+            "deploy with: DefendedDeployment.build(defense=<name>)",
+        )
+        if kind == "all":
+            print()
+    if kind in ("attackers", "all"):
+        from repro.attacks.registry import iter_attackers
+
+        status |= _list_specs(
+            "attackers", list(iter_attackers()),
+            "run with: deployment.run_attack(attacker=<name>)",
+        )
+        if kind == "all":
+            print()
+    if kind not in ("scenarios", "all"):
+        return status
     rows = list(iter_scenarios(tag=args.tag))
     if not rows:
         print("no scenarios registered" + (f" with tag {args.tag!r}" if args.tag else ""))

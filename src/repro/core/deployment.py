@@ -2,13 +2,23 @@
 
 Builds the stack the paper's Fig. 7 framework evaluates: quantize a trained
 model, place it in simulated DRAM, profile its vulnerable bits, and stand up
-a DNN-Defender instance over the resulting protection plan.  Examples,
-benchmarks and integration tests all start here.
+a defense over it.  Examples, benchmarks and integration tests all start
+here.
+
+The ``defense`` argument resolves through the defense registry
+(:mod:`repro.defenses.registry`): the default ``"dnn-defender"`` keeps the
+historical path — profile vulnerable bits, build the priority plan, attach
+the hooked :class:`~repro.core.defender.DNNDefender` — while any other
+registered name (``"radar"``, ``"shadow"``, ``"none"`` …) builds that
+defense over the placed model instead.  Either way the deployment exposes
+the uniform :class:`~repro.defenses.protocol.Defense` surface on
+``deployment.defense``, and ``attacker=`` names a registered attacker that
+:meth:`DefendedDeployment.run_attack` executes against the deployment.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -34,15 +44,25 @@ __all__ = ["DefendedDeployment"]
 
 @dataclass
 class DefendedDeployment:
-    """A quantized model living in defended DRAM."""
+    """A quantized model living in defended DRAM.
+
+    ``protection`` and ``defender`` are populated only on the default
+    ``defense="dnn-defender"`` path; registry-built defenses carry their
+    whole mechanism on ``defense``.
+    """
 
     dataset: Dataset
     qmodel: QuantizedModel
     controller: MemoryController
     layout: WeightLayout
-    protection: PriorityProtection
-    defender: DNNDefender
+    protection: PriorityProtection | None = None
+    defender: DNNDefender | None = None
     checker: "TimingChecker | None" = None
+    defense: object | None = None
+    defense_name: str = "dnn-defender"
+    attacker_name: str | None = None
+    seed: int = 0
+    defense_params: dict = field(default_factory=dict)
 
     @classmethod
     def build(
@@ -59,8 +79,18 @@ class DefendedDeployment:
         extra_secured_bits: set[BitLocation] | None = None,
         timing_check: str = "off",
         seed: int = 0,
+        defense: str = "dnn-defender",
+        attacker: str | None = None,
+        defense_params: dict | None = None,
     ) -> "DefendedDeployment":
-        """Quantize, place, profile, and defend ``model``.
+        """Quantize, place, and defend ``model``.
+
+        ``defense`` names a registered defense
+        (``repro.defenses.registry``); the default ``"dnn-defender"``
+        profiles vulnerable bits and attaches the hooked defender exactly
+        as before, any other name builds that defense over the placed
+        model (``defense_params`` feed its builder).  ``attacker`` names
+        a registered attacker for :meth:`run_attack`.
 
         ``timing_check`` attaches a :class:`TimingChecker` to the
         controller before any command is issued: ``"strict"`` raises on
@@ -78,21 +108,46 @@ class DefendedDeployment:
         layout = WeightLayout(
             qmodel, controller, reserved_rows=reserved_rows, seed=seed
         )
-        attack_x, attack_y = dataset.attack_batch(attack_batch_size, rng)
-        protection = build_priority_plan(
-            layout,
-            attack_x,
-            attack_y,
-            rounds=profile_rounds,
-            config=profile_config,
-            extra_bits=extra_secured_bits,
-        )
-        defender = DNNDefender(
-            controller,
-            protection.plan,
-            config=defender_config,
-            reserved_rows=reserved_rows,
-        )
+        protection = None
+        defender = None
+        defense_obj = None
+        if defense == "dnn-defender":
+            attack_x, attack_y = dataset.attack_batch(attack_batch_size, rng)
+            protection = build_priority_plan(
+                layout,
+                attack_x,
+                attack_y,
+                rounds=profile_rounds,
+                config=profile_config,
+                extra_bits=extra_secured_bits,
+            )
+            defender = DNNDefender(
+                controller,
+                protection.plan,
+                config=defender_config,
+                reserved_rows=reserved_rows,
+            )
+            from repro.defenses.protocol import SecuredBitsDefense
+
+            # Protocol view over the hooked defender: same secured set,
+            # so attackers query protected_bits() uniformly.
+            defense_obj = SecuredBitsDefense(qmodel, defender.secured_bits)
+        else:
+            from repro.defenses.protocol import DefenseContext
+            from repro.defenses.registry import build_defense
+
+            defense_obj = build_defense(
+                defense,
+                DefenseContext(
+                    qmodel=qmodel,
+                    dataset=dataset,
+                    seed=seed,
+                    params=dict(defense_params or {}),
+                    controller=controller,
+                    timing=timing,
+                ),
+            )
+            qmodel = defense_obj.qmodel  # transforms may replace the model
         return cls(
             dataset=dataset,
             qmodel=qmodel,
@@ -101,6 +156,11 @@ class DefendedDeployment:
             protection=protection,
             defender=defender,
             checker=checker,
+            defense=defense_obj,
+            defense_name=defense,
+            attacker_name=attacker,
+            seed=seed,
+            defense_params=dict(defense_params or {}),
         )
 
     @classmethod
@@ -139,9 +199,67 @@ class DefendedDeployment:
 
     def logical_executor(self) -> LogicalDefenseExecutor:
         """Fast analytical path with the same secured-bit semantics."""
+        if self.defender is None:
+            raise ValueError(
+                f"deployment built with defense={self.defense_name!r} has "
+                "no DNN-Defender secured-bit set; use flip_executor()"
+            )
         return LogicalDefenseExecutor(self.qmodel, self.defender.secured_bits)
+
+    def flip_executor(self):
+        """The deployment's defense-wrapped flip path, defense-agnostic."""
+        return self.defense.executor()
+
+    def attack_context(self, budget: int = 25, params: dict | None = None):
+        """An :class:`repro.attacks.protocol.AttackContext` over this
+        deployment: the defense's executor, the defense object for
+        defense-aware attackers, and the deployment's seed."""
+        from repro.attacks.protocol import AttackContext
+
+        return AttackContext(
+            qmodel=self.qmodel,
+            dataset=self.dataset,
+            seed=self.seed,
+            budget=budget,
+            executor=self.flip_executor(),
+            defense=self.defense,
+            params=dict(params or {}),
+        )
+
+    def run_attack(
+        self,
+        attacker: str | None = None,
+        budget: int = 25,
+        params: dict | None = None,
+    ):
+        """Execute a registered attacker against this deployment.
+
+        ``attacker`` defaults to the name given at :meth:`build` time;
+        returns the uniform :class:`repro.attacks.protocol.AttackOutcome`.
+        """
+        from repro.attacks.registry import build_attacker
+
+        name = attacker if attacker is not None else self.attacker_name
+        if name is None:
+            raise ValueError(
+                "no attacker named: pass attacker=... here or at build()"
+            )
+        return build_attacker(name).execute(
+            self.attack_context(budget=budget, params=params)
+        )
 
     def accuracy(self) -> float:
         return evaluate(
             self.qmodel.model, self.dataset.x_test, self.dataset.y_test
         )
+
+    def close(self) -> None:
+        """Detach the defense's controller hooks (idempotent)."""
+        if self.defense is not None:
+            self.defense.close()
+
+    def __enter__(self) -> "DefendedDeployment":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,8 +1,31 @@
-"""Baseline RowHammer mitigations and software BFA defenses."""
+"""Baseline RowHammer mitigations, software BFA defenses, and the
+registry-backed ``Defense`` protocol (``@defense``)."""
 
 from repro.defenses import software
 from repro.defenses.base import DefenseStats, HookedDefense, NoDefense
+from repro.defenses.behavioral import BEHAVIORAL_DEFENSES, BEHAVIORAL_PARAMS
 from repro.defenses.ppim import make_ppim
+from repro.defenses.protocol import (
+    BehavioralDefense,
+    Defense,
+    DefenseContext,
+    HookedDefenseAdapter,
+    ModelTransformDefense,
+    ReconstructionDefense,
+    SecuredBitsDefense,
+    UndefendedDefense,
+)
+from repro.defenses.radar import RadarDefense, RadarExecutor
+from repro.defenses.registry import (
+    DefenseSpec,
+    build_defense,
+    defense,
+    defense_names,
+    get_defense,
+    iter_defenses,
+    register_defense,
+    unregister_defense,
+)
 from repro.defenses.rrs import RandomizedRowSwap
 from repro.defenses.shadow import Shadow
 from repro.defenses.srs import SecureRowSwap
@@ -20,6 +43,26 @@ __all__ = [
     "DefenseStats",
     "HookedDefense",
     "NoDefense",
+    "BEHAVIORAL_DEFENSES",
+    "BEHAVIORAL_PARAMS",
+    "Defense",
+    "DefenseContext",
+    "DefenseSpec",
+    "BehavioralDefense",
+    "HookedDefenseAdapter",
+    "ModelTransformDefense",
+    "ReconstructionDefense",
+    "SecuredBitsDefense",
+    "UndefendedDefense",
+    "RadarDefense",
+    "RadarExecutor",
+    "build_defense",
+    "defense",
+    "defense_names",
+    "get_defense",
+    "iter_defenses",
+    "register_defense",
+    "unregister_defense",
     "make_ppim",
     "RandomizedRowSwap",
     "Shadow",

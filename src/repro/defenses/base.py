@@ -19,12 +19,59 @@ __all__ = ["DefenseStats", "HookedDefense", "NoDefense"]
 
 @dataclass
 class DefenseStats:
-    """Common counters across the baseline defenses."""
+    """Common counters across the baseline defenses.
+
+    ``notes`` holds per-defense counters that do not fit the shared
+    fields (RADAR's sweep/detection counts, a guard's corrections …).
+    Scenario artifacts keep only scalar metrics per trial, so notes ride
+    into artifacts through :meth:`as_metrics` (one scalar per counter)
+    and into detail payloads through :meth:`to_json` — both paths
+    survive ``repro merge`` because merging re-aggregates the same
+    per-trial scalars.
+    """
 
     reactions: int = 0           # swaps / shuffles / refreshes triggered
     rows_moved: int = 0
     skipped_for_budget: int = 0
     notes: dict[str, int] = field(default_factory=dict)
+
+    def note(self, key: str, count: int = 1) -> None:
+        """Bump one named counter."""
+        self.notes[key] = self.notes.get(key, 0) + count
+
+    def merge(self, other: "DefenseStats") -> "DefenseStats":
+        """Accumulate another stats record into this one (in place)."""
+        self.reactions += other.reactions
+        self.rows_moved += other.rows_moved
+        self.skipped_for_budget += other.skipped_for_budget
+        for key, count in other.notes.items():
+            self.note(key, count)
+        return self
+
+    def as_metrics(self, prefix: str = "") -> dict[str, float]:
+        """Flatten every counter — notes included — to scalar metrics.
+
+        This is the serialization-safe form: scenario metrics must be
+        scalars, and the runner carries each scalar through
+        ``per_trial_metrics``, the trial stream, and shard merging.
+        """
+        flat = {
+            f"{prefix}reactions": float(self.reactions),
+            f"{prefix}rows_moved": float(self.rows_moved),
+            f"{prefix}skipped_for_budget": float(self.skipped_for_budget),
+        }
+        for key in sorted(self.notes):
+            flat[f"{prefix}notes.{key}"] = float(self.notes[key])
+        return flat
+
+    def to_json(self) -> dict:
+        """JSON form for detail payloads (notes kept as a mapping)."""
+        return {
+            "reactions": self.reactions,
+            "rows_moved": self.rows_moved,
+            "skipped_for_budget": self.skipped_for_budget,
+            "notes": {key: self.notes[key] for key in sorted(self.notes)},
+        }
 
 
 class NoDefense:

@@ -1,0 +1,34 @@
+"""Behavioural block/deflect parameters of the competing swap defenses.
+
+The logical (non-DRAM) attack path models RRS / SRS / SHADOW / P-PIM as a
+:class:`repro.attacks.executor.BehavioralDefenseExecutor`: an intended
+flip is blocked with ``block_prob`` (the defense relocated the aggressor
+or victim in time) and a blocked hammer session still flips a *random*
+bit with ``collateral_prob`` (the activations land next to relocated,
+unrelated data).  ``BEHAVIORAL_DEFENSES`` carries the calibrated
+probabilities shared by ``table3`` and ``sweep-defense-grid`` — the
+values those committed artifacts were produced with, so they must not
+change.  ``BEHAVIORAL_PARAMS`` extends the table with the registry-only
+entries (P-PIM's victim-focused counters block nearly everything and
+deflect nothing) without touching the shared trio.
+"""
+
+from __future__ import annotations
+
+__all__ = ["BEHAVIORAL_DEFENSES", "BEHAVIORAL_PARAMS"]
+
+# (block_prob, collateral_prob) per defense; shared by ``table3`` and
+# ``sweep-defense-grid`` so the two scenarios model RRS/SRS/SHADOW
+# identically.
+BEHAVIORAL_DEFENSES: dict[str, tuple[float, float]] = {
+    "RRS": (0.92, 0.6),
+    "SRS": (0.92, 0.55),
+    "SHADOW": (0.97, 0.3),
+}
+
+# Registry roster: the shared trio plus P-PIM (per-row counters refresh
+# the victim before T_RH — high block rate, no deflection).
+BEHAVIORAL_PARAMS: dict[str, tuple[float, float]] = {
+    **BEHAVIORAL_DEFENSES,
+    "P-PIM": (0.95, 0.0),
+}

@@ -224,6 +224,7 @@ def _ensure_builtins() -> None:
     import importlib
 
     import repro.experiments.scenarios  # noqa: F401  (registers on import)
+    import repro.experiments.tournament  # noqa: F401  (registers on import)
 
     from repro.utils.env import env_str
 

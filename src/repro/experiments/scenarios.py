@@ -72,13 +72,11 @@ from repro.utils.tabulate import format_table
 __all__ = ["functional_latency_ms", "BEHAVIORAL_DEFENSES"]
 
 # Behavioural block/collateral probabilities of the competing swap/shuffle
-# defenses.  Shared by ``table3`` and ``sweep-defense-grid`` so the two
-# scenarios model RRS/SRS/SHADOW identically.
-BEHAVIORAL_DEFENSES: dict[str, tuple[float, float]] = {
-    "RRS": (0.92, 0.6),
-    "SRS": (0.92, 0.55),
-    "SHADOW": (0.97, 0.3),
-}
+# defenses, shared by ``table3`` and ``sweep-defense-grid`` so the two
+# scenarios model RRS/SRS/SHADOW identically.  The table now lives with
+# the defense registry (``repro.defenses.behavioral``) and is re-exported
+# here unchanged for the scenarios and their callers.
+from repro.defenses.behavioral import BEHAVIORAL_DEFENSES  # noqa: E402
 
 
 def _behavioral_executor(qmodel, name, rng):

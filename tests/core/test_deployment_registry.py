@@ -1,0 +1,76 @@
+"""Tests for registry-resolved deployments: build(defense=..., attacker=...)."""
+
+import pytest
+
+from repro.core import DefendedDeployment
+from repro.dram import DramGeometry, TimingParams
+
+GEOMETRY = DramGeometry(
+    banks=2, subarrays_per_bank=4, rows_per_subarray=64, row_bytes=128
+)
+TIMING = TimingParams(t_rh=1000)
+
+
+def _build(fresh_model, tiny_dataset, **kwargs):
+    return DefendedDeployment.build(
+        fresh_model, tiny_dataset, geometry=GEOMETRY, timing=TIMING,
+        seed=0, **kwargs,
+    )
+
+
+class TestRegistryDefenses:
+    def test_radar_deployment_round_trip(self, fresh_model, tiny_dataset):
+        with _build(
+            fresh_model, tiny_dataset, defense="radar", attacker="smart-bfa"
+        ) as deployment:
+            assert deployment.defender is None
+            assert deployment.defense.name == "radar"
+            # Built with the live controller: the activate hook is attached
+            # until close() (REP004/REP104 through the deployment).
+            hook = deployment.defense._on_activate
+            assert hook in deployment.controller._activate_hooks
+            outcome = deployment.run_attack(budget=3)
+            assert outcome.attacker == "smart-bfa"
+            assert outcome.num_flips > 0
+            assert all(f.bit not in {6, 7} for f in outcome.flips)
+        assert hook not in deployment.controller._activate_hooks
+        deployment.close()  # idempotent
+
+    def test_none_defense_and_attacker_override(
+        self, fresh_model, tiny_dataset
+    ):
+        deployment = _build(fresh_model, tiny_dataset, defense="none")
+        outcome = deployment.run_attack(attacker="random", budget=5)
+        assert outcome.attacker == "random"
+        assert outcome.num_flips == 5
+
+    def test_unnamed_attacker_rejected(self, fresh_model, tiny_dataset):
+        deployment = _build(fresh_model, tiny_dataset, defense="none")
+        with pytest.raises(ValueError, match="no attacker named"):
+            deployment.run_attack()
+
+    def test_logical_executor_requires_defender(
+        self, fresh_model, tiny_dataset
+    ):
+        deployment = _build(fresh_model, tiny_dataset, defense="none")
+        with pytest.raises(ValueError, match="flip_executor"):
+            deployment.logical_executor()
+
+    def test_default_path_still_builds_defender(
+        self, fresh_model, tiny_dataset
+    ):
+        from repro.attacks import BfaConfig
+
+        deployment = _build(
+            fresh_model, tiny_dataset,
+            profile_rounds=2, profile_config=BfaConfig(max_iterations=5),
+            attack_batch_size=96, attacker="adaptive",
+        )
+        assert deployment.defender is not None
+        assert deployment.defense.name == "dnn-defender"
+        assert deployment.defense.protected_bits() == frozenset(
+            deployment.defender.secured_bits
+        )
+        outcome = deployment.run_attack(budget=3)
+        assert outcome.attacker == "adaptive"
+        assert outcome.detail["known_secured_bits"] > 0

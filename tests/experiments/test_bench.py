@@ -45,6 +45,7 @@ class TestSuite:
             "sync_post_window", "bfa_scoring", "forward_backward",
             "bfa_iteration", "hammer_window", "multi_bit_window",
             "fig6_trial", "sweep_trial", "straggler_sweep",
+            "radar_detection_sweep", "tournament_trial",
             "defended_vs_undefended", "timing_checker",
         }
 
